@@ -1,0 +1,290 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§VII).
+// Each BenchmarkFigXX runs the corresponding experiment end to end and
+// reports the figure's headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation and its
+// numbers in one run. Micro-benchmarks for the hot control-plane paths
+// (join, degree push-down, subscription) follow.
+package telecast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"telecast"
+	"telecast/internal/experiments"
+)
+
+// benchSetup uses the paper's full 1000-viewer scale.
+func benchSetup() experiments.Setup {
+	return experiments.DefaultSetup(42)
+}
+
+func BenchmarkFig13a(b *testing.B) {
+	setup := benchSetup()
+	setup.Sizes = []int{200, 600, 1000}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13a(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Values["obw=0"], "cdnMbps@obw0")
+		b.ReportMetric(last.Values["obw=0-12"], "cdnMbps@obw0-12")
+	}
+}
+
+func BenchmarkFig13b(b *testing.B) {
+	setup := benchSetup()
+	setup.Sizes = []int{200, 600, 1000}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13b(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Values["obw=8"], "cdnFrac@obw8")
+		b.ReportMetric(last.Values["obw=4-14"], "cdnFrac@obw4-14")
+	}
+}
+
+func BenchmarkFig13c(b *testing.B) {
+	setup := benchSetup()
+	setup.Sizes = []int{200, 600, 1000}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13c(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Values["obw=0"], "rho@obw0")
+		b.ReportMetric(last.Values["obw=8"], "rho@obw8")
+	}
+}
+
+func BenchmarkFig14a(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14a(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Layer0Share, "layer0Share")
+		b.ReportMetric(res.AtMost4Share, "atMost4Share")
+	}
+}
+
+func BenchmarkFig14b(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14b(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AllStreamsShare, "allStreamsShare")
+		b.ReportMetric(res.ZeroStreamsShare, "zeroStreamsShare")
+	}
+}
+
+func BenchmarkFig14c(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14c(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Join95th*1000, "joinP95ms")
+		b.ReportMetric(res.ViewChange95th*1000, "viewChangeP95ms")
+	}
+}
+
+func BenchmarkFig15a(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig15a(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's headline: the mid-sweep gain over Random.
+		var maxGain float64
+		for _, row := range res.Rows {
+			if gain := row.TeleCast - row.Random; gain > maxGain {
+				maxGain = gain
+			}
+		}
+		b.ReportMetric(maxGain, "maxGainOverRandom")
+	}
+}
+
+func BenchmarkFig15b(b *testing.B) {
+	setup := benchSetup()
+	setup.Sizes = []int{200, 600, 1000}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig15b(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.TeleCast, "telecastRho@1000")
+		b.ReportMetric(last.Random, "randomRho@1000")
+	}
+}
+
+func BenchmarkAblationOutbound(b *testing.B) {
+	setup := benchSetup()
+	setup.Audience = 600
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationOutbound(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.RoundRobin.MeanStreams, "rrStreamsPerViewer")
+		b.ReportMetric(last.PriorityOnly.MeanStreams, "prioStreamsPerViewer")
+	}
+}
+
+func BenchmarkAblationPushdown(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationPushdown(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.PushDownDepth, "pushdownDepth")
+		b.ReportMetric(last.FIFODepth, "fifoDepth")
+	}
+}
+
+func BenchmarkAblationGrouping(b *testing.B) {
+	setup := benchSetup()
+	setup.Audience = 600
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationGrouping(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].CDNFraction, "cdnFrac@1view")
+		b.ReportMetric(rows[len(rows)-1].CDNFraction, "cdnFrac@8views")
+	}
+}
+
+// BenchmarkJoin measures control-plane join throughput at steady state: the
+// cost of admitting one more viewer into a populated 1000-viewer overlay.
+func BenchmarkJoin(b *testing.B) {
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(1200+b.N, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := telecast.DefaultConfig(producers, lat)
+	cfg.CDN.OutboundCapacityMbps = 0 // unbounded: measure algorithm cost
+	ctrl, err := telecast.NewController(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := telecast.NewUniformView(producers, 0)
+	for i := 0; i < 1000; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("w%06d", i))
+		if _, err := ctrl.Join(id, 12, float64(i%13), view); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("b%06d", i))
+		if _, err := ctrl.Join(id, 12, float64(i%13), view); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewChange measures the full two-phase view change (leave trees,
+// victim recovery, re-join, subscription propagation) in a populated overlay.
+func BenchmarkViewChange(b *testing.B) {
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(700, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := telecast.DefaultConfig(producers, lat)
+	cfg.CDN.OutboundCapacityMbps = 0
+	ctrl, err := telecast.NewController(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	views := []telecast.View{
+		telecast.NewUniformView(producers, 0),
+		telecast.NewUniformView(producers, 1.5),
+	}
+	const fleet = 500
+	for i := 0; i < fleet; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("w%06d", i))
+		if _, err := ctrl.Join(id, 12, float64(i%13), views[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("w%06d", i%fleet))
+		if _, err := ctrl.ChangeView(id, views[(i+1)%len(views)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn runs the dynamic scenario: flash crowd, Poisson churn,
+// view changes, invariants validated every simulated second.
+func BenchmarkChurn(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunChurn(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FinalAcceptance, "finalAcceptance")
+		b.ReportMetric(float64(res.PeakViewers), "peakViewers")
+	}
+}
+
+// BenchmarkAblationLayerFade contrasts the ℜ=τr fade-out placement with the
+// naive bottom-of-layer placement (ablation A3).
+func BenchmarkAblationLayerFade(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationLayerFade(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.FadeMeanMaxLayer, "fadeMeanMaxLayer")
+		b.ReportMetric(last.NaiveMeanMaxLayer, "naiveMeanMaxLayer")
+	}
+}
+
+// BenchmarkAblationViewChange contrasts the two-phase view change with a
+// plain re-join (ablation A5).
+func BenchmarkAblationViewChange(b *testing.B) {
+	setup := benchSetup()
+	setup.Audience = 600
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunAblationViewChange(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.TwoPhaseP95*1000, "twoPhaseP95ms")
+		b.ReportMetric(row.PlainP95*1000, "plainP95ms")
+	}
+}

@@ -1,0 +1,123 @@
+// Command telecast-node runs a live 4D TeleCast overlay on real TCP
+// sockets: producers, one CDN edge, and a fleet of viewer gateways exchange
+// S-RTP frames while the control plane maintains the per-view streaming
+// trees. It is the zero-to-streaming demonstration binary; the examples
+// directory shows the same machinery driven as a library.
+//
+// Usage:
+//
+//	telecast-node -viewers 8 -duration 5s
+//	telecast-node -viewers 12 -seeds 3 -churn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"telecast"
+)
+
+func main() {
+	viewers := flag.Int("viewers", 6, "number of viewer gateways to launch")
+	seeds := flag.Int("seeds", 2, "viewers that donate outbound bandwidth")
+	duration := flag.Duration("duration", 4*time.Second, "streaming time before the report")
+	churn := flag.Bool("churn", false, "exercise a view change and a departure mid-run")
+	dump := flag.Bool("dump", false, "print the dissemination trees before the report")
+	flag.Parse()
+
+	if err := run(*viewers, *seeds, *duration, *churn, *dump); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(viewers, seeds int, duration time.Duration, churn, dump bool) error {
+	if viewers < 1 {
+		return fmt.Errorf("need at least one viewer, got %d", viewers)
+	}
+	if seeds > viewers {
+		seeds = viewers
+	}
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 0.25, 10),
+		telecast.NewRingSite("B", 8, 0.25, 10),
+	)
+	if err != nil {
+		return err
+	}
+	cfg := telecast.DefaultClusterConfig(producers)
+	if viewers+8 > cfg.MaxViewers {
+		cfg.MaxViewers = viewers + 8
+	}
+	cluster, err := telecast.StartCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	view := telecast.NewUniformView(producers, 0)
+	ids := make([]telecast.ViewerID, 0, viewers)
+	for i := 0; i < viewers; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("viewer-%02d", i))
+		outbound := 0.0
+		if i < seeds {
+			outbound = 25
+		}
+		if _, err := cluster.AddViewer(id, 100, outbound, view); err != nil {
+			return fmt.Errorf("add %s: %w", id, err)
+		}
+		ids = append(ids, id)
+		log.Printf("%s joined (outbound %.0f Mbps)", id, outbound)
+	}
+
+	log.Printf("streaming for %v …", duration)
+	if churn && viewers >= 2 {
+		time.Sleep(duration / 2)
+		last := ids[len(ids)-1]
+		if err := cluster.ChangeView(last, telecast.NewUniformView(producers, math.Pi)); err != nil {
+			log.Printf("view change %s: %v", last, err)
+		} else {
+			log.Printf("%s changed view (180°)", last)
+		}
+		if err := cluster.RemoveViewer(ids[0]); err != nil {
+			log.Printf("remove %s: %v", ids[0], err)
+		} else {
+			log.Printf("%s departed (victim recovery engaged)", ids[0])
+			ids = ids[1:]
+		}
+		time.Sleep(duration - duration/2)
+	} else {
+		time.Sleep(duration)
+	}
+
+	if dump {
+		fmt.Println("\ndissemination trees:")
+		fmt.Print(cluster.Controller().DumpOverlay())
+	}
+
+	fmt.Println("\nper-viewer data-plane report:")
+	for _, id := range ids {
+		node, ok := cluster.Viewer(id)
+		if !ok {
+			continue
+		}
+		rep := node.Report()
+		total := 0
+		streams := make([]string, 0, len(rep.ReceivedPerStream))
+		for sid, n := range rep.ReceivedPerStream {
+			total += n
+			streams = append(streams, fmt.Sprintf("%s:%d", sid, n))
+		}
+		sort.Strings(streams)
+		fmt.Printf("  %-10s frames=%-6d rendered=%-5d misses=%-5d worst-skew=%-8v\n",
+			id, total, rep.RenderedSets, rep.RenderMisses, rep.WorstSkew.Round(time.Millisecond))
+	}
+
+	st := cluster.Controller().Stats()
+	fmt.Printf("\noverlay: %d live subscriptions (%d via CDN, %d peer-to-peer), acceptance %.3f\n",
+		st.Overlay.LiveStreams, st.Overlay.ViaCDN, st.Overlay.ViaP2P, st.Overlay.AcceptanceRatio())
+	return cluster.Controller().Validate()
+}

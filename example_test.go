@@ -1,0 +1,46 @@
+package telecast_test
+
+import (
+	"fmt"
+
+	"telecast"
+)
+
+// Example builds the paper's evaluation session, admits two viewers — the
+// first seeds the peer layer, the second rides on it — and prints the
+// hybrid CDN/P2P split.
+func Example() {
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A deterministic latency substrate with a single region keeps this
+	// example's output stable.
+	lat, err := telecast.GenerateLatencyMatrix(telecast.LatencyConfig{
+		Nodes: 16, Regions: 1, IntraMean: 20e6, InterMean: 80e6, Sigma: 0.3, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctrl, err := telecast.NewController(telecast.DefaultConfig(producers, lat))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	view := telecast.NewUniformView(producers, 0)
+	seed, _ := ctrl.Join("seed", 12, 12, view)
+	leaf, _ := ctrl.Join("leaf", 12, 0, view)
+	fmt.Printf("seed admitted=%v streams=%d\n", seed.Result.Admitted, len(seed.Result.Accepted))
+	fmt.Printf("leaf admitted=%v streams=%d\n", leaf.Result.Admitted, len(leaf.Result.Accepted))
+	st := ctrl.Stats()
+	fmt.Printf("via CDN=%d via P2P=%d\n", st.Overlay.ViaCDN, st.Overlay.ViaP2P)
+	// Output:
+	// seed admitted=true streams=6
+	// leaf admitted=true streams=6
+	// via CDN=6 via P2P=6
+}

@@ -1,0 +1,110 @@
+// Command exergaming emulates the paper's motivating scenario at audience
+// scale: two players fight with virtual light sabers (the TEEVE "I'm the
+// Jedi!" session), and a flash crowd of spectators arrives, watches, and
+// churns. The example drives the control plane through a mass-arrival wave,
+// steady-state churn, and a mass departure, validating the overlay
+// invariants after every phase and reporting acceptance, CDN offload, and
+// the join-latency distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"telecast"
+)
+
+const (
+	audience = 400
+	cdnMbps  = 2400 // deliberately scarce: the crowd must self-serve
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("jedi-urbana", 8, 2.0, 10),
+		telecast.NewRingSite("jedi-seattle", 8, 2.0, 10),
+	)
+	if err != nil {
+		return err
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(2*audience+16, 7))
+	if err != nil {
+		return err
+	}
+	cfg := telecast.DefaultConfig(producers, lat)
+	cfg.CDN.OutboundCapacityMbps = cdnMbps
+	ctrl, err := telecast.NewController(cfg)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	view := telecast.NewUniformView(producers, 0)
+
+	// Phase 1 — flash crowd: the stream goes viral and the whole audience
+	// arrives in one wave, outbound capacities uniform in [0, 12] Mbps.
+	fmt.Printf("phase 1: flash crowd of %d spectators\n", audience)
+	for i := 0; i < audience; i++ {
+		id := telecast.ViewerID(fmt.Sprintf("fan-%04d", i))
+		if _, err := ctrl.Join(id, 12, 12*rng.Float64(), view); err != nil {
+			return err
+		}
+	}
+	if err := report(ctrl, "after arrival wave"); err != nil {
+		return err
+	}
+
+	// Phase 2 — churn: a third of the audience leaves and is replaced.
+	fmt.Println("\nphase 2: churn (leave + replacement)")
+	for i := 0; i < audience/3; i++ {
+		leaving := telecast.ViewerID(fmt.Sprintf("fan-%04d", rng.Intn(audience)))
+		if err := ctrl.Leave(leaving); err != nil {
+			continue // already left in an earlier iteration
+		}
+		replacement := telecast.ViewerID(fmt.Sprintf("late-%04d", i))
+		if _, err := ctrl.Join(replacement, 12, 12*rng.Float64(), view); err != nil {
+			return err
+		}
+	}
+	if err := report(ctrl, "after churn"); err != nil {
+		return err
+	}
+
+	// Phase 3 — the match ends: everyone who is still watching leaves.
+	fmt.Println("\nphase 3: mass departure")
+	left := 0
+	for i := 0; i < audience; i++ {
+		if ctrl.Leave(telecast.ViewerID(fmt.Sprintf("fan-%04d", i))) == nil {
+			left++
+		}
+	}
+	for i := 0; i < audience/3; i++ {
+		if ctrl.Leave(telecast.ViewerID(fmt.Sprintf("late-%04d", i))) == nil {
+			left++
+		}
+	}
+	fmt.Printf("%d spectators departed cleanly\n", left)
+	st := ctrl.Stats()
+	fmt.Printf("residual CDN egress: %.0f Mbps (must be 0)\n", st.Overlay.CDNUsage.OutTotalMbps)
+	return ctrl.Validate()
+}
+
+func report(ctrl *telecast.Controller, label string) error {
+	st := ctrl.Stats()
+	fmt.Printf("  [%s] viewers=%d accepted-ratio=%.3f cdn-share=%.2f p2p-share=%.2f\n",
+		label, st.Overlay.Viewers, st.Overlay.AcceptanceRatio(),
+		st.Overlay.CDNFraction(), 1-st.Overlay.CDNFraction())
+	fmt.Printf("  [%s] join delay: median=%.0f ms  p95=%.0f ms  max=%.0f ms\n",
+		label,
+		st.JoinDelays.Quantile(0.5)*1000,
+		st.JoinDelays.Quantile(0.95)*1000,
+		st.JoinDelays.Max()*1000)
+	return ctrl.Validate()
+}

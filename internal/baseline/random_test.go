@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telecast/internal/cdn"
+	"telecast/internal/model"
+)
+
+func testRouter(t *testing.T, cdnCap float64) (*Router, *model.Session) {
+	t.Helper()
+	s, err := model.NewSession(
+		model.NewRingSite("A", 8, 2.0, 10),
+		model.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := cdn.New(cdn.Config{OutboundCapacityMbps: cdnCap, Delta: 60 * time.Second})
+	r, err := NewRouter(s, dist, rand.New(rand.NewSource(3)), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil, nil, nil, 0); err == nil {
+		t.Error("nil deps accepted")
+	}
+}
+
+func TestJoinServesFromCDNWhenNoPeers(t *testing.T) {
+	r, s := testRouter(t, 6000)
+	res, err := r.Join("v1", 12, 4, model.NewUniformView(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted || len(res.Accepted) != 6 {
+		t.Fatalf("res = %+v", res)
+	}
+	snap := r.Snapshot()
+	if snap.CDNUsage.OutTotalMbps != 12 {
+		t.Errorf("cdn usage = %v", snap.CDNUsage.OutTotalMbps)
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	r, s := testRouter(t, 6000)
+	if _, err := r.Join("v1", 12, 0, model.NewUniformView(s, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("v1", 12, 0, model.NewUniformView(s, 0)); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+func TestJoinUsesPeersWhenAvailable(t *testing.T) {
+	r, s := testRouter(t, 12) // CDN can seed exactly one full viewer
+	first, err := r.Join("v1", 12, 100, model.NewUniformView(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Admitted || len(first.Accepted) != 6 {
+		t.Fatalf("first = %+v", first)
+	}
+	second, err := r.Join("v2", 12, 0, model.NewUniformView(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Admitted || len(second.Accepted) != 6 {
+		t.Fatalf("second should ride on v1's outbound: %+v", second)
+	}
+	if r.Snapshot().CDNUsage.OutTotalMbps != 12 {
+		t.Error("peer-served streams must not consume CDN")
+	}
+}
+
+func TestJoinRejectsWithoutSupply(t *testing.T) {
+	r, s := testRouter(t, 2) // one stream of CDN budget: cannot cover 2 sites
+	res, err := r.Join("v1", 12, 0, model.NewUniformView(s, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatalf("admitted with 2 Mbps CDN: %+v", res)
+	}
+	if r.Snapshot().Rejected != 1 {
+		t.Error("rejection not counted")
+	}
+}
+
+func TestAcceptanceAccountingAndRatio(t *testing.T) {
+	r, s := testRouter(t, 6000)
+	for i := 0; i < 10; i++ {
+		if _, err := r.Join(model.ViewerID(fmt.Sprintf("v%d", i)), 12, 6, model.NewUniformView(s, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.StreamsRequested != 60 {
+		t.Fatalf("requested = %d", snap.StreamsRequested)
+	}
+	if ratio := snap.AcceptanceRatio(); ratio <= 0 || ratio > 1 {
+		t.Fatalf("ratio = %v", ratio)
+	}
+	if snap.Viewers != 10 {
+		t.Fatalf("viewers = %d", snap.Viewers)
+	}
+}
+
+func TestOutboundNeverOversubscribed(t *testing.T) {
+	r, s := testRouter(t, 12)
+	// One seed with 4 Mbps outbound: at most 2 peer-served streams total.
+	if _, err := r.Join("seed", 12, 4, model.NewUniformView(s, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := r.Join(model.ViewerID(fmt.Sprintf("v%d", i)), 12, 0, model.NewUniformView(s, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := r.viewers["seed"]
+	if seed.outUsed > seed.OutboundMbps+1e-9 {
+		t.Fatalf("seed outbound oversubscribed: %v > %v", seed.outUsed, seed.OutboundMbps)
+	}
+	for id, v := range r.viewers {
+		if v.inUsed > v.InboundMbps+1e-9 {
+			t.Fatalf("viewer %s inbound oversubscribed", id)
+		}
+	}
+}
+
+func TestZeroRequestRatioIsOne(t *testing.T) {
+	r, _ := testRouter(t, 100)
+	if got := r.Snapshot().AcceptanceRatio(); got != 1 {
+		t.Errorf("empty ratio = %v", got)
+	}
+}

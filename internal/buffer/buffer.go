@@ -1,0 +1,259 @@
+// Package buffer implements the 4D TeleCast viewer local-buffer architecture
+// of §V-B2: per-stream buffers extending the single-stream PPLive /
+// CoolStreaming design to the multi-stream case. Each stream's local buffer
+// is split at the Media Playback Point (MPP): the *buffer* region (buffer
+// end → MPP, length d_buff) feeds local playback; the *cache* region (MPP →
+// buffer head, length d_cache) additionally serves child viewers. At the
+// MPP, the renderer picks mutually synchronized frames (origin timestamps
+// within d_skew) across all streams of the view.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// Frame is a received 3D frame: the paper's f^(i,n)_t.
+type Frame struct {
+	Stream model.StreamID
+	Number int64
+	// Capture is the origin timestamp assigned at the producer.
+	Capture time.Duration
+	// Received is the local arrival time at the gateway.
+	Received time.Duration
+	// SizeBytes is the payload size (used by bandwidth accounting).
+	SizeBytes int
+}
+
+// Config sizes the per-stream buffers.
+type Config struct {
+	// Buff is d_buff, how long a frame stays in the buffer region after
+	// reception before playback discards it (300 ms in the evaluation).
+	Buff time.Duration
+	// Cache is d_cache, how long played-back frames remain available to
+	// serve children (25 s in the evaluation; the paper fixes
+	// d_cache = d_max − Δ − d_buff so any acceptable layer can be fed).
+	Cache time.Duration
+	// Skew is d_skew, the maximum unnoticeable inter-stream skew at the
+	// display (0 in the paper's analysis).
+	Skew time.Duration
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Buff <= 0 {
+		return fmt.Errorf("buffer config: d_buff must be positive, got %v", c.Buff)
+	}
+	if c.Cache < 0 || c.Skew < 0 {
+		return fmt.Errorf("buffer config: negative cache or skew")
+	}
+	return nil
+}
+
+// StreamBuffer holds the frames of one stream ordered by frame number.
+type StreamBuffer struct {
+	frames []Frame // ascending by Number
+}
+
+// MultiBuffer is a viewer gateway's set of per-stream local buffers plus the
+// playback clock. It is safe for concurrent use by the emulation's receive
+// and serve goroutines.
+type MultiBuffer struct {
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[model.StreamID]*StreamBuffer
+	// now is the gateway-local clock, advanced by the owner.
+	now time.Duration
+}
+
+// NewMultiBuffer builds the gateway buffer set.
+func NewMultiBuffer(cfg Config) (*MultiBuffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MultiBuffer{cfg: cfg, streams: make(map[model.StreamID]*StreamBuffer)}, nil
+}
+
+// Advance moves the local clock forward and evicts frames that fell out of
+// the cache window. The clock never moves backwards.
+func (b *MultiBuffer) Advance(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now > b.now {
+		b.now = now
+	}
+	horizon := b.now - b.cfg.Buff - b.cfg.Cache
+	for _, sb := range b.streams {
+		cut := 0
+		for cut < len(sb.frames) && sb.frames[cut].Received < horizon {
+			cut++
+		}
+		if cut > 0 {
+			sb.frames = append(sb.frames[:0], sb.frames[cut:]...)
+		}
+	}
+}
+
+// Insert stores a received frame in its stream buffer, keeping frame-number
+// order. Duplicate frame numbers are ignored (retransmissions).
+func (b *MultiBuffer) Insert(f Frame) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sb, ok := b.streams[f.Stream]
+	if !ok {
+		sb = &StreamBuffer{}
+		b.streams[f.Stream] = sb
+	}
+	i := sort.Search(len(sb.frames), func(i int) bool { return sb.frames[i].Number >= f.Number })
+	if i < len(sb.frames) && sb.frames[i].Number == f.Number {
+		return
+	}
+	sb.frames = append(sb.frames, Frame{})
+	copy(sb.frames[i+1:], sb.frames[i:])
+	sb.frames[i] = f
+	if f.Received > b.now {
+		b.now = f.Received
+	}
+}
+
+// DropStream forgets a stream's buffer (view change / subscription drop).
+func (b *MultiBuffer) DropStream(id model.StreamID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.streams, id)
+}
+
+// Streams returns the buffered stream IDs, sorted.
+func (b *MultiBuffer) Streams() []model.StreamID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ids := make([]model.StreamID, 0, len(b.streams))
+	for id := range b.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// Len returns the number of frames buffered for a stream.
+func (b *MultiBuffer) Len(id model.StreamID) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sb, ok := b.streams[id]; ok {
+		return len(sb.frames)
+	}
+	return 0
+}
+
+// inBufferRegionLocked reports whether a frame is still before its MPP:
+// received less than d_buff ago.
+func (b *MultiBuffer) inBufferRegionLocked(f Frame) bool {
+	return b.now-f.Received < b.cfg.Buff
+}
+
+// FrameAt returns the cached or buffered frame with the given number,
+// serving child subscription points (Table I's "position in buffer and
+// cache"). ok is false when the frame was never received or already evicted.
+func (b *MultiBuffer) FrameAt(id model.StreamID, number int64) (Frame, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sb, ok := b.streams[id]
+	if !ok {
+		return Frame{}, false
+	}
+	i := sort.Search(len(sb.frames), func(i int) bool { return sb.frames[i].Number >= number })
+	if i < len(sb.frames) && sb.frames[i].Number == number {
+		return sb.frames[i], true
+	}
+	return Frame{}, false
+}
+
+// FramesFrom returns up to max frames with numbers ≥ from, in order: the
+// parent-side streaming read that feeds a child from its subscription point.
+func (b *MultiBuffer) FramesFrom(id model.StreamID, from int64, max int) []Frame {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sb, ok := b.streams[id]
+	if !ok || max <= 0 {
+		return nil
+	}
+	i := sort.Search(len(sb.frames), func(i int) bool { return sb.frames[i].Number >= from })
+	end := i + max
+	if end > len(sb.frames) {
+		end = len(sb.frames)
+	}
+	out := make([]Frame, end-i)
+	copy(out, sb.frames[i:end])
+	return out
+}
+
+// SyncedPick implements the renderer's synchronized pickup: the newest set
+// of frames — one per given stream — whose capture timestamps all lie within
+// d_skew of each other and that are still in the buffer region (not yet
+// discarded). ok is false when no synchronized set exists, i.e. the view
+// synchronization problem of Fig. 7(a) is biting.
+func (b *MultiBuffer) SyncedPick(ids []model.StreamID) (map[model.StreamID]Frame, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(ids) == 0 {
+		return nil, false
+	}
+	// Candidate anchors: buffered frames of the first stream, newest
+	// first. For each anchor, every other stream must have a buffered
+	// frame within skew.
+	first, ok := b.streams[ids[0]]
+	if !ok {
+		return nil, false
+	}
+	for i := len(first.frames) - 1; i >= 0; i-- {
+		anchor := first.frames[i]
+		if !b.inBufferRegionLocked(anchor) {
+			continue
+		}
+		set := map[model.StreamID]Frame{ids[0]: anchor}
+		okAll := true
+		for _, id := range ids[1:] {
+			sb, ok := b.streams[id]
+			if !ok {
+				okAll = false
+				break
+			}
+			f, ok := closestWithinLocked(b, sb, anchor.Capture, b.cfg.Skew)
+			if !ok {
+				okAll = false
+				break
+			}
+			set[id] = f
+		}
+		if okAll {
+			return set, true
+		}
+	}
+	return nil, false
+}
+
+// closestWithinLocked finds a buffered (not cached) frame of sb whose
+// capture timestamp is within skew of target.
+func closestWithinLocked(b *MultiBuffer, sb *StreamBuffer, target time.Duration, skew time.Duration) (Frame, bool) {
+	best := Frame{}
+	found := false
+	var bestDiff time.Duration
+	for _, f := range sb.frames {
+		if !b.inBufferRegionLocked(f) {
+			continue
+		}
+		diff := f.Capture - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= skew && (!found || diff < bestDiff) {
+			best, bestDiff, found = f, diff, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,183 @@
+package buffer
+
+import (
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+)
+
+var (
+	sA = model.StreamID{Site: "A", Index: 1}
+	sB = model.StreamID{Site: "B", Index: 1}
+)
+
+func testBuf(t *testing.T) *MultiBuffer {
+	t.Helper()
+	b, err := NewMultiBuffer(Config{
+		Buff:  300 * time.Millisecond,
+		Cache: 25 * time.Second,
+		Skew:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func frame(id model.StreamID, n int64, capture, received time.Duration) Frame {
+	return Frame{Stream: id, Number: n, Capture: capture, Received: received, SizeBytes: 1000}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := NewMultiBuffer(Config{Buff: 0}); err == nil {
+		t.Error("zero buff accepted")
+	}
+	if _, err := NewMultiBuffer(Config{Buff: time.Second, Cache: -1}); err == nil {
+		t.Error("negative cache accepted")
+	}
+}
+
+func TestInsertOrderAndDuplicates(t *testing.T) {
+	b := testBuf(t)
+	b.Insert(frame(sA, 5, 500*time.Millisecond, time.Second))
+	b.Insert(frame(sA, 3, 300*time.Millisecond, time.Second))
+	b.Insert(frame(sA, 4, 400*time.Millisecond, time.Second))
+	b.Insert(frame(sA, 4, 400*time.Millisecond, time.Second)) // dup
+	if got := b.Len(sA); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	fs := b.FramesFrom(sA, 0, 10)
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Number <= fs[i-1].Number {
+			t.Fatalf("frames out of order: %+v", fs)
+		}
+	}
+}
+
+func TestFrameAtAndFramesFrom(t *testing.T) {
+	b := testBuf(t)
+	for n := int64(10); n < 20; n++ {
+		b.Insert(frame(sA, n, time.Duration(n)*100*time.Millisecond, time.Second))
+	}
+	if f, ok := b.FrameAt(sA, 15); !ok || f.Number != 15 {
+		t.Fatalf("FrameAt(15) = %+v ok=%v", f, ok)
+	}
+	if _, ok := b.FrameAt(sA, 5); ok {
+		t.Error("missing frame found")
+	}
+	if _, ok := b.FrameAt(sB, 15); ok {
+		t.Error("missing stream found")
+	}
+	fs := b.FramesFrom(sA, 17, 100)
+	if len(fs) != 3 || fs[0].Number != 17 {
+		t.Fatalf("FramesFrom = %+v", fs)
+	}
+	if got := b.FramesFrom(sA, 10, 2); len(got) != 2 {
+		t.Fatalf("max not honoured: %d", len(got))
+	}
+	if b.FramesFrom(sB, 0, 10) != nil {
+		t.Error("frames for unknown stream")
+	}
+}
+
+func TestAdvanceEvictsBeyondCache(t *testing.T) {
+	b := testBuf(t)
+	b.Insert(frame(sA, 1, 0, 0))
+	b.Insert(frame(sA, 2, 0, 10*time.Second))
+	// Window is buff+cache = 25.3 s; at t=26 s the frame received at 0
+	// falls out, the one at 10 s stays.
+	b.Advance(26 * time.Second)
+	if b.Len(sA) != 1 {
+		t.Fatalf("len = %d, want 1", b.Len(sA))
+	}
+	if _, ok := b.FrameAt(sA, 2); !ok {
+		t.Error("wrong frame evicted")
+	}
+	// Clock never rewinds.
+	b.Advance(time.Second)
+	if b.Len(sA) != 1 {
+		t.Error("rewind changed state")
+	}
+}
+
+func TestSyncedPickHappyPath(t *testing.T) {
+	b := testBuf(t)
+	now := 100 * time.Second
+	// Both streams have frames captured at ~50s, received just now (in
+	// the buffer region).
+	b.Insert(frame(sA, 500, 50*time.Second, now))
+	b.Insert(frame(sB, 500, 50*time.Second+20*time.Millisecond, now))
+	b.Advance(now)
+	set, ok := b.SyncedPick([]model.StreamID{sA, sB})
+	if !ok {
+		t.Fatal("no synchronized set found")
+	}
+	if set[sA].Number != 500 || set[sB].Number != 500 {
+		t.Fatalf("set = %+v", set)
+	}
+}
+
+func TestSyncedPickRejectsLargeSkew(t *testing.T) {
+	b := testBuf(t)
+	now := 100 * time.Second
+	b.Insert(frame(sA, 500, 50*time.Second, now))
+	// sB's closest frame is 400ms away in capture time > 50ms skew.
+	b.Insert(frame(sB, 496, 50*time.Second-400*time.Millisecond, now))
+	b.Advance(now)
+	if _, ok := b.SyncedPick([]model.StreamID{sA, sB}); ok {
+		t.Fatal("skewed set accepted")
+	}
+}
+
+// The view synchronization problem of Fig. 7(a): the correlated frame of the
+// earlier stream has already left the buffer region when the late stream's
+// frame arrives, so no synchronized pick exists.
+func TestSyncedPickViewSyncProblem(t *testing.T) {
+	b := testBuf(t)
+	// sA's frame arrived at t=10s; sB's correlated frame arrives at
+	// t=10.5s — more than d_buff=300ms later.
+	b.Insert(frame(sA, 100, 5*time.Second, 10*time.Second))
+	b.Insert(frame(sB, 100, 5*time.Second, 10*time.Second+500*time.Millisecond))
+	b.Advance(10*time.Second + 500*time.Millisecond)
+	if _, ok := b.SyncedPick([]model.StreamID{sA, sB}); ok {
+		t.Fatal("pick must fail: sA's frame left the buffer region")
+	}
+	// With delayed receive (the stream-subscription fix), sA's frame
+	// arrives late too and both sit in the buffer region together.
+	b2 := testBuf(t)
+	b2.Insert(frame(sA, 100, 5*time.Second, 10*time.Second+400*time.Millisecond))
+	b2.Insert(frame(sB, 100, 5*time.Second, 10*time.Second+500*time.Millisecond))
+	b2.Advance(10*time.Second + 500*time.Millisecond)
+	if _, ok := b2.SyncedPick([]model.StreamID{sA, sB}); !ok {
+		t.Fatal("delayed receive should make the pick succeed")
+	}
+}
+
+func TestSyncedPickEdgeCases(t *testing.T) {
+	b := testBuf(t)
+	if _, ok := b.SyncedPick(nil); ok {
+		t.Error("empty stream list picked")
+	}
+	if _, ok := b.SyncedPick([]model.StreamID{sA}); ok {
+		t.Error("unknown stream picked")
+	}
+	b.Insert(frame(sA, 1, 0, 0))
+	if set, ok := b.SyncedPick([]model.StreamID{sA}); !ok || set[sA].Number != 1 {
+		t.Error("single-stream pick failed")
+	}
+}
+
+func TestDropStreamAndStreams(t *testing.T) {
+	b := testBuf(t)
+	b.Insert(frame(sA, 1, 0, 0))
+	b.Insert(frame(sB, 1, 0, 0))
+	ids := b.Streams()
+	if len(ids) != 2 || ids[0] != sA {
+		t.Fatalf("streams = %v", ids)
+	}
+	b.DropStream(sA)
+	if b.Len(sA) != 0 || len(b.Streams()) != 1 {
+		t.Error("drop failed")
+	}
+}

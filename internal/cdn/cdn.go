@@ -1,0 +1,186 @@
+// Package cdn models the commercial CDN substrate 4D TeleCast uses as its
+// first-layer distribution server (§III-A). The paper treats the CDN as a
+// black box: producers upload 3D frames to the distribution storage, core
+// servers replicate to edge servers, and the session is granted a bounded
+// outbound capacity C^cdn_obw. Every frame delivered through the CDN reaches
+// a direct child with constant end-to-end delay Δ (§V-B1).
+package cdn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// Config bounds the CDN resources granted to one 3DTI session.
+type Config struct {
+	// OutboundCapacityMbps is C^cdn_obw, the total egress the session may
+	// draw from the CDN. Zero means unbounded (used to measure the CDN
+	// bandwidth required for ρ=1, Fig 13a).
+	OutboundCapacityMbps float64
+	// InboundCapacityMbps is C^cdn_ibw for producer uploads. The paper
+	// assumes this bound is always met because the producer count is
+	// small; we still account for it.
+	InboundCapacityMbps float64
+	// Delta is Δ: the constant delay from capture at a producer to
+	// delivery at any direct CDN child (60 s in the evaluation).
+	Delta time.Duration
+	// EdgeServers is the number of edge servers, used only for placement
+	// bookkeeping and stats.
+	EdgeServers int
+}
+
+// DefaultConfig mirrors the evaluation setup: Δ = 60 s, 6000 Mbps egress.
+func DefaultConfig() Config {
+	return Config{
+		OutboundCapacityMbps: 6000,
+		InboundCapacityMbps:  0, // unbounded
+		Delta:                60 * time.Second,
+		EdgeServers:          16,
+	}
+}
+
+// CDN tracks capacity usage per stream. It is safe for concurrent use: the
+// live emulation mode calls it from multiple node goroutines, while the
+// discrete-event simulator calls it single-threaded.
+type CDN struct {
+	cfg Config
+
+	mu sync.Mutex
+	// outPerStream is the egress currently allocated to each stream.
+	outPerStream map[model.StreamID]float64
+	outTotal     float64
+	inTotal      float64
+	// peakOut records the high-water mark of egress, the quantity Fig
+	// 13(a) reports.
+	peakOut float64
+	// uploaded counts producer frames stored, per stream.
+	uploaded map[model.StreamID]int64
+}
+
+// New constructs a CDN with the given resource bounds.
+func New(cfg Config) *CDN {
+	return &CDN{
+		cfg:          cfg,
+		outPerStream: make(map[model.StreamID]float64),
+		uploaded:     make(map[model.StreamID]int64),
+	}
+}
+
+// Delta returns Δ, the producer-to-first-child constant delay.
+func (c *CDN) Delta() time.Duration { return c.cfg.Delta }
+
+// Bounded reports whether the session's CDN egress is capacity-limited.
+func (c *CDN) Bounded() bool { return c.cfg.OutboundCapacityMbps > 0 }
+
+// RemainingMbps returns the unallocated egress capacity. Unbounded CDNs
+// report +Inf-like behaviour via a very large number; callers should check
+// Bounded for exact semantics.
+func (c *CDN) RemainingMbps() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.Bounded() {
+		return 1e18
+	}
+	return c.cfg.OutboundCapacityMbps - c.outTotal
+}
+
+// CanServe reports whether the CDN has bw Mbps of spare egress.
+func (c *CDN) CanServe(bwMbps float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.Bounded() || c.outTotal+bwMbps <= c.cfg.OutboundCapacityMbps+1e-9
+}
+
+// Allocate reserves bw Mbps of egress for one direct child of the given
+// stream. It fails when the session's CDN budget is exhausted.
+func (c *CDN) Allocate(id model.StreamID, bwMbps float64) error {
+	if bwMbps < 0 {
+		return fmt.Errorf("cdn allocate %v: negative bandwidth %v", id, bwMbps)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Bounded() && c.outTotal+bwMbps > c.cfg.OutboundCapacityMbps+1e-9 {
+		return fmt.Errorf("cdn allocate %v: %w", id, ErrCapacity)
+	}
+	c.outPerStream[id] += bwMbps
+	c.outTotal += bwMbps
+	if c.outTotal > c.peakOut {
+		c.peakOut = c.outTotal
+	}
+	return nil
+}
+
+// Release returns bw Mbps of egress previously allocated for the stream.
+// Releasing more than allocated clamps to zero and reports an error so that
+// accounting bugs surface in tests rather than corrupting totals.
+func (c *CDN) Release(id model.StreamID, bwMbps float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.outPerStream[id]
+	if bwMbps > cur+1e-9 {
+		c.outTotal -= cur
+		delete(c.outPerStream, id)
+		return fmt.Errorf("cdn release %v: released %v Mbps with only %v allocated", id, bwMbps, cur)
+	}
+	c.outPerStream[id] = cur - bwMbps
+	if c.outPerStream[id] < 1e-9 {
+		delete(c.outPerStream, id)
+	}
+	c.outTotal -= bwMbps
+	if c.outTotal < 0 {
+		c.outTotal = 0
+	}
+	return nil
+}
+
+// RecordUpload accounts a producer frame entering the distribution storage.
+func (c *CDN) RecordUpload(id model.StreamID, bwMbps float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.InboundCapacityMbps > 0 && c.inTotal+bwMbps > c.cfg.InboundCapacityMbps+1e-9 {
+		return fmt.Errorf("cdn upload %v: %w", id, ErrCapacity)
+	}
+	c.inTotal += bwMbps
+	c.uploaded[id]++
+	return nil
+}
+
+// Usage is a point-in-time snapshot of CDN accounting.
+type Usage struct {
+	OutTotalMbps  float64
+	PeakOutMbps   float64
+	InTotalMbps   float64
+	PerStreamMbps map[model.StreamID]float64
+}
+
+// Snapshot returns a copy of the current usage counters.
+func (c *CDN) Snapshot() Usage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per := make(map[model.StreamID]float64, len(c.outPerStream))
+	for k, v := range c.outPerStream {
+		per[k] = v
+	}
+	return Usage{
+		OutTotalMbps:  c.outTotal,
+		PeakOutMbps:   c.peakOut,
+		InTotalMbps:   c.inTotal,
+		PerStreamMbps: per,
+	}
+}
+
+// Streams returns the stream IDs with live allocations, sorted.
+func (c *CDN) Streams() []model.StreamID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]model.StreamID, 0, len(c.outPerStream))
+	for id := range c.outPerStream {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}

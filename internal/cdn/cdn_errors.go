@@ -1,0 +1,8 @@
+package cdn
+
+import "errors"
+
+// ErrCapacity is returned when an allocation or upload would exceed the
+// session's CDN capacity bound. Callers match it with errors.Is to fall back
+// to P2P provisioning or reject the stream request.
+var ErrCapacity = errors.New("cdn capacity exhausted")

@@ -1,0 +1,153 @@
+package cdn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+)
+
+var (
+	s1 = model.StreamID{Site: "A", Index: 1}
+	s2 = model.StreamID{Site: "B", Index: 2}
+)
+
+func TestAllocateWithinCapacity(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 10, Delta: time.Second})
+	if err := c.Allocate(s1, 6); err != nil {
+		t.Fatalf("first allocate: %v", err)
+	}
+	if err := c.Allocate(s2, 4); err != nil {
+		t.Fatalf("second allocate: %v", err)
+	}
+	if err := c.Allocate(s1, 0.5); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-allocate error = %v, want ErrCapacity", err)
+	}
+	u := c.Snapshot()
+	if u.OutTotalMbps != 10 || u.PeakOutMbps != 10 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestAllocateNegativeRejected(t *testing.T) {
+	c := New(DefaultConfig())
+	if err := c.Allocate(s1, -1); err == nil {
+		t.Error("negative allocation accepted")
+	}
+}
+
+func TestUnboundedCDN(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 0, Delta: time.Second})
+	if c.Bounded() {
+		t.Fatal("zero capacity should mean unbounded")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := c.Allocate(s1, 100); err != nil {
+			t.Fatalf("unbounded allocate failed: %v", err)
+		}
+	}
+	if !c.CanServe(1e12) {
+		t.Error("unbounded CDN should always serve")
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 4})
+	if err := c.Allocate(s1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanServe(1) {
+		t.Fatal("should be full")
+	}
+	if err := c.Release(s1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanServe(2) {
+		t.Error("release did not restore capacity")
+	}
+	// Peak is a high-water mark and must not drop on release.
+	if u := c.Snapshot(); u.PeakOutMbps != 4 {
+		t.Errorf("peak = %v, want 4", u.PeakOutMbps)
+	}
+}
+
+func TestOverReleaseSurfacesError(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 10})
+	if err := c.Allocate(s1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(s1, 5); err == nil {
+		t.Error("over-release unnoticed")
+	}
+	if u := c.Snapshot(); u.OutTotalMbps != 0 {
+		t.Errorf("out total after clamped over-release = %v, want 0", u.OutTotalMbps)
+	}
+}
+
+func TestPerStreamAccountingAndStreams(t *testing.T) {
+	c := New(DefaultConfig())
+	_ = c.Allocate(s2, 2)
+	_ = c.Allocate(s1, 2)
+	_ = c.Allocate(s1, 2)
+	u := c.Snapshot()
+	if u.PerStreamMbps[s1] != 4 || u.PerStreamMbps[s2] != 2 {
+		t.Errorf("per-stream = %v", u.PerStreamMbps)
+	}
+	ids := c.Streams()
+	if len(ids) != 2 || ids[0] != s1 || ids[1] != s2 {
+		t.Errorf("streams = %v", ids)
+	}
+	_ = c.Release(s2, 2)
+	if got := c.Streams(); len(got) != 1 {
+		t.Errorf("streams after release = %v", got)
+	}
+}
+
+func TestInboundBound(t *testing.T) {
+	c := New(Config{InboundCapacityMbps: 4})
+	if err := c.RecordUpload(s1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecordUpload(s2, 1); !errors.Is(err, ErrCapacity) {
+		t.Errorf("inbound over budget error = %v", err)
+	}
+}
+
+func TestConcurrentAllocateReleaseConsistent(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 1e9})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := c.Allocate(s1, 1); err != nil {
+					t.Errorf("allocate: %v", err)
+					return
+				}
+			}
+			for i := 0; i < 500; i++ {
+				if err := c.Release(s1, 1); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if u := c.Snapshot(); u.OutTotalMbps > 1e-6 {
+		t.Errorf("leaked %v Mbps", u.OutTotalMbps)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Delta != 60*time.Second {
+		t.Errorf("Delta = %v, want 60s", cfg.Delta)
+	}
+	if cfg.OutboundCapacityMbps != 6000 {
+		t.Errorf("capacity = %v, want 6000", cfg.OutboundCapacityMbps)
+	}
+}

@@ -1,0 +1,107 @@
+package emu
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/buffer"
+	"telecast/internal/media"
+	"telecast/internal/model"
+)
+
+// cdnNodeID is the reserved node identity of the CDN edge on the data plane.
+const cdnNodeID model.ViewerID = "@cdn"
+
+// CDNNode is the emulated distribution substrate: producer frame sources
+// upload into its storage, and after the constant delay Δ each frame is
+// forwarded to every direct child (§III-A, §V-B1). One edge stands in for
+// the whole CDN — the paper models the interior as a constant delay anyway.
+type CDNNode struct {
+	core    *nodeCore
+	store   *buffer.MultiBuffer
+	sources map[model.StreamID]*media.Source
+	delta   time.Duration
+}
+
+// newCDNNode builds and starts the CDN edge: one pacing goroutine per
+// producer stream generates frames at the media rate and releases them to
+// children Δ after capture.
+func newCDNNode(sources map[model.StreamID]*media.Source, delta time.Duration, bufCfg buffer.Config, start time.Time) (*CDNNode, error) {
+	core, err := newNodeCore(cdnNodeID, start)
+	if err != nil {
+		return nil, err
+	}
+	// The distribution storage is large: hold everything we may need to
+	// serve any acceptable layer.
+	storeCfg := bufCfg
+	storeCfg.Cache = bufCfg.Cache + delta + time.Minute
+	store, err := buffer.NewMultiBuffer(storeCfg)
+	if err != nil {
+		core.close()
+		return nil, fmt.Errorf("cdn storage: %w", err)
+	}
+	c := &CDNNode{core: core, store: store, sources: sources, delta: delta}
+	c.core.serveChildren(func(id model.StreamID, from int64) []buffer.Frame {
+		return c.store.FramesFrom(id, from, 512)
+	})
+	for _, src := range sources {
+		src := src
+		c.core.wg.Add(1)
+		go func() {
+			defer c.core.wg.Done()
+			c.produce(src)
+		}()
+	}
+	return c, nil
+}
+
+// Addr returns the edge's S-RTP endpoint.
+func (c *CDNNode) Addr() string { return c.core.Addr() }
+
+// produce paces one stream: every frame interval, capture the next frame
+// into the distribution storage and release frames older than Δ to the
+// children. Sources loop when exhausted so live sessions never run dry.
+func (c *CDNNode) produce(src *media.Source) {
+	interval := src.Interval()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var pending []buffer.Frame
+	var renumber int64 // offset added when the trace loops
+	for {
+		select {
+		case <-c.core.stop:
+			return
+		case <-ticker.C:
+			now := time.Since(c.core.start)
+			mf, ok := src.Next()
+			if !ok {
+				last := renumber
+				src.Rewind()
+				mf, ok = src.Next()
+				if !ok {
+					return
+				}
+				renumber = last + 1 // keep numbers strictly increasing
+			}
+			f := buffer.Frame{
+				Stream:    mf.Stream,
+				Number:    mf.Number + renumber*1_000_000,
+				Capture:   now,
+				Received:  now,
+				SizeBytes: len(mf.Payload),
+			}
+			c.store.Insert(f)
+			pending = append(pending, f)
+			// Release everything captured at least Δ ago.
+			cut := 0
+			for cut < len(pending) && now-pending[cut].Capture >= c.delta {
+				c.core.forward(pending[cut])
+				cut++
+			}
+			pending = append(pending[:0], pending[cut:]...)
+		}
+	}
+}
+
+// close stops production and the edge gateway.
+func (c *CDNNode) close() { c.core.close() }

@@ -1,0 +1,329 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+)
+
+func emuProducers(t *testing.T) *model.Session {
+	t.Helper()
+	s, err := model.NewSession(
+		model.NewRingSite("A", 4, 0.5, 10),
+		model.NewRingSite("B", 4, 0.5, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func startCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig(emuProducers(t))
+	cfg.Delta = 150 * time.Millisecond
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitFor polls until cond() or the deadline; emulation tests assert on
+// eventually-true conditions rather than sleeping fixed amounts.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestSingleViewerReceivesAllStreamsFromCDN(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	node, err := c.AddViewer("u1", 100, 0, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := len(node.accepted)
+	if accepted == 0 {
+		t.Fatal("no accepted streams")
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		rep := node.Report()
+		if len(rep.ReceivedPerStream) < accepted {
+			return false
+		}
+		for _, n := range rep.ReceivedPerStream {
+			if n < 3 {
+				return false
+			}
+		}
+		return true
+	}, "viewer never received 3 frames on every stream")
+}
+
+func TestRendererPicksSynchronizedSets(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	node, err := c.AddViewer("u1", 100, 0, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 6*time.Second, func() bool {
+		return node.Report().RenderedSets >= 5
+	}, "renderer never assembled 5 synchronized sets")
+	rep := node.Report()
+	if rep.WorstSkew > c.cfg.Skew {
+		t.Fatalf("rendered skew %v beyond d_skew %v", rep.WorstSkew, c.cfg.Skew)
+	}
+}
+
+func TestSecondViewerRidesOnFirst(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.AddViewer("seed", 100, 100, view); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := c.AddViewer("leaf", 100, 0, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The control plane must have placed at least one of leaf's streams
+	// under the seed (the seed donated ample outbound).
+	parents, ok := c.overlayViewer("leaf")
+	if !ok {
+		t.Fatal("leaf missing from overlay")
+	}
+	viaPeer := 0
+	for _, p := range parents {
+		if p != cdnNodeID {
+			viaPeer++
+		}
+	}
+	if viaPeer == 0 {
+		t.Fatal("no stream routed through the seed peer")
+	}
+	waitFor(t, 6*time.Second, func() bool {
+		rep := leaf.Report()
+		for _, n := range rep.ReceivedPerStream {
+			if n >= 3 {
+				return true
+			}
+		}
+		return false
+	}, "leaf never received frames through the peer path")
+}
+
+func TestViewChangeRewiresDataPlane(t *testing.T) {
+	c := startCluster(t)
+	view0 := model.NewUniformView(c.cfg.Producers, 0)
+	view1 := model.NewUniformView(c.cfg.Producers, math.Pi)
+	node, err := c.AddViewer("u1", 100, 0, view0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return node.Report().RenderedSets >= 2
+	}, "initial view never rendered")
+	before, _ := c.overlayViewer("u1")
+	if err := c.ChangeView("u1", view1); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.overlayViewer("u1")
+	changed := false
+	for sid := range after {
+		if _, had := before[sid]; !had {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("view change did not change the stream set")
+	}
+	// New streams must flow.
+	waitFor(t, 6*time.Second, func() bool {
+		rep := node.Report()
+		for sid := range after {
+			if rep.ReceivedPerStream[sid] < 2 {
+				return false
+			}
+		}
+		return true
+	}, "new view's streams never arrived")
+}
+
+func TestViewerDepartureRecoversChildren(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.AddViewer("seed", 100, 100, view); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := c.AddViewer("leaf", 100, 0, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, n := range leaf.Report().ReceivedPerStream {
+			if n >= 2 {
+				return true
+			}
+		}
+		return false
+	}, "leaf never started receiving")
+	if err := c.RemoveViewer("seed"); err != nil {
+		t.Fatal(err)
+	}
+	// After victim recovery every one of leaf's parents must be the CDN
+	// (no other peers remain), and frames keep flowing.
+	parents, ok := c.overlayViewer("leaf")
+	if !ok {
+		t.Fatal("leaf gone after seed departure")
+	}
+	for sid, p := range parents {
+		if p != cdnNodeID {
+			t.Fatalf("stream %v still parented to %s", sid, p)
+		}
+	}
+	base := leaf.Report()
+	total := func(m map[model.StreamID]int) int {
+		sum := 0
+		for _, n := range m {
+			sum += n
+		}
+		return sum
+	}
+	waitFor(t, 6*time.Second, func() bool {
+		return total(leaf.Report().ReceivedPerStream) > total(base.ReceivedPerStream)+2
+	}, "frames stopped after victim recovery")
+}
+
+func TestManyViewersAllReceive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live emulation")
+	}
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	const n = 8
+	nodes := make([]*ViewerNode, 0, n)
+	for i := 0; i < n; i++ {
+		node, err := c.AddViewer(model.ViewerID(fmt.Sprintf("u%02d", i)), 100, 10, view)
+		if err != nil {
+			t.Fatalf("viewer %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+	}
+	if err := c.Controller().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		for _, node := range nodes {
+			rep := node.Report()
+			if len(rep.ReceivedPerStream) == 0 {
+				return false
+			}
+			for _, cnt := range rep.ReceivedPerStream {
+				if cnt < 3 {
+					return false
+				}
+			}
+		}
+		return true
+	}, "not all of the fleet received frames on all streams")
+}
+
+// An abrupt viewer crash (sockets die without a control-plane goodbye):
+// the data plane must detect the dead connections, and once the control
+// plane processes the departure, survivors must be re-wired and resume.
+func TestAbruptViewerCrash(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.AddViewer("seed", 100, 100, view); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := c.AddViewer("leaf", 100, 0, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, n := range leaf.Report().ReceivedPerStream {
+			if n >= 2 {
+				return true
+			}
+		}
+		return false
+	}, "leaf never started")
+
+	// Crash the seed's node without telling anyone.
+	seedNode, _ := c.Viewer("seed")
+	seedNode.close()
+
+	// The GSC's failure detector (heartbeats in a real deployment)
+	// eventually notices; here the operator reports the failure. Victim
+	// recovery must re-home the leaf onto the CDN.
+	if err := c.RemoveViewer("seed"); err != nil {
+		t.Fatal(err)
+	}
+	base := leaf.Report()
+	total := func(m map[model.StreamID]int) int {
+		s := 0
+		for _, n := range m {
+			s += n
+		}
+		return s
+	}
+	waitFor(t, 6*time.Second, func() bool {
+		return total(leaf.Report().ReceivedPerStream) > total(base.ReceivedPerStream)+2
+	}, "leaf never resumed after the crash")
+	if err := c.Controller().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The parent side must maintain its session routing table (Table I): one
+// forward entry per (stream, child) subscription, removed on unsubscribe.
+func TestParentRoutingTableTracksChildren(t *testing.T) {
+	c := startCluster(t)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.AddViewer("seed", 100, 100, view); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddViewer("leaf", 100, 0, view); err != nil {
+		t.Fatal(err)
+	}
+	seed, _ := c.Viewer("seed")
+	parents, _ := c.overlayViewer("leaf")
+	wantForwards := 0
+	for _, p := range parents {
+		if p == "seed" {
+			wantForwards++
+		}
+	}
+	if wantForwards == 0 {
+		t.Skip("placement routed every stream through the CDN")
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return seed.core.table.Len() >= wantForwards
+	}, "seed routing table never populated")
+	// Departure of the leaf empties the table again.
+	if err := c.RemoveViewer("leaf"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return seed.core.table.Len() == 0
+	}, "routing table entries not removed after unsubscribe")
+}

@@ -1,0 +1,202 @@
+// Package emu runs 4D TeleCast live: producers, a CDN edge, and viewer
+// gateways as goroutines exchanging S-RTP frames over real TCP connections
+// on the loopback interface. The session controller computes the overlay
+// exactly as in simulation; the emulation then wires the data plane
+// accordingly — session routing tables, per-stream buffers, renderer-side
+// synchronized pickup. It substitutes for the testbed the paper did not
+// have either (their evaluation is simulation); here it demonstrates the
+// full system end to end at laptop scale.
+package emu
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"telecast/internal/buffer"
+	"telecast/internal/model"
+	"telecast/internal/routing"
+	"telecast/internal/srtp"
+)
+
+// nodeCore is the gateway machinery shared by the CDN edge and viewers:
+// a listener for child subscriptions, a per-stream child registry, the
+// session routing table, and forwarding.
+type nodeCore struct {
+	id    model.ViewerID
+	ln    net.Listener
+	table *routing.Table
+	start time.Time
+
+	mu       sync.Mutex
+	children map[model.StreamID]map[model.ViewerID]*srtp.Conn
+	conns    []*srtp.Conn
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newNodeCore(id model.ViewerID, start time.Time) (*nodeCore, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	return &nodeCore{
+		id:       id,
+		ln:       ln,
+		table:    routing.NewTable(),
+		start:    start,
+		children: make(map[model.StreamID]map[model.ViewerID]*srtp.Conn),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the node's S-RTP endpoint.
+func (n *nodeCore) Addr() string { return n.ln.Addr().String() }
+
+// serveChildren accepts child connections and handles their subscriptions.
+// provide, when non-nil, returns cached frames from a subscription point so
+// late joiners catch up before going live.
+func (n *nodeCore) serveChildren(provide func(id model.StreamID, from int64) []buffer.Frame) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			raw, err := n.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			conn := srtp.NewConn(raw)
+			n.mu.Lock()
+			n.conns = append(n.conns, conn)
+			n.mu.Unlock()
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.childLoop(conn, provide)
+			}()
+		}
+	}()
+}
+
+// childLoop processes one child connection's control messages.
+func (n *nodeCore) childLoop(conn *srtp.Conn, provide func(model.StreamID, int64) []buffer.Frame) {
+	defer n.dropChildConn(conn)
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case srtp.MsgSubscribe:
+			if provide != nil && m.FromFrame >= 0 {
+				for _, f := range provide(m.Stream, m.FromFrame) {
+					if err := writeFrame(conn, n.id, f); err != nil {
+						return
+					}
+				}
+			}
+			n.addChild(m.Stream, m.Node, conn, m.FromFrame)
+		case srtp.MsgUnsubscribe:
+			n.removeChild(m.Stream, m.Node)
+		case srtp.MsgSubscriptionUpdate:
+			n.table.UpdateSubscription(
+				routing.MatchField{Stream: m.Stream, Parent: n.id}, m.Node, m.FromFrame)
+		default:
+			// Hello and unknown types are ignored; the data plane is
+			// one-directional parent→child.
+		}
+	}
+}
+
+func (n *nodeCore) addChild(id model.StreamID, child model.ViewerID, conn *srtp.Conn, from int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	set, ok := n.children[id]
+	if !ok {
+		set = make(map[model.ViewerID]*srtp.Conn)
+		n.children[id] = set
+	}
+	set[child] = conn
+	n.table.AddForward(routing.MatchField{Stream: id, Parent: n.id}, routing.Forward{
+		Child:             child,
+		Action:            routing.ActionForward,
+		SubscriptionFrame: from,
+	})
+}
+
+func (n *nodeCore) removeChild(id model.StreamID, child model.ViewerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if set, ok := n.children[id]; ok {
+		delete(set, child)
+		if len(set) == 0 {
+			delete(n.children, id)
+		}
+	}
+	n.table.RemoveForward(routing.MatchField{Stream: id, Parent: n.id}, child)
+}
+
+// dropChildConn forgets every registration of a dead connection.
+func (n *nodeCore) dropChildConn(conn *srtp.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, set := range n.children {
+		for child, c := range set {
+			if c == conn {
+				delete(set, child)
+				n.table.RemoveForward(routing.MatchField{Stream: id, Parent: n.id}, child)
+			}
+		}
+		if len(set) == 0 {
+			delete(n.children, id)
+		}
+	}
+	_ = conn.Close()
+}
+
+// forward sends a frame to every child subscribed to its stream.
+func (n *nodeCore) forward(f buffer.Frame) {
+	n.mu.Lock()
+	targets := make([]*srtp.Conn, 0, 4)
+	for _, conn := range n.children[f.Stream] {
+		targets = append(targets, conn)
+	}
+	n.mu.Unlock()
+	for _, conn := range targets {
+		// A dead child is detected by its read loop; ignore here.
+		_ = writeFrame(conn, n.id, f)
+	}
+}
+
+// writeFrame emits one buffered frame as an S-RTP data message.
+func writeFrame(conn *srtp.Conn, from model.ViewerID, f buffer.Frame) error {
+	return conn.Write(&srtp.Message{
+		Type:         srtp.MsgData,
+		Node:         from,
+		Stream:       f.Stream,
+		Frame:        f.Number,
+		CaptureNanos: int64(f.Capture),
+		Payload:      make([]byte, f.SizeBytes),
+	})
+}
+
+// close shuts the listener and all child connections and waits for the
+// node's goroutines. It is idempotent: a node that crashed (closed itself)
+// is closed again by the control plane during failure handling.
+func (n *nodeCore) close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		_ = n.ln.Close()
+		n.mu.Lock()
+		conns := n.conns
+		n.conns = nil
+		n.mu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	})
+	n.wg.Wait()
+}

@@ -1,0 +1,245 @@
+package emu
+
+import (
+	"sync"
+	"time"
+
+	"telecast/internal/buffer"
+	"telecast/internal/model"
+	"telecast/internal/srtp"
+)
+
+// ViewerNode is a live viewer gateway: it subscribes to one parent per
+// accepted stream, buffers received frames, forwards them to its own
+// children per the session routing table, and runs a renderer loop that
+// picks synchronized frame sets at the media playback point.
+type ViewerNode struct {
+	core *nodeCore
+	buf  *buffer.MultiBuffer
+
+	mu       sync.Mutex
+	parents  map[model.ViewerID]*srtp.Conn // keyed by parent node ID
+	byStream map[model.StreamID]model.ViewerID
+	accepted []model.StreamID
+
+	stats viewerStats
+}
+
+type viewerStats struct {
+	mu        sync.Mutex
+	received  map[model.StreamID]int
+	rendered  int
+	misses    int
+	lastSkew  time.Duration
+	worstSkew time.Duration
+}
+
+// ViewerReport is a snapshot of a live viewer's data-plane health.
+type ViewerReport struct {
+	ReceivedPerStream map[model.StreamID]int
+	RenderedSets      int
+	RenderMisses      int
+	WorstSkew         time.Duration
+}
+
+func newViewerNode(id model.ViewerID, bufCfg buffer.Config, start time.Time) (*ViewerNode, error) {
+	core, err := newNodeCore(id, start)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := buffer.NewMultiBuffer(bufCfg)
+	if err != nil {
+		core.close()
+		return nil, err
+	}
+	v := &ViewerNode{
+		core:     core,
+		buf:      buf,
+		parents:  make(map[model.ViewerID]*srtp.Conn),
+		byStream: make(map[model.StreamID]model.ViewerID),
+	}
+	v.stats.received = make(map[model.StreamID]int)
+	v.core.serveChildren(func(sid model.StreamID, from int64) []buffer.Frame {
+		return v.buf.FramesFrom(sid, from, 512)
+	})
+	return v, nil
+}
+
+// ID returns the viewer's identity.
+func (v *ViewerNode) ID() model.ViewerID { return v.core.id }
+
+// Addr returns the gateway's S-RTP endpoint.
+func (v *ViewerNode) Addr() string { return v.core.Addr() }
+
+// Subscribe connects the viewer to a parent for one stream, starting from
+// the given subscription point (negative = live edge only).
+func (v *ViewerNode) Subscribe(stream model.StreamID, parentID model.ViewerID, parentAddr string, from int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	conn, ok := v.parents[parentID]
+	if !ok {
+		var err error
+		conn, err = srtp.Dial(parentAddr)
+		if err != nil {
+			return err
+		}
+		v.parents[parentID] = conn
+		v.core.wg.Add(1)
+		go func() {
+			defer v.core.wg.Done()
+			v.receiveLoop(conn)
+		}()
+	}
+	if cur, subscribed := v.byStream[stream]; subscribed && cur == parentID {
+		return nil
+	}
+	v.byStream[stream] = parentID
+	v.addAccepted(stream)
+	return conn.Write(&srtp.Message{
+		Type:      srtp.MsgSubscribe,
+		Node:      v.core.id,
+		Stream:    stream,
+		FromFrame: from,
+	})
+}
+
+// Unsubscribe stops receiving a stream (view change).
+func (v *ViewerNode) Unsubscribe(stream model.StreamID) {
+	v.mu.Lock()
+	parentID, ok := v.byStream[stream]
+	var conn *srtp.Conn
+	if ok {
+		delete(v.byStream, stream)
+		conn = v.parents[parentID]
+	}
+	for i, id := range v.accepted {
+		if id == stream {
+			v.accepted = append(v.accepted[:i], v.accepted[i+1:]...)
+			break
+		}
+	}
+	v.mu.Unlock()
+	if conn != nil {
+		_ = conn.Write(&srtp.Message{Type: srtp.MsgUnsubscribe, Node: v.core.id, Stream: stream})
+	}
+	v.buf.DropStream(stream)
+}
+
+func (v *ViewerNode) addAccepted(stream model.StreamID) {
+	for _, id := range v.accepted {
+		if id == stream {
+			return
+		}
+	}
+	v.accepted = append(v.accepted, stream)
+}
+
+// receiveLoop ingests frames from one parent connection: buffer, account,
+// forward to children.
+func (v *ViewerNode) receiveLoop(conn *srtp.Conn) {
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			return
+		}
+		if m.Type != srtp.MsgData {
+			continue
+		}
+		now := time.Since(v.core.start)
+		f := buffer.Frame{
+			Stream:    m.Stream,
+			Number:    m.Frame,
+			Capture:   time.Duration(m.CaptureNanos),
+			Received:  now,
+			SizeBytes: len(m.Payload),
+		}
+		v.buf.Insert(f)
+		v.stats.mu.Lock()
+		v.stats.received[m.Stream]++
+		v.stats.mu.Unlock()
+		v.core.forward(f)
+	}
+}
+
+// startRenderer runs the playback loop: every interval, advance the buffer
+// clock and attempt a synchronized pickup across the accepted streams.
+func (v *ViewerNode) startRenderer(interval time.Duration) {
+	v.core.wg.Add(1)
+	go func() {
+		defer v.core.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-v.core.stop:
+				return
+			case <-ticker.C:
+				v.renderOnce()
+			}
+		}
+	}()
+}
+
+func (v *ViewerNode) renderOnce() {
+	v.mu.Lock()
+	streams := make([]model.StreamID, len(v.accepted))
+	copy(streams, v.accepted)
+	v.mu.Unlock()
+	if len(streams) == 0 {
+		return
+	}
+	v.buf.Advance(time.Since(v.core.start))
+	set, ok := v.buf.SyncedPick(streams)
+	v.stats.mu.Lock()
+	defer v.stats.mu.Unlock()
+	if !ok {
+		v.stats.misses++
+		return
+	}
+	v.stats.rendered++
+	var lo, hi time.Duration
+	first := true
+	for _, f := range set {
+		if first || f.Capture < lo {
+			lo = f.Capture
+		}
+		if first || f.Capture > hi {
+			hi = f.Capture
+		}
+		first = false
+	}
+	v.stats.lastSkew = hi - lo
+	if v.stats.lastSkew > v.stats.worstSkew {
+		v.stats.worstSkew = v.stats.lastSkew
+	}
+}
+
+// Report snapshots the viewer's data-plane counters.
+func (v *ViewerNode) Report() ViewerReport {
+	v.stats.mu.Lock()
+	defer v.stats.mu.Unlock()
+	recv := make(map[model.StreamID]int, len(v.stats.received))
+	for k, n := range v.stats.received {
+		recv[k] = n
+	}
+	return ViewerReport{
+		ReceivedPerStream: recv,
+		RenderedSets:      v.stats.rendered,
+		RenderMisses:      v.stats.misses,
+		WorstSkew:         v.stats.worstSkew,
+	}
+}
+
+// close tears down the gateway: parent connections, listener, goroutines.
+func (v *ViewerNode) close() {
+	v.mu.Lock()
+	parents := make([]*srtp.Conn, 0, len(v.parents))
+	for _, c := range v.parents {
+		parents = append(parents, c)
+	}
+	v.mu.Unlock()
+	for _, c := range parents {
+		_ = c.Close()
+	}
+	v.core.close()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/trace"
+	"telecast/internal/workload"
+)
+
+// ChurnResult is the dynamic-behaviour experiment: a flash crowd followed by
+// steady churn with view changes, the scenario behind the paper's third
+// challenge (§I). It has no figure counterpart — the paper evaluates joins
+// and view changes in aggregate — but exercises the complete adaptation
+// machinery under load and proves the invariants hold throughout.
+type ChurnResult struct {
+	Samples                    []workload.Sample
+	Joins, Leaves, ViewChanges int
+	PeakViewers                int
+	// FinalAcceptance is ρ over the whole run, including churn.
+	FinalAcceptance float64
+	// MinAcceptance is the worst ρ observed at any sample point.
+	MinAcceptance float64
+}
+
+// RunChurn executes the default churn scenario sized by the setup.
+func RunChurn(setup Setup) (ChurnResult, error) {
+	producers, err := setup.producers()
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	cfg := workload.DefaultConfig(setup.Seed)
+	cfg.FlashCrowd = setup.Audience / 2
+	cfg.ViewAngles = []float64{0, 1.5707963267948966, 3.141592653589793}
+	cfg.InboundMbps = setup.InboundMbps
+	events, err := workload.Generate(cfg)
+	if err != nil {
+		return ChurnResult{}, fmt.Errorf("churn: %w", err)
+	}
+	joins := 0
+	for _, ev := range events {
+		if ev.Kind == workload.EventJoin {
+			joins++
+		}
+	}
+	lat, err := trace.GenerateLatencyMatrix(trace.DefaultLatencyConfig(joins+16, setup.Seed))
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	ctrl, err := setup.controllerWith(lat, 6000)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	res, err := workload.Execute(ctrl, producers, events, cfg, time.Second, true)
+	if err != nil {
+		return ChurnResult{}, fmt.Errorf("churn: %w", err)
+	}
+	out := ChurnResult{
+		Samples:     res.Samples,
+		Joins:       res.Joins,
+		Leaves:      res.Leaves,
+		ViewChanges: res.ViewChanges,
+		PeakViewers: res.PeakViewers,
+	}
+	out.MinAcceptance = 1
+	for _, s := range res.Samples {
+		if s.Acceptance < out.MinAcceptance {
+			out.MinAcceptance = s.Acceptance
+		}
+		out.FinalAcceptance = s.Acceptance
+	}
+	return out, nil
+}

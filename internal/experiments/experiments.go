@@ -1,0 +1,171 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§VII): the overlay-construction performance (Fig. 13a–c), the stream
+// subscription behaviour and system overhead (Fig. 14a–c), and the
+// comparison against Random dissemination (Fig. 15a–b), plus the ablations
+// DESIGN.md calls out. Each runner returns typed rows; cmd/telecast-sim
+// prints them and bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+)
+
+// Setup fixes the evaluation parameters shared by all experiments; the zero
+// value is not useful — start from DefaultSetup.
+type Setup struct {
+	// Seed drives every random choice (latency matrix, outbound draws).
+	Seed int64
+	// MaxViewers bounds the latency matrix size.
+	MaxViewers int
+	// Sites and StreamsPerSite describe the producers (2 × 8 in §VII).
+	Sites          int
+	StreamsPerSite int
+	// StreamMbps is the per-stream bandwidth bound (2 Mbps).
+	StreamMbps float64
+	// FrameRate is the media rate r (10 fps for TEEVE captures).
+	FrameRate float64
+	// InboundMbps is every viewer's inbound capacity (12 Mbps).
+	InboundMbps float64
+	// CutoffDF keeps 3 of 8 ring cameras per site (0.5).
+	CutoffDF float64
+	// ViewAngles are the distinct views viewers request; a single angle
+	// reproduces the paper's single-activity audience.
+	ViewAngles []float64
+	// Audience is the viewer count for the fixed-size experiments
+	// (Fig 14, Fig 15a); the paper uses 1000.
+	Audience int
+	// Sizes is the viewer-count sweep for Fig 13 and Fig 15(b).
+	Sizes []int
+}
+
+// DefaultSetup returns the §VII parameters.
+func DefaultSetup(seed int64) Setup {
+	return Setup{
+		Seed:           seed,
+		MaxViewers:     1100,
+		Sites:          2,
+		StreamsPerSite: 8,
+		StreamMbps:     2.0,
+		FrameRate:      10,
+		InboundMbps:    12,
+		CutoffDF:       0.5,
+		ViewAngles:     []float64{0},
+		Audience:       1000,
+		Sizes:          []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+	}
+}
+
+// OutboundSpec describes how viewer outbound capacity is drawn: fixed, or
+// uniform over [Lo, Hi] — the paper sweeps both kinds.
+type OutboundSpec struct {
+	Fixed  float64
+	Lo, Hi float64
+	// IsUniform selects the uniform draw.
+	IsUniform bool
+}
+
+// FixedObw returns a fixed-outbound spec.
+func FixedObw(mbps float64) OutboundSpec { return OutboundSpec{Fixed: mbps} }
+
+// UniformObw returns a uniform-outbound spec over [lo, hi].
+func UniformObw(lo, hi float64) OutboundSpec {
+	return OutboundSpec{Lo: lo, Hi: hi, IsUniform: true}
+}
+
+// Draw samples one viewer's outbound capacity.
+func (o OutboundSpec) Draw(rng *rand.Rand) float64 {
+	if o.IsUniform {
+		return o.Lo + rng.Float64()*(o.Hi-o.Lo)
+	}
+	return o.Fixed
+}
+
+// Label names the spec the way the paper's legends do.
+func (o OutboundSpec) Label() string {
+	if o.IsUniform {
+		return fmt.Sprintf("obw=%g-%g", o.Lo, o.Hi)
+	}
+	return fmt.Sprintf("obw=%g", o.Fixed)
+}
+
+// producers builds the site/stream model of the setup.
+func (s Setup) producers() (*model.Session, error) {
+	sites := make([]model.Site, 0, s.Sites)
+	for i := 0; i < s.Sites; i++ {
+		id := model.SiteID(string(rune('A' + i)))
+		sites = append(sites, model.NewRingSite(id, s.StreamsPerSite, s.StreamMbps, s.FrameRate))
+	}
+	return model.NewSession(sites...)
+}
+
+// latency builds (or reuses) the shared PlanetLab-like matrix.
+func (s Setup) latency() (*trace.LatencyMatrix, error) {
+	cfg := trace.DefaultLatencyConfig(s.MaxViewers+16, s.Seed)
+	return trace.GenerateLatencyMatrix(cfg)
+}
+
+// newController assembles a controller with the given CDN egress bound
+// (0 = unbounded, used to measure required capacity in Fig. 13a).
+func (s Setup) newController(cdnCapMbps float64) (*session.Controller, error) {
+	lat, err := s.latency()
+	if err != nil {
+		return nil, err
+	}
+	return s.controllerWith(lat, cdnCapMbps)
+}
+
+// controllerWith assembles a controller over an explicit latency matrix.
+func (s Setup) controllerWith(lat *trace.LatencyMatrix, cdnCapMbps float64) (*session.Controller, error) {
+	producers, err := s.producers()
+	if err != nil {
+		return nil, err
+	}
+	cfg := session.DefaultConfig(producers, lat)
+	cfg.CutoffDF = s.CutoffDF
+	cfg.CDN.OutboundCapacityMbps = cdnCapMbps
+	return session.NewController(cfg)
+}
+
+// populate joins n viewers with outbound capacities drawn from the spec and
+// views cycling through the setup's angles. It returns the controller's
+// producers for further requests.
+func (s Setup) populate(c *session.Controller, producers *model.Session, n int, obw OutboundSpec, rng *rand.Rand) error {
+	for i := 0; i < n; i++ {
+		angle := s.ViewAngles[i%len(s.ViewAngles)]
+		view := model.NewUniformView(producers, angle)
+		id := model.ViewerID(fmt.Sprintf("v%05d", i))
+		if _, err := c.Join(id, s.InboundMbps, obw.Draw(rng), view); err != nil {
+			return fmt.Errorf("populate viewer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runScenario joins n viewers and returns the session stats.
+func (s Setup) runScenario(n int, obw OutboundSpec, cdnCapMbps float64) (session.Stats, error) {
+	c, err := s.newController(cdnCapMbps)
+	if err != nil {
+		return session.Stats{}, err
+	}
+	producers, err := s.producers()
+	if err != nil {
+		return session.Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	if err := s.populate(c, producers, n, obw, rng); err != nil {
+		return session.Stats{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return session.Stats{}, fmt.Errorf("invariants after scenario: %w", err)
+	}
+	return c.Stats(), nil
+}
+
+// evalDelta keeps the CDN constants in one place for reporting.
+const evalDelta = 60 * time.Second

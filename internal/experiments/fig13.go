@@ -1,0 +1,102 @@
+package experiments
+
+import "fmt"
+
+// fig13Specs returns the outbound configurations of Fig. 13(a): fixed 0, 6,
+// 10 Mbps plus the three uniform ranges.
+func fig13aSpecs() []OutboundSpec {
+	return []OutboundSpec{
+		FixedObw(0), FixedObw(6), FixedObw(10),
+		UniformObw(0, 12), UniformObw(2, 10), UniformObw(4, 14),
+	}
+}
+
+// fig13bcSpecs returns the denser configuration set of Fig. 13(b) and (c).
+func fig13bcSpecs() []OutboundSpec {
+	return []OutboundSpec{
+		FixedObw(0), FixedObw(2), FixedObw(4), FixedObw(6), FixedObw(8), FixedObw(10),
+		UniformObw(0, 12), UniformObw(2, 10), UniformObw(4, 14),
+	}
+}
+
+// Fig13Row is one (viewer count, per-config value) row of a Fig. 13 series.
+type Fig13Row struct {
+	Viewers int
+	// Values maps the outbound-spec label to the measured quantity:
+	// required CDN Mbps (13a), CDN-served fraction (13b), or acceptance
+	// ratio (13c).
+	Values map[string]float64
+}
+
+// Fig13Result carries one sub-figure's series.
+type Fig13Result struct {
+	Figure string
+	Labels []string
+	Rows   []Fig13Row
+}
+
+// RunFig13a measures the CDN bandwidth required to accept every request
+// (ρ = 1) as the audience grows, for each outbound configuration. The CDN is
+// left unbounded and its peak egress recorded.
+func RunFig13a(setup Setup) (Fig13Result, error) {
+	specs := fig13aSpecs()
+	res := Fig13Result{Figure: "13a"}
+	for _, sp := range specs {
+		res.Labels = append(res.Labels, sp.Label())
+	}
+	for _, n := range setup.Sizes {
+		row := Fig13Row{Viewers: n, Values: make(map[string]float64, len(specs))}
+		for _, sp := range specs {
+			stats, err := setup.runScenario(n, sp, 0 /* unbounded */)
+			if err != nil {
+				return Fig13Result{}, fmt.Errorf("fig13a n=%d %s: %w", n, sp.Label(), err)
+			}
+			if ratio := stats.Overlay.AcceptanceRatio(); ratio < 1 {
+				return Fig13Result{}, fmt.Errorf("fig13a n=%d %s: unbounded CDN but rho=%v", n, sp.Label(), ratio)
+			}
+			row.Values[sp.Label()] = stats.Overlay.CDNUsage.PeakOutMbps
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunFig13b measures the fraction of live stream subscriptions served
+// directly by the CDN with the 6000 Mbps cap of the paper.
+func RunFig13b(setup Setup) (Fig13Result, error) {
+	return runFig13Capped(setup, "13b", func(s statsView) float64 { return s.cdnFraction })
+}
+
+// RunFig13c measures the acceptance ratio ρ with the 6000 Mbps CDN cap.
+func RunFig13c(setup Setup) (Fig13Result, error) {
+	return runFig13Capped(setup, "13c", func(s statsView) float64 { return s.acceptance })
+}
+
+type statsView struct {
+	cdnFraction float64
+	acceptance  float64
+}
+
+func runFig13Capped(setup Setup, figure string, pick func(statsView) float64) (Fig13Result, error) {
+	const cdnCap = 6000
+	specs := fig13bcSpecs()
+	res := Fig13Result{Figure: figure}
+	for _, sp := range specs {
+		res.Labels = append(res.Labels, sp.Label())
+	}
+	for _, n := range setup.Sizes {
+		row := Fig13Row{Viewers: n, Values: make(map[string]float64, len(specs))}
+		for _, sp := range specs {
+			stats, err := setup.runScenario(n, sp, cdnCap)
+			if err != nil {
+				return Fig13Result{}, fmt.Errorf("fig%s n=%d %s: %w", figure, n, sp.Label(), err)
+			}
+			row.Values[sp.Label()] = pick(statsView{
+				cdnFraction: stats.Overlay.CDNFraction(),
+				acceptance:  stats.Overlay.AcceptanceRatio(),
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

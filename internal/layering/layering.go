@@ -1,0 +1,178 @@
+// Package layering implements the delay layer hierarchy of §V: the
+// concentric-layer structure below the CDN that lets viewers reason about
+// stream end-to-end delay in units of τ = d_buff/κ, the per-stream layer
+// computation (Eq. 1), the frame-number arithmetic for delayed receive
+// (Eq. 2), and the stream-subscription layer push-down that bounds
+// inter-stream skew inside a view by d_buff (Layer Property 2).
+package layering
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// Hierarchy fixes the layer geometry for one session.
+type Hierarchy struct {
+	// Delta is Δ, the constant producer→CDN→first-child delay; viewers
+	// receiving directly from the CDN sit at Layer-0.
+	Delta time.Duration
+	// Buff is d_buff, the time a frame stays in the viewer buffer after
+	// it is received (300 ms in the evaluation).
+	Buff time.Duration
+	// Kappa is κ ≥ 2, the layer width divisor: τ = d_buff / κ.
+	Kappa int
+	// DMax is d_max, the maximum acceptable capture-to-display delay.
+	DMax time.Duration
+}
+
+// NewHierarchy validates and builds the layer geometry.
+func NewHierarchy(delta, buff, dmax time.Duration, kappa int) (Hierarchy, error) {
+	if kappa < 2 {
+		return Hierarchy{}, fmt.Errorf("layering: kappa must be >= 2, got %d", kappa)
+	}
+	if buff <= 0 {
+		return Hierarchy{}, fmt.Errorf("layering: d_buff must be positive, got %v", buff)
+	}
+	if dmax <= delta {
+		return Hierarchy{}, fmt.Errorf("layering: d_max %v must exceed delta %v", dmax, delta)
+	}
+	return Hierarchy{Delta: delta, Buff: buff, Kappa: kappa, DMax: dmax}, nil
+}
+
+// Tau returns the layer width τ = d_buff / κ.
+func (h Hierarchy) Tau() time.Duration {
+	return h.Buff / time.Duration(h.Kappa)
+}
+
+// MaxLayer returns the maximum acceptable layer index ⌊(d_max − Δ)/τ⌋.
+// Streams whose layer would exceed it violate the delay constraint and must
+// be dropped or re-provisioned (§VI, delay layer adaptation).
+func (h Hierarchy) MaxLayer() int {
+	return int((h.DMax - h.Delta) / h.Tau())
+}
+
+// LayerOf maps a stream's end-to-end delay at a viewer to its layer index:
+// Layer-y covers delays in [Δ + yτ, Δ + (y+1)τ). Delays below Δ (impossible
+// through the CDN, but reachable through rounding) clamp to Layer-0.
+func (h Hierarchy) LayerOf(e2e time.Duration) int {
+	if e2e <= h.Delta {
+		return 0
+	}
+	return int((e2e - h.Delta) / h.Tau())
+}
+
+// ChildLayer implements Eq. 1: the lowest layer index viewer u can achieve
+// for a stream given its parent's end-to-end delay, the propagation delay
+// from the parent, and the parent's internal processing delay δ.
+//
+//	Layer^u_Si = ⌊(d_parent − Δ + d_prop + δ) / τ⌋
+func (h Hierarchy) ChildLayer(parentE2E, dprop, proc time.Duration) int {
+	num := parentE2E - h.Delta + dprop + proc
+	if num < 0 {
+		return 0
+	}
+	return int(num / h.Tau())
+}
+
+// LayerDelayLow returns the lower edge Δ + yτ of layer y: the smallest
+// end-to-end delay a stream at that layer can have.
+func (h Hierarchy) LayerDelayLow(y int) time.Duration {
+	return h.Delta + time.Duration(y)*h.Tau()
+}
+
+// SubscriptionFrame implements Eq. 2: the frame number n′ a viewer should
+// request from its parent to position itself inside Layer-x, given the
+// latest producer frame number n, the media rate r (frames/second), the
+// parent propagation delay, the parent processing delay δ, and an offset
+// fraction ρ∈[0,1] that picks ℜ = ρ·τ·r inside the layer boundary.
+//
+//	n′ = n − (Δ + (x+1)τ)·r + (d_prop + δ)·r + d_prop·r + ℜ
+//
+// During layer push-down the caller passes offsetFrac = 1 (ℜ = τr, the top
+// of the layer) so that push-downs fade out in subsequent children (§V-B3).
+func (h Hierarchy) SubscriptionFrame(n int64, x int, r float64, dprop, proc time.Duration, offsetFrac float64) int64 {
+	if offsetFrac < 0 {
+		offsetFrac = 0
+	}
+	if offsetFrac > 1 {
+		offsetFrac = 1
+	}
+	tau := h.Tau()
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	nf := float64(n) -
+		(sec(h.Delta)+float64(x+1)*sec(tau))*r +
+		(sec(dprop)+sec(proc))*r +
+		sec(dprop)*r +
+		offsetFrac*sec(tau)*r
+	return int64(math.Floor(nf))
+}
+
+// Subscription is the outcome of the per-viewer stream-subscription process.
+type Subscription struct {
+	// Layers is the adjusted layer index per accepted stream.
+	Layers map[model.StreamID]int
+	// PushedDown lists streams whose layer was increased (delayed
+	// receive) to satisfy the κ bound, in no particular order.
+	PushedDown []model.StreamID
+	// Dropped lists streams whose adjusted layer exceeded MaxLayer and
+	// that therefore must be dropped or re-provisioned.
+	Dropped []model.StreamID
+	// MaxLayerIndex is the paper's Layer^u_min: the maximum layer index
+	// among kept streams (the slowest stream pins the view).
+	MaxLayerIndex int
+}
+
+// Subscribe bounds the layer spread of a viewer's accepted streams by κ
+// (Layer Property 2): every stream's layer is raised to at least
+// max(layers) − κ via layer push-down. Streams that cannot reach a valid
+// layer (beyond MaxLayer) are reported dropped; the caller re-provisions or
+// releases them. Dropping the slowest stream may lower the pin, so the
+// computation iterates until stable.
+func (h Hierarchy) Subscribe(layers map[model.StreamID]int) Subscription {
+	kept := make(map[model.StreamID]int, len(layers))
+	var dropped []model.StreamID
+	for id, l := range layers {
+		if l < 0 {
+			l = 0
+		}
+		if l > h.MaxLayer() {
+			// The stream already violates d_max before any
+			// push-down; delay layer adaptation handles it.
+			dropped = append(dropped, id)
+			continue
+		}
+		kept[id] = l
+	}
+	sub := Subscription{Layers: make(map[model.StreamID]int, len(kept))}
+	if len(kept) == 0 {
+		sub.Dropped = dropped
+		return sub
+	}
+	pin := 0
+	for _, l := range kept {
+		if l > pin {
+			pin = l
+		}
+	}
+	floor := pin - h.Kappa
+	for id, l := range kept {
+		adj := l
+		if adj < floor {
+			adj = floor
+			sub.PushedDown = append(sub.PushedDown, id)
+		}
+		sub.Layers[id] = adj
+	}
+	sub.Dropped = dropped
+	sub.MaxLayerIndex = pin
+	return sub
+}
+
+// SkewBound returns the worst-case inter-stream delay difference implied by
+// a layer spread of κ: κ·τ ≤ d_buff (the proof of Layer Property 2).
+func (h Hierarchy) SkewBound() time.Duration {
+	return time.Duration(h.Kappa) * h.Tau()
+}

@@ -1,0 +1,249 @@
+package layering
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// paperHierarchy returns the evaluation geometry: Δ=60s, d_buff=300ms, κ=2,
+// d_max=65s.
+func paperHierarchy(t *testing.T) Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(60*time.Second, 300*time.Millisecond, 65*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(time.Second, time.Second, 2*time.Second, 1); err == nil {
+		t.Error("kappa < 2 accepted")
+	}
+	if _, err := NewHierarchy(time.Second, 0, 2*time.Second, 2); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if _, err := NewHierarchy(2*time.Second, time.Second, time.Second, 2); err == nil {
+		t.Error("dmax <= delta accepted")
+	}
+}
+
+func TestTauAndMaxLayer(t *testing.T) {
+	h := paperHierarchy(t)
+	if h.Tau() != 150*time.Millisecond {
+		t.Errorf("tau = %v, want 150ms", h.Tau())
+	}
+	// (65s − 60s) / 150ms = 33.33 → 33
+	if h.MaxLayer() != 33 {
+		t.Errorf("max layer = %d, want 33", h.MaxLayer())
+	}
+	if h.SkewBound() != 300*time.Millisecond {
+		t.Errorf("skew bound = %v, want d_buff", h.SkewBound())
+	}
+}
+
+func TestLayerOfBoundaries(t *testing.T) {
+	h := paperHierarchy(t)
+	tests := []struct {
+		e2e  time.Duration
+		want int
+	}{
+		{60 * time.Second, 0},
+		{60*time.Second + 149*time.Millisecond, 0},
+		{60*time.Second + 150*time.Millisecond, 1},
+		{60*time.Second + 449*time.Millisecond, 2},
+		{59 * time.Second, 0}, // below Δ clamps
+	}
+	for _, tc := range tests {
+		if got := h.LayerOf(tc.e2e); got != tc.want {
+			t.Errorf("LayerOf(%v) = %d, want %d", tc.e2e, got, tc.want)
+		}
+	}
+}
+
+func TestChildLayerEquation1(t *testing.T) {
+	h := paperHierarchy(t)
+	// Parent at Δ (layer 0), 40ms prop, 100ms processing:
+	// (0 + 140ms)/150ms = 0.93 → layer 0.
+	if got := h.ChildLayer(60*time.Second, 40*time.Millisecond, 100*time.Millisecond); got != 0 {
+		t.Errorf("child layer = %d, want 0", got)
+	}
+	// Parent at Δ+400ms, 60ms prop, 100ms δ: (560ms)/150ms → 3.
+	if got := h.ChildLayer(60*time.Second+400*time.Millisecond, 60*time.Millisecond, 100*time.Millisecond); got != 3 {
+		t.Errorf("child layer = %d, want 3", got)
+	}
+	// Negative numerator clamps to 0.
+	if got := h.ChildLayer(59*time.Second, 0, 0); got != 0 {
+		t.Errorf("clamped child layer = %d, want 0", got)
+	}
+}
+
+func TestLayerDelayLowInverse(t *testing.T) {
+	h := paperHierarchy(t)
+	for y := 0; y <= h.MaxLayer(); y++ {
+		if got := h.LayerOf(h.LayerDelayLow(y)); got != y {
+			t.Fatalf("LayerOf(LayerDelayLow(%d)) = %d", y, got)
+		}
+	}
+}
+
+func TestSubscriptionFrameEquation2(t *testing.T) {
+	h := paperHierarchy(t)
+	// r=10fps, target layer x=2, dprop=50ms, δ=100ms, ℜ=τr (offset 1).
+	// n' = n − (60 + 3·0.15)·10 + (0.15)·10 + 0.05·10 + 0.15·10
+	//    = n − 604.5 + 1.5 + 0.5 + 1.5 = n − 601
+	got := h.SubscriptionFrame(10000, 2, 10, 50*time.Millisecond, 100*time.Millisecond, 1)
+	if got != 10000-601 {
+		t.Errorf("n' = %d, want %d", got, 10000-601)
+	}
+	// Offset fraction clamps into [0,1].
+	lo := h.SubscriptionFrame(10000, 2, 10, 50*time.Millisecond, 100*time.Millisecond, -3)
+	hi := h.SubscriptionFrame(10000, 2, 10, 50*time.Millisecond, 100*time.Millisecond, 7)
+	// offset 0 removes ℜ = τr = 1.5 frames: 9399.0 − 1.5 → floor 9397.
+	if hi != got || lo != got-2 {
+		t.Errorf("clamping wrong: lo=%d hi=%d base=%d", lo, hi, got)
+	}
+}
+
+func TestSubscriptionFrameMonotonicInLayer(t *testing.T) {
+	h := paperHierarchy(t)
+	prev := h.SubscriptionFrame(5000, 0, 10, 0, 0, 0)
+	for x := 1; x < 20; x++ {
+		cur := h.SubscriptionFrame(5000, x, 10, 0, 0, 0)
+		if cur >= prev {
+			t.Fatalf("deeper layer %d should request older frames: %d >= %d", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func sid(site string, i int) model.StreamID {
+	return model.StreamID{Site: model.SiteID(site), Index: i}
+}
+
+func TestSubscribeBoundsSpreadByKappa(t *testing.T) {
+	h := paperHierarchy(t)
+	layers := map[model.StreamID]int{
+		sid("A", 1): 0,
+		sid("A", 2): 1,
+		sid("B", 1): 5,
+	}
+	sub := h.Subscribe(layers)
+	if len(sub.Dropped) != 0 {
+		t.Fatalf("dropped = %v", sub.Dropped)
+	}
+	if sub.MaxLayerIndex != 5 {
+		t.Fatalf("pin = %d, want 5", sub.MaxLayerIndex)
+	}
+	// κ=2 ⇒ floor is 3; streams at 0 and 1 are pushed down to 3.
+	if sub.Layers[sid("A", 1)] != 3 || sub.Layers[sid("A", 2)] != 3 {
+		t.Errorf("layers = %v", sub.Layers)
+	}
+	if sub.Layers[sid("B", 1)] != 5 {
+		t.Errorf("pinned stream moved: %v", sub.Layers)
+	}
+	if len(sub.PushedDown) != 2 {
+		t.Errorf("pushed down = %v", sub.PushedDown)
+	}
+}
+
+func TestSubscribeNoChangeWhenWithinKappa(t *testing.T) {
+	h := paperHierarchy(t)
+	layers := map[model.StreamID]int{sid("A", 1): 3, sid("B", 1): 4}
+	sub := h.Subscribe(layers)
+	if len(sub.PushedDown) != 0 {
+		t.Errorf("unnecessary push-down: %v", sub.PushedDown)
+	}
+	if sub.Layers[sid("A", 1)] != 3 || sub.Layers[sid("B", 1)] != 4 {
+		t.Errorf("layers = %v", sub.Layers)
+	}
+}
+
+func TestSubscribeDropsBeyondMaxLayer(t *testing.T) {
+	h := paperHierarchy(t)
+	layers := map[model.StreamID]int{
+		sid("A", 1): h.MaxLayer() + 1, // violates d_max outright
+		sid("B", 1): 2,
+	}
+	sub := h.Subscribe(layers)
+	if len(sub.Dropped) != 1 || sub.Dropped[0] != sid("A", 1) {
+		t.Fatalf("dropped = %v", sub.Dropped)
+	}
+	if sub.Layers[sid("B", 1)] != 2 {
+		t.Errorf("survivor layer = %v", sub.Layers)
+	}
+	if sub.MaxLayerIndex != 2 {
+		t.Errorf("pin after drop = %d", sub.MaxLayerIndex)
+	}
+}
+
+func TestSubscribeNegativeLayersClamp(t *testing.T) {
+	h := paperHierarchy(t)
+	sub := h.Subscribe(map[model.StreamID]int{sid("A", 1): -5})
+	if sub.Layers[sid("A", 1)] != 0 {
+		t.Errorf("layers = %v", sub.Layers)
+	}
+}
+
+func TestSubscribeEmpty(t *testing.T) {
+	h := paperHierarchy(t)
+	sub := h.Subscribe(nil)
+	if len(sub.Layers) != 0 || len(sub.Dropped) != 0 {
+		t.Errorf("empty subscribe = %+v", sub)
+	}
+}
+
+// Property (Layer Property 2): after Subscribe, the spread of kept layers is
+// at most κ, every layer only increases (delayed receive never advances a
+// stream), and kept layers stay within [0, MaxLayer].
+func TestSubscribeProperty(t *testing.T) {
+	h := paperHierarchy(t)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		layers := make(map[model.StreamID]int, len(raw))
+		for i, v := range raw {
+			layers[sid("A", i)] = int(v) % (h.MaxLayer() + 4)
+		}
+		sub := h.Subscribe(layers)
+		lo, hi := 1<<30, -1
+		for id, adj := range sub.Layers {
+			if adj < layers[id] {
+				return false // moved up
+			}
+			if adj < 0 || adj > h.MaxLayer() {
+				return false
+			}
+			if adj < lo {
+				lo = adj
+			}
+			if adj > hi {
+				hi = adj
+			}
+		}
+		if hi >= 0 && hi-lo > h.Kappa {
+			return false
+		}
+		// Dropped + kept must partition the input.
+		if len(sub.Layers)+len(sub.Dropped) != len(layers) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the κ bound on layers implies the d_buff bound on delays
+// (the paper's proof of Layer Property 2: |d_i − d_k| ≤ κτ ≤ d_buff).
+func TestKappaBoundImpliesSkewBound(t *testing.T) {
+	h := paperHierarchy(t)
+	if h.SkewBound() > h.Buff {
+		t.Fatalf("κτ = %v exceeds d_buff %v", h.SkewBound(), h.Buff)
+	}
+}

@@ -1,0 +1,100 @@
+// Package media turns the synthetic TEEVE activity traces into live 3D
+// frame sources for the network emulation: each producer camera stream is a
+// Source that yields timestamped frames at the media rate r (§II-E's
+// streaming model, S_i = {f^(i,n)_t, ...}).
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+// Frame is one generated 3D frame with its capture metadata.
+type Frame struct {
+	Stream  model.StreamID
+	Number  int64
+	Capture time.Duration // offset from session start
+	Payload []byte
+}
+
+// Source yields the frames of one stream in capture order. It is a pure
+// iterator: the emulation drives pacing with its own clock so tests can run
+// faster than real time.
+type Source struct {
+	stream model.StreamID
+	trace  *trace.TEEVETrace
+	next   int
+}
+
+// NewSource builds a frame source for a stream from its activity trace.
+func NewSource(stream model.StreamID, tr *trace.TEEVETrace) (*Source, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("media source %v: trace required", stream)
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("media source %v: empty trace", stream)
+	}
+	return &Source{stream: stream, trace: tr}, nil
+}
+
+// Stream returns the source's stream ID.
+func (s *Source) Stream() model.StreamID { return s.stream }
+
+// Interval returns the frame interval 1/r.
+func (s *Source) Interval() time.Duration {
+	return time.Duration(float64(time.Second) / s.trace.FrameRate())
+}
+
+// Next returns the next frame; ok is false when the trace is exhausted.
+// Payload bytes are synthesized (sized per the trace) rather than stored,
+// since only the size matters to bandwidth behaviour.
+func (s *Source) Next() (Frame, bool) {
+	if s.next >= s.trace.Len() {
+		return Frame{}, false
+	}
+	rec := s.trace.Frame(s.next)
+	s.next++
+	payload := make([]byte, rec.SizeBytes)
+	// A recognizable fill pattern helps debugging on the wire.
+	for i := range payload {
+		payload[i] = byte(rec.Number + int64(i))
+	}
+	return Frame{
+		Stream:  s.stream,
+		Number:  rec.Number,
+		Capture: rec.Capture,
+		Payload: payload,
+	}, true
+}
+
+// Rewind restarts the source from the first frame (sources loop when a live
+// session outlasts the recorded activity).
+func (s *Source) Rewind() { s.next = 0 }
+
+// SessionSources builds one source per producer stream, seeding each
+// stream's trace differently so frame sizes decorrelate across cameras.
+func SessionSources(session *model.Session, cfg trace.TEEVEConfig, duration time.Duration) (map[model.StreamID]*Source, error) {
+	sources := make(map[model.StreamID]*Source)
+	i := int64(0)
+	for _, id := range session.StreamIDs() {
+		st, _ := session.Stream(id)
+		c := cfg
+		c.Seed = cfg.Seed + i
+		c.FrameRate = st.FrameRate
+		c.MeanBitrateMbps = st.BitrateMbps
+		tr, err := trace.GenerateTEEVE(c, duration)
+		if err != nil {
+			return nil, fmt.Errorf("session sources %v: %w", id, err)
+		}
+		src, err := NewSource(id, tr)
+		if err != nil {
+			return nil, err
+		}
+		sources[id] = src
+		i++
+	}
+	return sources, nil
+}

@@ -1,0 +1,178 @@
+// Package metrics provides the small statistics toolkit the evaluation
+// needs: empirical CDFs, histograms over integer buckets, and acceptance
+// accounting helpers shared by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// AddDuration appends a duration sample in seconds.
+func (c *CDF) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns the empirical CDF value P(X ≤ x); 0 for an empty CDF.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest-rank; NaN when
+// empty or q is out of range.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	c.sort()
+	if q == 0 {
+		return c.samples[0]
+	}
+	rank := int(math.Ceil(q*float64(len(c.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(c.samples) {
+		rank = len(c.samples) - 1
+	}
+	return c.samples[rank]
+}
+
+// Mean returns the sample mean; NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, s := range c.samples {
+		sum += s
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Max returns the largest sample; NaN when empty.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	return c.samples[len(c.samples)-1]
+}
+
+// Points renders the CDF as (x, P(X≤x)) pairs at each distinct sample, the
+// form the paper's figure plots use.
+func (c *CDF) Points() []Point {
+	if len(c.samples) == 0 {
+		return nil
+	}
+	c.sort()
+	pts := make([]Point, 0, 16)
+	n := float64(len(c.samples))
+	for i := 0; i < len(c.samples); i++ {
+		if i+1 < len(c.samples) && c.samples[i+1] == c.samples[i] {
+			continue
+		}
+		pts = append(pts, Point{X: c.samples[i], Y: float64(i+1) / n})
+	}
+	return pts
+}
+
+// Point is one (x, y) pair of a rendered series.
+type Point struct {
+	X, Y float64
+}
+
+// IntHistogram counts integer-valued observations (delay layers, accepted
+// stream counts).
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add counts one observation of value v.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Count returns the number of observations equal to v.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Fraction returns the fraction of observations equal to v.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// CumulativeFraction returns the fraction of observations ≤ v.
+func (h *IntHistogram) CumulativeFraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	cum := 0
+	for value, n := range h.counts {
+		if value <= v {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// String renders "v:count" pairs in ascending order, handy in test output.
+func (h *IntHistogram) String() string {
+	var out string
+	for i, v := range h.Values() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", v, h.counts[v])
+	}
+	return out
+}

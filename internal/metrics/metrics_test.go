@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) || !math.IsNaN(c.Max()) {
+		t.Error("empty CDF stats should be NaN")
+	}
+	if c.Points() != nil {
+		t.Error("empty CDF should render no points")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{3, 1, 2, 2} {
+		c.Add(x)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := c.At(2); got != 0.75 {
+		t.Errorf("At(2) = %v, want 0.75", got)
+	}
+	if got := c.At(3); got != 1 {
+		t.Errorf("At(3) = %v, want 1", got)
+	}
+	if got := c.Mean(); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := c.Max(); got != 3 {
+		t.Errorf("max = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+	if got := c.Quantile(1); got != 3 {
+		t.Errorf("q1 = %v", got)
+	}
+}
+
+func TestCDFAddDuration(t *testing.T) {
+	var c CDF
+	c.AddDuration(1500 * time.Millisecond)
+	if got := c.Mean(); got != 1.5 {
+		t.Errorf("mean = %v, want 1.5s", got)
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{5, 1, 3, 3, 2, 8} {
+		c.Add(x)
+	}
+	pts := c.Points()
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5 distinct", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("points not strictly increasing: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last point y = %v, want 1", pts[len(pts)-1].Y)
+	}
+}
+
+// Property: At is a valid CDF — monotone, in [0,1], and At(max) == 1.
+func TestCDFProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var c CDF
+		clean := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				c.Add(x)
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		prev := -0.1
+		for _, x := range clean {
+			y := c.At(x)
+			if y < prev-1e-12 || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return c.At(clean[len(clean)-1]) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{0, 0, 1, 4, 4, 4} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(4) != 3 || h.Count(2) != 0 {
+		t.Errorf("counts wrong")
+	}
+	if got := h.Fraction(0); got != 2.0/6 {
+		t.Errorf("fraction(0) = %v", got)
+	}
+	if got := h.CumulativeFraction(1); got != 0.5 {
+		t.Errorf("cum(1) = %v", got)
+	}
+	if got := h.CumulativeFraction(10); got != 1 {
+		t.Errorf("cum(10) = %v", got)
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 0 || vals[2] != 4 {
+		t.Errorf("values = %v", vals)
+	}
+	if h.String() != "0:2 1:1 4:3" {
+		t.Errorf("string = %q", h.String())
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Fraction(1) != 0 || h.CumulativeFraction(1) != 0 {
+		t.Error("empty histogram fractions should be 0")
+	}
+}

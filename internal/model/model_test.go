@@ -1,0 +1,256 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(
+		NewRingSite("A", 8, 2.0, 10),
+		NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return s
+}
+
+func TestParseStreamIDRoundTrip(t *testing.T) {
+	tests := []StreamID{
+		{Site: "A", Index: 4},
+		{Site: "B", Index: 0},
+		{Site: "site-x", Index: 123},
+	}
+	for _, id := range tests {
+		got, err := ParseStreamID(id.String())
+		if err != nil {
+			t.Fatalf("ParseStreamID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("round trip %v != %v", got, id)
+		}
+	}
+}
+
+func TestParseStreamIDErrors(t *testing.T) {
+	bad := []string{"", "S", "S4", "4@A", "Sx@A", "S4@"}
+	for _, text := range bad {
+		if _, err := ParseStreamID(text); err == nil {
+			t.Errorf("ParseStreamID(%q): want error, got nil", text)
+		}
+	}
+}
+
+func TestStreamIDLessIsStrictOrder(t *testing.T) {
+	a := StreamID{Site: "A", Index: 1}
+	b := StreamID{Site: "A", Index: 2}
+	c := StreamID{Site: "B", Index: 1}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("expected a < b < c")
+	}
+	if b.Less(a) || a.Less(a) {
+		t.Error("Less must be irreflexive and asymmetric")
+	}
+}
+
+func TestVec3UnitNormalizes(t *testing.T) {
+	v := Vec3{X: 3, Y: 4, Z: 0}.Unit()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("unit norm = %v, want 1", v.Norm())
+	}
+	zero := Vec3{}.Unit()
+	if zero != (Vec3{}) {
+		t.Errorf("zero vector unit = %v, want zero", zero)
+	}
+}
+
+func TestDirectionOnCircleIsUnit(t *testing.T) {
+	for _, a := range []float64{0, 1, math.Pi, 5.5} {
+		d := DirectionOnCircle(a)
+		if math.Abs(d.Norm()-1) > 1e-12 {
+			t.Errorf("angle %v: norm %v", a, d.Norm())
+		}
+	}
+}
+
+func TestNewSessionRejectsDuplicates(t *testing.T) {
+	a := NewRingSite("A", 4, 2, 10)
+	if _, err := NewSession(a, a); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if _, err := NewSession(); err == nil {
+		t.Error("empty session accepted")
+	}
+	bad := Site{ID: "C", Streams: []Stream{{ID: StreamID{Site: "C", Index: 1}, BitrateMbps: 0}}}
+	if _, err := NewSession(bad); err == nil {
+		t.Error("zero-bitrate stream accepted")
+	}
+}
+
+func TestSessionLookups(t *testing.T) {
+	s := testSession(t)
+	if s.NumSites() != 2 {
+		t.Fatalf("NumSites = %d, want 2", s.NumSites())
+	}
+	ids := s.StreamIDs()
+	if len(ids) != 16 {
+		t.Fatalf("StreamIDs len = %d, want 16", len(ids))
+	}
+	st, ok := s.Stream(StreamID{Site: "A", Index: 3})
+	if !ok || st.BitrateMbps != 2.0 {
+		t.Fatalf("Stream lookup failed: %+v ok=%v", st, ok)
+	}
+	if _, ok := s.Stream(StreamID{Site: "Z", Index: 1}); ok {
+		t.Error("lookup of unknown stream succeeded")
+	}
+}
+
+func TestDFFrontCameraHighest(t *testing.T) {
+	s := testSession(t)
+	view := NewUniformView(s, 0) // looking along angle 0
+	siteA := s.Sites[0]
+	// Camera 1 sits at angle 0 → df = 1; the opposite camera (index 5 of
+	// 8, angle π) has df = −1.
+	front, _ := siteA.Stream(1)
+	back, _ := siteA.Stream(5)
+	if df := view.DF(front); math.Abs(df-1) > 1e-9 {
+		t.Errorf("front df = %v, want 1", df)
+	}
+	if df := view.DF(back); math.Abs(df+1) > 1e-9 {
+		t.Errorf("back df = %v, want -1", df)
+	}
+}
+
+func TestComposeViewCutoffAndEta(t *testing.T) {
+	s := testSession(t)
+	req := ComposeView(s, NewUniformView(s, 0), 0.5)
+	// cos >= 0.5 keeps cameras within ±60° of the gaze: for an 8-camera
+	// ring (45° apart) that is 3 cameras per site.
+	if len(req.Streams) != 6 {
+		t.Fatalf("streams kept = %d, want 6 (3 per site)", len(req.Streams))
+	}
+	// Every kept stream must carry η of its within-site rank, and the
+	// highest-priority stream of each site must have η = 1.
+	top := req.TopStreamPerSite()
+	if len(top) != 2 {
+		t.Fatalf("top per site = %d, want 2", len(top))
+	}
+	for _, rs := range req.Streams {
+		if rs.Eta < 1 {
+			t.Errorf("stream %v eta = %d", rs.Stream.ID, rs.Eta)
+		}
+		if top[rs.Stream.ID.Site] == rs.Stream.ID && rs.Eta != 1 {
+			t.Errorf("top stream %v has eta %d, want 1", rs.Stream.ID, rs.Eta)
+		}
+	}
+}
+
+func TestComposeViewGlobalOrderIsByKey(t *testing.T) {
+	s := testSession(t)
+	req := ComposeView(s, NewUniformView(s, 0.3), -1) // keep everything
+	for i := 1; i < len(req.Streams); i++ {
+		if req.Streams[i-1].Key > req.Streams[i].Key {
+			t.Fatalf("priority order violated at %d: %v > %v",
+				i, req.Streams[i-1].Key, req.Streams[i].Key)
+		}
+	}
+	if len(req.Streams) != 16 {
+		t.Fatalf("kept %d, want all 16", len(req.Streams))
+	}
+}
+
+func TestViewKeyGroupsIdenticalStreamSets(t *testing.T) {
+	s := testSession(t)
+	r1 := ComposeView(s, NewUniformView(s, 0), 0.5)
+	r2 := ComposeView(s, NewUniformView(s, 0.01), 0.5) // tiny rotation, same cameras
+	r3 := ComposeView(s, NewUniformView(s, math.Pi/2), 0.5)
+	if !r1.Equal(r2) {
+		t.Error("near-identical views should share a group key")
+	}
+	if r1.Equal(r3) {
+		t.Error("orthogonal views should differ")
+	}
+}
+
+func TestSitesCovered(t *testing.T) {
+	s := testSession(t)
+	req := ComposeView(s, NewUniformView(s, 0), 0.5)
+	cov := req.SitesCovered()
+	if !cov["A"] || !cov["B"] || len(cov) != 2 {
+		t.Errorf("coverage = %v, want both sites", cov)
+	}
+}
+
+// Property: df is always within [-1, 1] and η−df keys order streams such
+// that within one site, ascending key is descending df.
+func TestComposeViewProperties(t *testing.T) {
+	s := testSession(t)
+	f := func(angleRaw int16, cutRaw int8) bool {
+		angle := float64(angleRaw) / 1000.0
+		cutoff := float64(cutRaw) / 127.0
+		req := ComposeView(s, NewUniformView(s, angle), cutoff)
+		perSiteLastEta := map[SiteID]int{}
+		for _, rs := range req.Streams {
+			if rs.DF < -1-1e-9 || rs.DF > 1+1e-9 {
+				return false
+			}
+			if rs.DF < cutoff {
+				return false // cutoff violated
+			}
+			_ = perSiteLastEta
+		}
+		// For each site the kept streams must be the top-η prefix.
+		perSite := map[SiteID][]int{}
+		for _, rs := range req.Streams {
+			perSite[rs.Stream.ID.Site] = append(perSite[rs.Stream.ID.Site], rs.Eta)
+		}
+		for _, etas := range perSite {
+			seen := make(map[int]bool, len(etas))
+			maxEta := 0
+			for _, e := range etas {
+				seen[e] = true
+				if e > maxEta {
+					maxEta = e
+				}
+			}
+			for e := 1; e <= maxEta; e++ {
+				if !seen[e] {
+					return false // hole in the priority prefix
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFMissingSiteOrientation(t *testing.T) {
+	s := testSession(t)
+	view := View{Orientations: map[SiteID]Vec3{"A": {X: 1}}}
+	stB, _ := s.Sites[1].Stream(1)
+	if df := view.DF(stB); df != -1 {
+		t.Errorf("df for uncovered site = %v, want -1", df)
+	}
+	// Composing with a partial view keeps only the covered site.
+	req := ComposeView(s, view, 0.5)
+	for _, rs := range req.Streams {
+		if rs.Stream.ID.Site != "A" {
+			t.Errorf("stream %v from uncovered site survived cutoff", rs.Stream.ID)
+		}
+	}
+}
+
+func TestVec3Helpers(t *testing.T) {
+	v := Vec3{X: 1, Y: 2, Z: 3}
+	if got := v.Scale(2); got != (Vec3{X: 2, Y: 4, Z: 6}) {
+		t.Errorf("scale = %v", got)
+	}
+	if got := v.Add(Vec3{X: -1, Y: -2, Z: -3}); got != (Vec3{}) {
+		t.Errorf("add = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package model
+
+import "math"
+
+// Vec3 is a direction in the 3DTI virtual space. Stream orientations S.w and
+// view orientations v.w are unit vectors; the differentiation function
+// df(S, v) = S.w · v.w (§II-B) is their dot product.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Dot returns the inner product of two vectors.
+func (v Vec3) Dot(o Vec3) float64 {
+	return v.X*o.X + v.Y*o.Y + v.Z*o.Z
+}
+
+// Norm returns the Euclidean length of the vector.
+func (v Vec3) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Unit returns the normalized vector. The zero vector is returned unchanged
+// so that callers never divide by zero; a zero orientation simply has df = 0
+// against every view.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return Vec3{X: v.X / n, Y: v.Y / n, Z: v.Z / n}
+}
+
+// Scale returns v multiplied by k.
+func (v Vec3) Scale(k float64) Vec3 {
+	return Vec3{X: v.X * k, Y: v.Y * k, Z: v.Z * k}
+}
+
+// Add returns the component-wise sum v + o.
+func (v Vec3) Add(o Vec3) Vec3 {
+	return Vec3{X: v.X + o.X, Y: v.Y + o.Y, Z: v.Z + o.Z}
+}
+
+// DirectionOnCircle returns the unit vector at the given angle (radians) on
+// the horizontal (XZ) plane. Producer sites arrange their cameras on a ring
+// around the captured scene, so camera k of n is typically placed at angle
+// 2πk/n.
+func DirectionOnCircle(angle float64) Vec3 {
+	return Vec3{X: math.Cos(angle), Z: math.Sin(angle)}
+}

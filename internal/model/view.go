@@ -1,0 +1,151 @@
+package model
+
+import (
+	"sort"
+	"strings"
+)
+
+// View is a viewer's global view request: one local-view orientation per
+// producer site. The composition of all local views forms the 4D content
+// (§II-B). Orientations maps each site to the unit vector v.w of the local
+// view requested from that site.
+type View struct {
+	Orientations map[SiteID]Vec3
+}
+
+// NewUniformView builds a view that looks at every site from the same angle
+// on the camera ring. It is the common case for session-wide virtual-space
+// navigation where the viewer's position determines one gaze direction.
+func NewUniformView(session *Session, angle float64) View {
+	dir := DirectionOnCircle(angle)
+	orients := make(map[SiteID]Vec3, session.NumSites())
+	for _, site := range session.Sites {
+		orients[site.ID] = dir
+	}
+	return View{Orientations: orients}
+}
+
+// DF computes the stream differentiation function df(S, v) = S.w · v.w for a
+// stream against this view's local orientation at the stream's site (§II-B).
+// Streams with higher df are more important to the view.
+func (v View) DF(s Stream) float64 {
+	orient, ok := v.Orientations[s.ID.Site]
+	if !ok {
+		return -1
+	}
+	return s.Orientation.Unit().Dot(orient.Unit())
+}
+
+// RankedStream is one stream of a composed view request together with its
+// priority metadata.
+type RankedStream struct {
+	Stream Stream
+	// DF is the stream differentiation value df(S, v).
+	DF float64
+	// Eta is the local priority index η within the stream's site:
+	// 1 for the highest-df stream of the site, 2 for the next, and so on.
+	Eta int
+	// Key is the global priority key η − df. Streams with lower key have
+	// higher priority across sites (§II-B).
+	Key float64
+}
+
+// ViewRequest is a composed 4D content request: the prioritized list of
+// streams a viewer asks for when requesting a view. Streams are ordered by
+// descending global priority (ascending η−df key).
+type ViewRequest struct {
+	View    View
+	Streams []RankedStream
+}
+
+// ComposeView translates a view into a concrete stream request. For each
+// site, streams are ranked by df; streams whose df falls below cutoff are
+// removed from the local view (threshold-based cut-off, §II-B); survivors of
+// all sites are merged and ordered by the global η−df key.
+func ComposeView(session *Session, view View, cutoff float64) ViewRequest {
+	ranked := make([]RankedStream, 0, 8)
+	for _, site := range session.Sites {
+		local := make([]RankedStream, 0, len(site.Streams))
+		for _, st := range site.Streams {
+			local = append(local, RankedStream{Stream: st, DF: view.DF(st)})
+		}
+		// Rank within the site by df descending; ties broken by stream
+		// index so that η is deterministic.
+		sort.Slice(local, func(i, j int) bool {
+			if local[i].DF != local[j].DF {
+				return local[i].DF > local[j].DF
+			}
+			return local[i].Stream.ID.Index < local[j].Stream.ID.Index
+		})
+		for i := range local {
+			local[i].Eta = i + 1
+			local[i].Key = float64(local[i].Eta) - local[i].DF
+		}
+		for _, rs := range local {
+			if rs.DF >= cutoff {
+				ranked = append(ranked, rs)
+			}
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Key != ranked[j].Key {
+			return ranked[i].Key < ranked[j].Key
+		}
+		return ranked[i].Stream.ID.Less(ranked[j].Stream.ID)
+	})
+	return ViewRequest{View: view, Streams: ranked}
+}
+
+// StreamIDs returns the requested stream IDs in global priority order.
+func (r ViewRequest) StreamIDs() []StreamID {
+	ids := make([]StreamID, len(r.Streams))
+	for i, rs := range r.Streams {
+		ids[i] = rs.Stream.ID
+	}
+	return ids
+}
+
+// SitesCovered returns the set of producer sites contributing at least one
+// stream to the request.
+func (r ViewRequest) SitesCovered() map[SiteID]bool {
+	sites := make(map[SiteID]bool)
+	for _, rs := range r.Streams {
+		sites[rs.Stream.ID.Site] = true
+	}
+	return sites
+}
+
+// TopStreamPerSite returns, for each site in the request, the ID of its
+// highest-priority stream. Acceptance of a viewer requires at least these
+// streams to be deliverable (§II-D).
+func (r ViewRequest) TopStreamPerSite() map[SiteID]StreamID {
+	top := make(map[SiteID]StreamID)
+	for _, rs := range r.Streams { // already in priority order
+		if _, ok := top[rs.Stream.ID.Site]; !ok {
+			top[rs.Stream.ID.Site] = rs.Stream.ID
+		}
+	}
+	return top
+}
+
+// ViewKey is a canonical identity for a composed view: two viewers belong to
+// the same view group (and thus share streaming trees, §III-B) exactly when
+// their requests select the same stream set.
+type ViewKey string
+
+// Key derives the canonical group key from the requested stream set.
+func (r ViewRequest) Key() ViewKey {
+	ids := r.StreamIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return ViewKey(strings.Join(parts, "|"))
+}
+
+// Equal reports whether two view requests select the same stream set. Views
+// vi and vj differ when some stream belongs to one but not the other (§II-C).
+func (r ViewRequest) Equal(o ViewRequest) bool {
+	return r.Key() == o.Key()
+}

@@ -1,0 +1,89 @@
+package overlay
+
+import (
+	"telecast/internal/model"
+)
+
+// bwEpsilon absorbs float accumulation error in capacity comparisons.
+const bwEpsilon = 1e-9
+
+// SupplyFunc reports whether the distribution side (P2P tree or CDN) can
+// currently support one more subscriber of the stream at the given bitrate.
+type SupplyFunc func(id model.StreamID, bitrateMbps float64) bool
+
+// AllocateInbound performs the inbound bandwidth allocation of §IV-B1:
+// streams are granted their required bandwidth in priority order while
+// (1) inbound capacity remains at the viewer and (2) the P2P layer or CDN
+// has outbound supply. Allocation stops at the first violation — lower
+// priority streams get nothing and are removed from the request.
+func AllocateInbound(req model.ViewRequest, inboundMbps float64, supply SupplyFunc) []model.RankedStream {
+	var used float64
+	accepted := make([]model.RankedStream, 0, len(req.Streams))
+	for _, rs := range req.Streams {
+		bw := rs.Stream.BitrateMbps
+		if used+bw > inboundMbps+bwEpsilon {
+			break
+		}
+		if supply != nil && !supply(rs.Stream.ID, bw) {
+			break
+		}
+		used += bw
+		accepted = append(accepted, rs)
+	}
+	return accepted
+}
+
+// CoversAllSites reports whether the accepted prefix contains at least one
+// stream from every site present in the request. Because acceptance cuts
+// from the low-priority end, a covered site is always covered by its
+// highest-priority stream; the admission rule N^u_accepted ≥ n (§II-D)
+// therefore reduces to this check.
+func CoversAllSites(req model.ViewRequest, accepted []model.RankedStream) bool {
+	need := req.SitesCovered()
+	for _, rs := range accepted {
+		delete(need, rs.Stream.ID.Site)
+	}
+	return len(need) == 0
+}
+
+// OutboundAllocation is the result of the round-robin outbound assignment.
+type OutboundAllocation struct {
+	// Mbps is the outbound bandwidth assigned per stream.
+	Mbps map[model.StreamID]float64
+	// Degree is the per-stream out-degree ⌊obw_Si / bw_Si⌋.
+	Degree map[model.StreamID]int
+	// UsedMbps is the total assigned outbound bandwidth.
+	UsedMbps float64
+}
+
+// AllocateOutbound assigns the viewer's outbound capacity to its accepted
+// streams round-robin in priority order (§IV-B1): each round grants one
+// bitrate unit to every stream that still fits, starting again from the
+// highest priority, until a full round makes no progress. The resulting
+// invariant — higher-priority streams never have less supply than lower
+// ones — is what positions the overlay in the middle of the quality vs.
+// viewer-count trade-off (Fig. 8).
+func AllocateOutbound(accepted []model.RankedStream, outboundMbps float64) OutboundAllocation {
+	alloc := OutboundAllocation{
+		Mbps:   make(map[model.StreamID]float64, len(accepted)),
+		Degree: make(map[model.StreamID]int, len(accepted)),
+	}
+	if len(accepted) == 0 {
+		return alloc
+	}
+	for {
+		progress := false
+		for _, rs := range accepted {
+			bw := rs.Stream.BitrateMbps
+			if alloc.UsedMbps+bw <= outboundMbps+bwEpsilon {
+				alloc.Mbps[rs.Stream.ID] += bw
+				alloc.Degree[rs.Stream.ID]++
+				alloc.UsedMbps += bw
+				progress = true
+			}
+		}
+		if !progress {
+			return alloc
+		}
+	}
+}

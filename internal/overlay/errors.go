@@ -1,0 +1,66 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"telecast/internal/model"
+)
+
+// Type aliases shorten signatures in tree.go while keeping the public API in
+// terms of the model package.
+type (
+	modelStreamID = model.StreamID
+	modelViewerID = model.ViewerID
+)
+
+// Sentinel errors callers match with errors.Is.
+var (
+	// ErrViewerExists is returned when a viewer joins twice.
+	ErrViewerExists = errors.New("viewer already joined")
+	// ErrViewerUnknown is returned for operations on absent viewers.
+	ErrViewerUnknown = errors.New("viewer not joined")
+	// ErrRejected is returned when admission control cannot serve at
+	// least the highest-priority stream of every producer site (§II-D).
+	ErrRejected = errors.New("viewer request rejected")
+)
+
+func errDuplicateNode(viewer string) error {
+	return fmt.Errorf("tree invariant: duplicate node for viewer %s", viewer)
+}
+
+func errOverDegree(viewer string, children, deg int) error {
+	return fmt.Errorf("tree invariant: viewer %s has %d children with out-degree %d", viewer, children, deg)
+}
+
+func errBadParentLink(viewer string) error {
+	return fmt.Errorf("tree invariant: broken parent link at viewer %s", viewer)
+}
+
+func errOrphanNodes(n int) error {
+	return fmt.Errorf("tree invariant: %d nodes unreachable from roots", n)
+}
+
+func errDelayBound(viewer string, layer, maxLayer int) error {
+	return fmt.Errorf("delay invariant: viewer %s at layer %d beyond max %d", viewer, layer, maxLayer)
+}
+
+func errViewerTreeMismatch(viewer, stream string) error {
+	return fmt.Errorf("state invariant: viewer %s and tree %s disagree", viewer, stream)
+}
+
+func errCDNAccounting(stream string, got, want float64) error {
+	return fmt.Errorf("cdn invariant: stream %s accounts %v Mbps, trees imply %v", stream, got, want)
+}
+
+func errKappaBound(viewer string, spread, kappa int) error {
+	return fmt.Errorf("sync invariant: viewer %s layer spread %d exceeds kappa %d", viewer, spread, kappa)
+}
+
+func errInboundBound(viewer string, used, cap float64) error {
+	return fmt.Errorf("bandwidth invariant: viewer %s inbound %v Mbps over capacity %v", viewer, used, cap)
+}
+
+func errOutboundBound(viewer string, used, cap float64) error {
+	return fmt.Errorf("bandwidth invariant: viewer %s outbound %v Mbps over capacity %v", viewer, used, cap)
+}

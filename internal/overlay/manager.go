@@ -1,0 +1,459 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"telecast/internal/cdn"
+	"telecast/internal/model"
+)
+
+// Manager owns the overlay state of one 3DTI session: view groups, one
+// dissemination tree per (group, stream), viewer records, and the CDN
+// capacity accounting. It implements the LSC-side overlay construction
+// (bandwidth allocation + topology formation, §IV) and the adaptation
+// procedures (§VI). The Manager is not safe for concurrent use; the
+// discrete-event simulator and the session layer serialize calls.
+type Manager struct {
+	session *model.Session
+	cdn     *cdn.CDN
+	prop    PropFunc
+	params  Params
+
+	groups  map[model.ViewKey]*Group
+	viewers map[model.ViewerID]*Viewer
+
+	// outboundPolicy replaces AllocateOutbound when set (ablations).
+	outboundPolicy OutboundPolicy
+	// fifoAttachment disables degree push-down displacement when true:
+	// joiners only fill free slots (ablation A2).
+	fifoAttachment bool
+
+	// Cumulative acceptance accounting for ρ (§IV-A).
+	streamsRequested int
+	streamsAccepted  int
+	viewersRejected  int
+	viewersAdmitted  int
+
+	// Subscription worklist: viewers whose nodes' delay state changed
+	// and that need a stream-subscription pass.
+	pendingSet map[model.ViewerID]bool
+	pendingQ   []model.ViewerID
+	// resubscribeBudget caps subscription-chain propagation per public
+	// operation as a defensive bound; the overlay property makes chains
+	// acyclic, so the cap should never bind in practice.
+	resubscribeBudget int
+}
+
+// NewManager builds an overlay manager over the given session, CDN, and
+// propagation-delay model.
+func NewManager(session *model.Session, dist *cdn.CDN, prop PropFunc, params Params) (*Manager, error) {
+	if session == nil || dist == nil || prop == nil {
+		return nil, fmt.Errorf("overlay manager: session, cdn, and prop are required")
+	}
+	if params.Proc < 0 {
+		return nil, fmt.Errorf("overlay manager: negative processing delay %v", params.Proc)
+	}
+	return &Manager{
+		session:    session,
+		cdn:        dist,
+		prop:       prop,
+		params:     params,
+		groups:     make(map[model.ViewKey]*Group),
+		viewers:    make(map[model.ViewerID]*Viewer),
+		pendingSet: make(map[model.ViewerID]bool),
+	}, nil
+}
+
+// Params returns the session-wide overlay constants.
+func (m *Manager) Params() Params { return m.params }
+
+// CDN exposes the capacity accounting for experiments.
+func (m *Manager) CDN() *cdn.CDN { return m.cdn }
+
+// Viewer returns the record for a joined viewer.
+func (m *Manager) Viewer(id model.ViewerID) (*Viewer, bool) {
+	v, ok := m.viewers[id]
+	return v, ok
+}
+
+// JoinResult reports the outcome of a join or view-change request.
+type JoinResult struct {
+	Viewer *Viewer
+	// Admitted is false when the request failed admission control: the
+	// highest-priority stream of some producer site could not be served.
+	Admitted bool
+	// Accepted lists the served streams in priority order.
+	Accepted []model.StreamID
+	// Dropped lists requested streams that were not served.
+	Dropped []model.StreamID
+}
+
+// Join admits a viewer requesting the given view, running the full §IV
+// pipeline: view composition, inbound allocation, admission check, outbound
+// allocation, degree push-down per stream, delay-bound enforcement, and the
+// stream-subscription pass with chain propagation.
+func (m *Manager) Join(info ViewerInfo, view model.View) (*JoinResult, error) {
+	if _, dup := m.viewers[info.ID]; dup {
+		return nil, fmt.Errorf("join %s: %w", info.ID, ErrViewerExists)
+	}
+	if info.InboundMbps < 0 || info.OutboundMbps < 0 {
+		return nil, fmt.Errorf("join %s: negative capacity", info.ID)
+	}
+	req := model.ComposeView(m.session, view, m.params.CutoffDF)
+	return m.joinRequest(info, req)
+}
+
+// joinRequest is the shared admission path for Join and ChangeView.
+func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResult, error) {
+	m.resubscribeBudget = m.propagationCap()
+	m.streamsRequested += len(req.Streams)
+
+	group := m.groupFor(req)
+	supply := func(id model.StreamID, bw float64) bool {
+		tree := group.Trees[id]
+		if tree != nil {
+			deg := 0
+			if bw > 0 {
+				deg = int(info.OutboundMbps / bw)
+			}
+			if tree.HasSupplyFor(deg, info.OutboundMbps) {
+				return true
+			}
+		}
+		return m.cdn.CanServe(bw)
+	}
+	accepted := AllocateInbound(req, info.InboundMbps, supply)
+	if !CoversAllSites(req, accepted) {
+		return m.rejectViewer(info, req, group), nil
+	}
+	allocate := AllocateOutbound
+	if m.outboundPolicy != nil {
+		allocate = m.outboundPolicy
+	}
+	out := allocate(accepted, info.OutboundMbps)
+
+	v := &Viewer{
+		Info:     info,
+		Request:  req,
+		Group:    group,
+		Nodes:    make(map[model.StreamID]*Node, len(accepted)),
+		OutAlloc: out.Mbps,
+		OutDeg:   out.Degree,
+	}
+	group.Members[info.ID] = v
+	m.viewers[info.ID] = v
+
+	type displacement struct {
+		tree *Tree
+		node *Node
+	}
+	var resub []displacement
+	for _, rs := range accepted {
+		id := rs.Stream.ID
+		bw := rs.Stream.BitrateMbps
+		tree := m.treeFor(group, rs.Stream)
+		node := &Node{Viewer: info.ID, OutDeg: out.Degree[id], OutCap: info.OutboundMbps}
+		var placed bool
+		var displaced *Node
+		if m.fifoAttachment {
+			placed = tree.InsertFIFO(node)
+		} else {
+			placed, displaced = tree.Insert(node)
+		}
+		if !placed {
+			if err := m.cdn.Allocate(id, bw); err != nil {
+				continue // stream dropped: no P2P position, no CDN budget
+			}
+			tree.AttachToCDN(node)
+		}
+		v.Nodes[id] = node
+		v.InUsedMbps += bw
+		if displaced != nil {
+			resub = append(resub, displacement{tree: tree, node: displaced})
+		}
+	}
+
+	if !m.coverageHolds(v) {
+		m.evict(v)
+		for _, d := range resub {
+			m.enqueueSubtree(d.node)
+		}
+		m.processPending()
+		m.viewersRejected++
+		res := &JoinResult{Viewer: v, Admitted: false, Dropped: req.StreamIDs()}
+		v.Rejected = true
+		m.viewers[info.ID] = v // keep record for distribution metrics
+		return res, nil
+	}
+
+	m.enqueueResub(v.Info.ID)
+	for _, d := range resub {
+		// The displaced node moved one level deeper together with its
+		// subtree; every viewer in it needs a subscription pass.
+		m.enqueueSubtree(d.node)
+	}
+	m.processPending()
+
+	m.viewersAdmitted++
+	m.streamsAccepted += len(v.Nodes)
+	res := &JoinResult{Viewer: v, Admitted: true, Accepted: v.AcceptedStreams()}
+	for _, rs := range req.Streams {
+		if _, ok := v.Nodes[rs.Stream.ID]; !ok {
+			res.Dropped = append(res.Dropped, rs.Stream.ID)
+		}
+	}
+	return res, nil
+}
+
+// rejectViewer records an inadmissible request without mutating any tree.
+func (m *Manager) rejectViewer(info ViewerInfo, req model.ViewRequest, group *Group) *JoinResult {
+	v := &Viewer{Info: info, Request: req, Group: group, Rejected: true,
+		Nodes: map[model.StreamID]*Node{}}
+	m.viewers[info.ID] = v
+	m.viewersRejected++
+	return &JoinResult{Viewer: v, Admitted: false, Dropped: req.StreamIDs()}
+}
+
+// coverageHolds re-checks the admission constraint N^u_accepted ≥ n after
+// topology formation: at least one stream from every requested site.
+func (m *Manager) coverageHolds(v *Viewer) bool {
+	need := v.Request.SitesCovered()
+	for id := range v.Nodes {
+		delete(need, id.Site)
+	}
+	return len(need) == 0
+}
+
+// Leave removes a viewer from the session, recovering the victims its
+// departure creates (§VI).
+func (m *Manager) Leave(id model.ViewerID) error {
+	v, ok := m.viewers[id]
+	if !ok {
+		return fmt.Errorf("leave %s: %w", id, ErrViewerUnknown)
+	}
+	m.resubscribeBudget = m.propagationCap()
+	m.evict(v)
+	m.processPending()
+	delete(m.viewers, id)
+	if len(v.Group.Members) == 0 {
+		delete(m.groups, v.Group.Key)
+	}
+	return nil
+}
+
+// ChangeView re-admits an existing viewer with a new view: it leaves all
+// current streaming trees (creating victims that are recovered) and runs the
+// normal join pipeline in the new view group. The session layer wraps this
+// with the fast CDN path that hides the latency (§VI); the overlay itself is
+// only concerned with the final topology.
+func (m *Manager) ChangeView(id model.ViewerID, view model.View) (*JoinResult, error) {
+	v, ok := m.viewers[id]
+	if !ok {
+		return nil, fmt.Errorf("view change %s: %w", id, ErrViewerUnknown)
+	}
+	m.resubscribeBudget = m.propagationCap()
+	info := v.Info
+	wasRejected := v.Rejected
+	m.evict(v)
+	m.processPending()
+	delete(m.viewers, id)
+	if len(v.Group.Members) == 0 {
+		delete(m.groups, v.Group.Key)
+	}
+	// A previously rejected viewer re-requesting is a fresh admission;
+	// nothing else to undo.
+	_ = wasRejected
+	req := model.ComposeView(m.session, view, m.params.CutoffDF)
+	return m.joinRequest(info, req)
+}
+
+// evict removes all of a viewer's tree nodes (recovering victims) and
+// releases its allocations. The viewer record itself is left to the caller.
+func (m *Manager) evict(v *Viewer) {
+	ids := v.AcceptedStreams()
+	for _, id := range ids {
+		m.dropStream(v, id, true)
+	}
+	delete(v.Group.Members, v.Info.ID)
+}
+
+// dropStream removes one stream subscription of a viewer. Victims (the
+// node's children) are recovered per §VI: re-inserted via degree push-down,
+// else served from the CDN at their current delay layer, else dropped in
+// cascade. When recover is false victims are dropped outright.
+func (m *Manager) dropStream(v *Viewer, id model.StreamID, recover bool) {
+	node, ok := v.Nodes[id]
+	if !ok {
+		return
+	}
+	tree := v.Group.Trees[id]
+	wasRoot := node.Parent == nil
+	victims := tree.Detach(node)
+	delete(v.Nodes, id)
+	v.InUsedMbps -= tree.Stream.BitrateMbps
+	if v.InUsedMbps < 0 {
+		v.InUsedMbps = 0
+	}
+	if wasRoot {
+		// Releasing our own accounting error would corrupt totals;
+		// surface it loudly in tests via validate, ignore here.
+		_ = m.cdn.Release(id, tree.Stream.BitrateMbps)
+	}
+	for _, victim := range victims {
+		if recover {
+			m.recoverVictim(tree, victim)
+		} else {
+			m.cascadeDrop(tree, victim)
+		}
+	}
+}
+
+// recoverVictim re-attaches a detached subtree root: degree push-down first,
+// then the CDN, then cascade-drop of the victim's own subscription with its
+// children becoming victims in turn.
+func (m *Manager) recoverVictim(tree *Tree, victim *Node) {
+	if placed, displaced := tree.Reattach(victim); placed {
+		m.enqueueSubtree(victim)
+		if displaced != nil {
+			m.enqueueSubtree(displaced)
+		}
+		return
+	}
+	if err := m.cdn.Allocate(tree.Stream.ID, tree.Stream.BitrateMbps); err == nil {
+		tree.AttachToCDN(victim)
+		m.enqueueSubtree(victim)
+		return
+	}
+	m.cascadeDrop(tree, victim)
+}
+
+// cascadeDrop removes a victim's subscription entirely; its children become
+// victims recovered through the normal path.
+func (m *Manager) cascadeDrop(tree *Tree, victim *Node) {
+	group := m.groupOfTree(tree)
+	children := victim.Children
+	victim.Children = nil
+	for _, c := range children {
+		c.Parent = nil
+	}
+	tree.forget(victim)
+	if group != nil {
+		if vv, ok := group.Members[victim.Viewer]; ok {
+			delete(vv.Nodes, tree.Stream.ID)
+			vv.InUsedMbps -= tree.Stream.BitrateMbps
+			if vv.InUsedMbps < 0 {
+				vv.InUsedMbps = 0
+			}
+		}
+	}
+	for _, c := range children {
+		m.recoverVictim(tree, c)
+	}
+}
+
+// groupOfTree finds the group owning a tree. Trees store no back-pointer to
+// keep them independently testable; the lookup is O(groups).
+func (m *Manager) groupOfTree(tree *Tree) *Group {
+	for _, g := range m.groups {
+		if g.Trees[tree.Stream.ID] == tree {
+			return g
+		}
+	}
+	return nil
+}
+
+// groupFor returns (creating if needed) the view group of a request.
+func (m *Manager) groupFor(req model.ViewRequest) *Group {
+	key := req.Key()
+	if g, ok := m.groups[key]; ok {
+		return g
+	}
+	g := &Group{
+		Key:     key,
+		Request: req,
+		Trees:   make(map[model.StreamID]*Tree),
+		Members: make(map[model.ViewerID]*Viewer),
+	}
+	m.groups[key] = g
+	return g
+}
+
+// treeFor returns (creating if needed) the group's tree for a stream.
+func (m *Manager) treeFor(g *Group, s model.Stream) *Tree {
+	if t, ok := g.Trees[s.ID]; ok {
+		return t
+	}
+	t := newTree(s.ID, s.BitrateMbps, s.FrameRate, m.prop, m.params)
+	g.Trees[s.ID] = t
+	return t
+}
+
+func (m *Manager) propagationCap() int {
+	return 1 << 20
+}
+
+// OutboundPolicy is an alternative outbound bandwidth allocation; the
+// ablation experiments use it to contrast the paper's round-robin against
+// highest-priority-only and equal-split policies.
+type OutboundPolicy func(accepted []model.RankedStream, outboundMbps float64) OutboundAllocation
+
+// SetOutboundPolicy overrides the outbound allocation for subsequent joins.
+// Passing nil restores the paper's round-robin.
+func (m *Manager) SetOutboundPolicy(p OutboundPolicy) { m.outboundPolicy = p }
+
+// SetFIFOAttachment toggles the degree push-down off: joiners only fill
+// free slots, in BFS order, and never displace weaker nodes (ablation A2).
+func (m *Manager) SetFIFOAttachment(fifo bool) { m.fifoAttachment = fifo }
+
+// MeanTreeDepth averages the maximum depth over all live trees; the degree
+// push-down exists to keep this small (flatter trees, §IV-B2).
+func (m *Manager) MeanTreeDepth() float64 {
+	total, count := 0, 0
+	for _, g := range m.groups {
+		for _, t := range g.Trees {
+			if t.Size() > 0 {
+				total += t.Depth()
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// Groups returns the live view groups keyed canonically; exposed for tests
+// and experiments.
+func (m *Manager) Groups() map[model.ViewKey]*Group { return m.groups }
+
+// SortedViewerIDs returns all known viewer IDs in deterministic order.
+func (m *Manager) SortedViewerIDs() []model.ViewerID {
+	ids := make([]model.ViewerID, 0, len(m.viewers))
+	for id := range m.viewers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RefreshAll re-derives every tree's delay state from the current
+// propagation delays and re-runs stream subscription for every viewer whose
+// state changed — the periodic delay-layer adaptation of §VI. It returns
+// the number of nodes whose delay state changed.
+func (m *Manager) RefreshAll() int {
+	m.resubscribeBudget = m.propagationCap()
+	changed := 0
+	for _, g := range m.groups {
+		for _, t := range g.Trees {
+			for _, r := range t.Roots() {
+				nodes := t.refreshDelays(r)
+				changed += len(nodes)
+				m.enqueueNodes(nodes)
+			}
+		}
+	}
+	m.processPending()
+	return changed
+}

@@ -1,0 +1,188 @@
+package overlay
+
+import (
+	"telecast/internal/cdn"
+	"telecast/internal/model"
+)
+
+// Snapshot is a point-in-time summary of the overlay, carrying exactly the
+// quantities the paper's evaluation plots (§VII).
+type Snapshot struct {
+	// Viewers counts all known viewers including rejected ones.
+	Viewers int
+	// Admitted and Rejected are cumulative admission counts.
+	Admitted int
+	Rejected int
+	// StreamsRequested and StreamsAccepted are cumulative over all join
+	// and view-change requests; their ratio is the acceptance ratio ρ.
+	StreamsRequested int
+	StreamsAccepted  int
+	// LiveStreams counts currently served stream subscriptions.
+	LiveStreams int
+	// ViaCDN counts live subscriptions whose parent is the CDN; ViaP2P
+	// counts those served by another viewer. Their ratio over LiveStreams
+	// is Fig 13(b)'s "fraction of streams served by CDN".
+	ViaCDN int
+	ViaP2P int
+	// CDNUsage carries the capacity accounting, including the peak egress
+	// Fig 13(a) reports.
+	CDNUsage cdn.Usage
+	// MaxLayerPerViewer is the distribution behind Fig 14(a): for every
+	// admitted viewer with at least one stream, the maximum assigned
+	// delay layer across its accepted streams.
+	MaxLayerPerViewer []int
+	// AcceptedPerViewer is the distribution behind Fig 14(b): the number
+	// of currently served streams per known viewer (0 for rejected).
+	AcceptedPerViewer []int
+	// Groups counts live view groups.
+	Groups int
+}
+
+// AcceptanceRatio returns ρ = N_accepted / N_total (1 when nothing was
+// requested yet).
+func (s Snapshot) AcceptanceRatio() float64 {
+	if s.StreamsRequested == 0 {
+		return 1
+	}
+	return float64(s.StreamsAccepted) / float64(s.StreamsRequested)
+}
+
+// CDNFraction returns the fraction of live stream subscriptions served
+// directly by the CDN (1 when nothing is live).
+func (s Snapshot) CDNFraction() float64 {
+	if s.LiveStreams == 0 {
+		return 1
+	}
+	return float64(s.ViaCDN) / float64(s.LiveStreams)
+}
+
+// Snapshot summarizes the current overlay state.
+func (m *Manager) Snapshot() Snapshot {
+	s := Snapshot{
+		Viewers:          len(m.viewers),
+		Admitted:         m.viewersAdmitted,
+		Rejected:         m.viewersRejected,
+		StreamsRequested: m.streamsRequested,
+		StreamsAccepted:  m.streamsAccepted,
+		CDNUsage:         m.cdn.Snapshot(),
+		Groups:           len(m.groups),
+	}
+	for _, id := range m.SortedViewerIDs() {
+		v := m.viewers[id]
+		s.AcceptedPerViewer = append(s.AcceptedPerViewer, len(v.Nodes))
+		if maxLayer, ok := v.MaxAssignedLayer(); ok {
+			s.MaxLayerPerViewer = append(s.MaxLayerPerViewer, maxLayer)
+		}
+		for _, n := range v.Nodes {
+			s.LiveStreams++
+			if n.Parent == nil {
+				s.ViaCDN++
+			} else {
+				s.ViaP2P++
+			}
+		}
+	}
+	return s
+}
+
+// Validate checks every structural invariant of the overlay: tree shape,
+// per-node degree bounds, CDN accounting consistency, viewer/tree agreement,
+// the κ bound per viewer, and the d_max bound per node. Tests and the
+// experiment harness call it after bulk operations; it returns the first
+// violation found.
+func (m *Manager) Validate() error {
+	cdnMbps := make(map[model.StreamID]float64)
+	for _, g := range m.groups {
+		for id, tree := range g.Trees {
+			if err := tree.validate(); err != nil {
+				return err
+			}
+			for _, r := range tree.Roots() {
+				cdnMbps[id] += tree.Stream.BitrateMbps
+				_ = r
+			}
+			var verr error
+			tree.Walk(func(n *Node) {
+				if verr != nil {
+					return
+				}
+				if n.Layer > m.params.Hierarchy.MaxLayer() {
+					verr = errDelayBound(string(n.Viewer), n.Layer, m.params.Hierarchy.MaxLayer())
+				}
+				v, ok := g.Members[n.Viewer]
+				if !ok || v.Nodes[id] != n {
+					verr = errViewerTreeMismatch(string(n.Viewer), id.String())
+				}
+			})
+			if verr != nil {
+				return verr
+			}
+		}
+		for vid, v := range g.Members {
+			if err := m.validateViewer(vid, v); err != nil {
+				return err
+			}
+		}
+	}
+	// The CDN is shared with other managers (one per LSC), so this
+	// manager's trees give a lower bound on the per-stream accounting;
+	// the session controller checks exact global equality.
+	usage := m.cdn.Snapshot()
+	for id, want := range cdnMbps {
+		if usage.PerStreamMbps[id] < want-1e-6 {
+			return errCDNAccounting(id.String(), usage.PerStreamMbps[id], want)
+		}
+	}
+	return nil
+}
+
+// CDNImplied returns the per-stream CDN egress implied by this manager's
+// trees: bitrate × number of direct CDN children. The session controller
+// sums it across LSCs to check global accounting.
+func (m *Manager) CDNImplied() map[model.StreamID]float64 {
+	implied := make(map[model.StreamID]float64)
+	for _, g := range m.groups {
+		for id, tree := range g.Trees {
+			implied[id] += float64(len(tree.Roots())) * tree.Stream.BitrateMbps
+		}
+	}
+	return implied
+}
+
+func (m *Manager) validateViewer(vid model.ViewerID, v *Viewer) error {
+	h := m.params.Hierarchy
+	lo, hi := 1<<30, -1
+	var inUse float64
+	for id, n := range v.Nodes {
+		tree := v.Group.Trees[id]
+		if tn, ok := tree.Node(vid); !ok || tn != n {
+			return errViewerTreeMismatch(string(vid), id.String())
+		}
+		inUse += tree.Stream.BitrateMbps
+		if n.Layer < lo {
+			lo = n.Layer
+		}
+		if n.Layer > hi {
+			hi = n.Layer
+		}
+	}
+	if hi >= 0 && hi-lo > h.Kappa {
+		return errKappaBound(string(vid), hi-lo, h.Kappa)
+	}
+	if inUse > v.Info.InboundMbps+1e-6 {
+		return errInboundBound(string(vid), inUse, v.Info.InboundMbps)
+	}
+	var outUse float64
+	for id, deg := range v.OutDeg {
+		if n, ok := v.Nodes[id]; ok && len(n.Children) > deg {
+			return errOverDegree(string(vid), len(n.Children), deg)
+		}
+	}
+	for _, mbps := range v.OutAlloc {
+		outUse += mbps
+	}
+	if outUse > v.Info.OutboundMbps+1e-6 {
+		return errOutboundBound(string(vid), outUse, v.Info.OutboundMbps)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package overlay
+
+import (
+	"telecast/internal/model"
+)
+
+// The stream-subscription process of §V-B3 is driven by a deduplicated
+// worklist: any mutation that changes a node's delay state enqueues the
+// affected viewers, and processPending drains the queue, running one
+// subscription pass per viewer. The overlay property (§IV-B2) keeps the
+// serve relation acyclic within a group, so the drain terminates; a
+// generous budget guards against pathological churn.
+
+// enqueueResub marks a viewer for a subscription pass.
+func (m *Manager) enqueueResub(id model.ViewerID) {
+	if m.pendingSet[id] {
+		return
+	}
+	m.pendingSet[id] = true
+	m.pendingQ = append(m.pendingQ, id)
+}
+
+// enqueueNodes marks the viewers of changed tree nodes.
+func (m *Manager) enqueueNodes(nodes []*Node) {
+	for _, n := range nodes {
+		m.enqueueResub(n.Viewer)
+	}
+}
+
+// enqueueSubtree marks every viewer in the subtree rooted at n.
+func (m *Manager) enqueueSubtree(n *Node) {
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m.enqueueResub(cur.Viewer)
+		stack = append(stack, cur.Children...)
+	}
+}
+
+// processPending drains the subscription worklist.
+func (m *Manager) processPending() {
+	for len(m.pendingQ) > 0 && m.resubscribeBudget > 0 {
+		m.resubscribeBudget--
+		id := m.pendingQ[0]
+		m.pendingQ = m.pendingQ[1:]
+		delete(m.pendingSet, id)
+		if v, ok := m.viewers[id]; ok {
+			m.resubscribeOne(v)
+		}
+	}
+	// A drained budget with work left would mean the propagation chain
+	// cycled, which the overlay property rules out; clear the queue so a
+	// later operation starts clean rather than replaying stale work.
+	if len(m.pendingQ) > 0 {
+		m.pendingQ = m.pendingQ[:0]
+		for id := range m.pendingSet {
+			delete(m.pendingSet, id)
+		}
+	}
+}
+
+// resubscribeOne runs one stream-subscription pass for a viewer: recompute
+// the minimum layer per accepted stream from the parents' effective delays
+// (Eq. 1), bound the spread by κ via layer push-down (Layer Property 2),
+// apply delay-layer adaptation to streams beyond d_max, and enqueue every
+// viewer whose node state changed as a consequence.
+func (m *Manager) resubscribeOne(v *Viewer) {
+	h := m.params.Hierarchy
+
+	minLayers := make(map[model.StreamID]int, len(v.Nodes))
+	for id, node := range v.Nodes {
+		minLayers[id] = h.LayerOf(node.MinE2E)
+	}
+	sub := h.Subscribe(minLayers)
+
+	// Delay layer adaptation (§VI): streams whose minimum layer already
+	// violates d_max are re-provisioned from the CDN when their parent is
+	// a viewer; when the parent is the CDN nothing faster exists and the
+	// subscription is dropped.
+	for _, id := range sub.Dropped {
+		node := v.Nodes[id]
+		tree := v.Group.Trees[id]
+		if node.Parent != nil && m.cdn.Allocate(id, tree.Stream.BitrateMbps) == nil {
+			tree.MoveToCDN(node)
+			m.enqueueSubtree(node)
+		} else {
+			m.dropStream(v, id, true)
+		}
+		// Either way this viewer's layer picture changed; run a fresh
+		// pass for it rather than applying the stale subscription.
+		m.enqueueResub(v.Info.ID)
+		return
+	}
+
+	for id, layer := range sub.Layers {
+		node := v.Nodes[id]
+		if node == nil {
+			continue
+		}
+		tree := v.Group.Trees[id]
+		changed := tree.SetLayer(node, layer)
+		for _, c := range changed {
+			if c != node {
+				m.enqueueResub(c.Viewer)
+			}
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package overlay
+
+import (
+	"sort"
+	"time"
+)
+
+// Tree is the dissemination tree of one stream within one view group. The
+// (virtual) root is the CDN: every node with a nil parent receives the
+// stream directly from a CDN edge server at delay Δ.
+type Tree struct {
+	Stream treeStream
+	roots  []*Node
+	nodes  map[string]*Node // keyed by string(ViewerID)
+	prop   PropFunc
+	params Params
+}
+
+// treeStream is the slice of stream metadata the tree needs.
+type treeStream struct {
+	ID          streamID
+	BitrateMbps float64
+	FrameRate   float64
+}
+
+type streamID = modelStreamID
+
+// NewTree builds an empty tree for the stream.
+func newTree(id streamID, bitrate, frameRate float64, prop PropFunc, params Params) *Tree {
+	return &Tree{
+		Stream: treeStream{ID: id, BitrateMbps: bitrate, FrameRate: frameRate},
+		nodes:  make(map[string]*Node),
+		prop:   prop,
+		params: params,
+	}
+}
+
+// Size returns the number of viewers in the tree.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Roots returns the direct CDN children.
+func (t *Tree) Roots() []*Node { return t.roots }
+
+// Node returns the tree node of a viewer, if present.
+func (t *Tree) Node(v viewerID) (*Node, bool) {
+	n, ok := t.nodes[string(v)]
+	return n, ok
+}
+
+// FreeSlots counts unused out-degree across all attached nodes: the P2P
+// supply available without displacing anyone.
+func (t *Tree) FreeSlots() int {
+	total := 0
+	for _, n := range t.nodes {
+		total += n.FreeSlots()
+	}
+	return total
+}
+
+// HasSupplyFor reports whether the P2P layer can serve one more child:
+// either a free slot exists, or a joining viewer with the given out-degree
+// and capacity could displace an attached node (degree push-down always
+// nets one extra position in that case).
+func (t *Tree) HasSupplyFor(outDeg int, outCap float64) bool {
+	if t.FreeSlots() > 0 {
+		return true
+	}
+	for _, z := range t.nodes {
+		// A fresh joiner has all outDeg slots free.
+		if beats(outDeg, outDeg, outCap, z) {
+			return true
+		}
+	}
+	return false
+}
+
+// beats implements the degree push-down comparison for a joiner with the
+// given spare slots: a virtual empty slot (out-degree −1) accepts anyone;
+// a real node z is displaced when the joiner has a slot left to adopt it
+// and either oDeg_u > oDeg_z, or the degrees tie and C^u_obw > C^z_obw.
+func beats(outDeg, freeSlots int, outCap float64, z *Node) bool {
+	if z.OutDeg == -1 {
+		return outDeg >= 0
+	}
+	if freeSlots < 1 {
+		return false // nowhere to put the displaced node
+	}
+	if outDeg != z.OutDeg {
+		return outDeg > z.OutDeg
+	}
+	return outCap > z.OutCap
+}
+
+// Insert runs Algorithm 1 (degree push down) to place u in the tree. It
+// scans the tree level by level; at each level candidates are visited in
+// ascending out-degree order, with empty child slots acting as virtual nodes
+// of out-degree −1. The first candidate u beats is replaced: u takes its
+// position and the displaced node becomes u's child (keeping its own
+// subtree). Insert reports placed=false when u beats no candidate, in which
+// case the caller provisions the stream from the CDN or rejects it
+// (§IV-B2). displaced is the real node pushed down, if any; its subtree's
+// delays were recomputed and its viewers need a stream-subscription pass.
+func (t *Tree) Insert(u *Node) (placed bool, displaced *Node) {
+	if _, dup := t.nodes[string(u.Viewer)]; dup {
+		return false, nil
+	}
+	z := t.findPosition(u)
+	if z == nil {
+		return false, nil
+	}
+	return true, t.placeAt(z, u)
+}
+
+// Reattach re-runs degree push down for a node that is already known to the
+// tree but currently detached (a victim keeping its subtree). The BFS only
+// reaches attached nodes, so the victim's own subtree is never a candidate.
+func (t *Tree) Reattach(u *Node) (placed bool, displaced *Node) {
+	z := t.findPosition(u)
+	if z == nil {
+		return false, nil
+	}
+	return true, t.placeAt(z, u)
+}
+
+// findPosition walks the tree level by level looking for the first
+// candidate u beats. Virtual empty slots (out-degree −1) sort ahead of real
+// nodes, so free capacity at a level is preferred over displacement there.
+func (t *Tree) findPosition(u *Node) *Node {
+	level := make([]*Node, len(t.roots))
+	copy(level, t.roots)
+	for len(level) > 0 {
+		sortCandidates(level)
+		for _, z := range level {
+			if beats(u.OutDeg, u.FreeSlots(), u.OutCap, z) {
+				return z
+			}
+		}
+		var next []*Node
+		for _, z := range level {
+			next = append(next, z.Children...)
+			if z.FreeSlots() > 0 {
+				// One virtual empty slot per parent is enough:
+				// attaching consumes exactly one.
+				next = append(next, &Node{OutDeg: -1, Parent: z})
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+// sortCandidates orders a level ascending by out-degree, then by out
+// capacity, then by effective delay (prefer displacing high-delay nodes),
+// then by viewer ID for determinism.
+func sortCandidates(level []*Node) {
+	sort.SliceStable(level, func(i, j int) bool {
+		a, b := level[i], level[j]
+		if a.OutDeg != b.OutDeg {
+			return a.OutDeg < b.OutDeg
+		}
+		if a.OutCap != b.OutCap {
+			return a.OutCap < b.OutCap
+		}
+		if a.EffE2E != b.EffE2E {
+			return a.EffE2E > b.EffE2E
+		}
+		return a.Viewer < b.Viewer
+	})
+}
+
+// placeAt puts u in z's position. A virtual empty slot (out-degree −1)
+// simply attaches u under its parent; a real node is displaced and becomes
+// u's child together with its subtree. The displaced real node (nil for
+// empty slots) is returned.
+func (t *Tree) placeAt(z, u *Node) (displaced *Node) {
+	if z.OutDeg == -1 { // virtual empty slot: plain attach
+		u.Parent = z.Parent
+		z.Parent.Children = append(z.Parent.Children, u)
+	} else {
+		u.Parent = z.Parent
+		if z.Parent == nil {
+			for i, r := range t.roots {
+				if r == z {
+					t.roots[i] = u
+					break
+				}
+			}
+		} else {
+			for i, c := range z.Parent.Children {
+				if c == z {
+					z.Parent.Children[i] = u
+					break
+				}
+			}
+		}
+		z.Parent = u
+		u.Children = append(u.Children, z)
+		displaced = z
+	}
+	t.nodes[string(u.Viewer)] = u
+	t.refreshDelays(u)
+	return displaced
+}
+
+// AttachToCDN places u as a direct child of the CDN (a tree root). The
+// caller is responsible for CDN capacity accounting. It is safe for both
+// fresh nodes and detached victims.
+func (t *Tree) AttachToCDN(u *Node) {
+	u.Parent = nil
+	t.roots = append(t.roots, u)
+	t.nodes[string(u.Viewer)] = u
+	t.refreshDelays(u)
+}
+
+// MoveToCDN detaches n from its current parent, keeping its subtree, and
+// re-roots it at the CDN. The caller must have reserved CDN capacity first.
+// If n was already a root this only refreshes delays.
+func (t *Tree) MoveToCDN(n *Node) {
+	if n.Parent != nil {
+		p := n.Parent
+		for i, c := range p.Children {
+			if c == n {
+				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+				break
+			}
+		}
+		n.Parent = nil
+		t.roots = append(t.roots, n)
+	}
+	t.refreshDelays(n)
+}
+
+// Detach removes u from the tree and returns its children as victims, each
+// detached with its own subtree intact. The caller re-attaches victims
+// (victim recovery, §VI) or drops them.
+func (t *Tree) Detach(u *Node) []*Node {
+	delete(t.nodes, string(u.Viewer))
+	if u.Parent == nil {
+		for i, r := range t.roots {
+			if r == u {
+				t.roots = append(t.roots[:i], t.roots[i+1:]...)
+				break
+			}
+		}
+	} else {
+		p := u.Parent
+		for i, c := range p.Children {
+			if c == u {
+				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+				break
+			}
+		}
+		u.Parent = nil
+	}
+	victims := u.Children
+	u.Children = nil
+	for _, v := range victims {
+		v.Parent = nil
+	}
+	return victims
+}
+
+// refreshDelays recomputes MinE2E, Layer, and EffE2E for n and its subtree.
+// The assigned layer never drops below the minimum implied by the path, and
+// a node already pushed down (Layer > minimum) keeps its deeper layer: the
+// stream-subscription pass decides moves, not the tree. It returns every
+// node whose delay state changed so that the manager can re-run stream
+// subscription for the affected viewers — silently updated descendants are
+// exactly how κ-bound violations would otherwise slip through.
+func (t *Tree) refreshDelays(n *Node) (changed []*Node) {
+	h := t.params.Hierarchy
+	var rec func(*Node)
+	rec = func(n *Node) {
+		oldMin, oldLayer, oldEff := n.MinE2E, n.Layer, n.EffE2E
+		if n.Parent == nil {
+			n.MinE2E = h.Delta
+		} else {
+			n.MinE2E = n.Parent.EffE2E + t.prop(n.Parent.Viewer, n.Viewer) + t.params.Proc
+		}
+		minLayer := h.LayerOf(n.MinE2E)
+		if n.Layer < minLayer {
+			n.Layer = minLayer
+		}
+		n.EffE2E = n.MinE2E
+		// A pushed-down viewer receives at its position inside the
+		// layer: ℜ=τr (offset 1) pins it to the top edge, smaller
+		// offsets sit deeper in the layer.
+		pos := h.LayerDelayLow(n.Layer) +
+			time.Duration((1-t.params.offsetFrac())*float64(h.Tau()))
+		if n.EffE2E < pos {
+			n.EffE2E = pos
+		}
+		if n.MinE2E != oldMin || n.Layer != oldLayer || n.EffE2E != oldEff {
+			changed = append(changed, n)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return changed
+}
+
+// SetLayer assigns the node's delay layer (from stream subscription) and
+// propagates the resulting effective-delay change through the subtree,
+// returning the nodes whose delay state changed.
+func (t *Tree) SetLayer(n *Node, layer int) []*Node {
+	min := t.params.Hierarchy.LayerOf(n.MinE2E)
+	if layer < min {
+		layer = min
+	}
+	n.Layer = layer
+	return t.refreshDelays(n)
+}
+
+// forget removes a detached node from the tree's bookkeeping. It must only
+// be called on nodes with no parent and no children (cascadeDrop detaches
+// both sides first).
+func (t *Tree) forget(n *Node) {
+	delete(t.nodes, string(n.Viewer))
+}
+
+// Walk visits every attached node (preorder from each root).
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, r := range t.roots {
+		rec(r)
+	}
+}
+
+// Depth returns the maximum node depth (roots are depth 1); 0 for empty.
+func (t *Tree) Depth() int {
+	var rec func(n *Node, d int) int
+	rec = func(n *Node, d int) int {
+		deepest := d
+		for _, c := range n.Children {
+			if cd := rec(c, d+1); cd > deepest {
+				deepest = cd
+			}
+		}
+		return deepest
+	}
+	deepest := 0
+	for _, r := range t.roots {
+		if d := rec(r, 1); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
+}
+
+// validate checks structural invariants; tests call it after mutations.
+func (t *Tree) validate() error {
+	seen := make(map[string]bool, len(t.nodes))
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		key := string(n.Viewer)
+		if seen[key] {
+			return errDuplicateNode(key)
+		}
+		seen[key] = true
+		if len(n.Children) > n.OutDeg {
+			return errOverDegree(key, len(n.Children), n.OutDeg)
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return errBadParentLink(string(c.Viewer))
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range t.roots {
+		if r.Parent != nil {
+			return errBadParentLink(string(r.Viewer))
+		}
+		if err := rec(r); err != nil {
+			return err
+		}
+	}
+	if len(seen) != len(t.nodes) {
+		return errOrphanNodes(len(t.nodes) - len(seen))
+	}
+	return nil
+}
+
+// viewerID aliases keep tree.go readable without importing model twice.
+type viewerID = modelViewerID
+
+// InsertFIFO attaches u to the first free slot found in BFS order, without
+// any displacement — the no-push-down strawman the ablations compare
+// against. Returns false when the tree has no free slot.
+func (t *Tree) InsertFIFO(u *Node) bool {
+	if _, dup := t.nodes[string(u.Viewer)]; dup {
+		return false
+	}
+	level := make([]*Node, len(t.roots))
+	copy(level, t.roots)
+	for len(level) > 0 {
+		var next []*Node
+		for _, z := range level {
+			if z.FreeSlots() > 0 {
+				u.Parent = z
+				z.Children = append(z.Children, u)
+				t.nodes[string(u.Viewer)] = u
+				t.refreshDelays(u)
+				return true
+			}
+			next = append(next, z.Children...)
+		}
+		level = next
+	}
+	return false
+}

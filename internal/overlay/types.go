@@ -1,0 +1,146 @@
+// Package overlay implements the multi-stream overlay construction of §IV:
+// priority-based inbound bandwidth allocation, round-robin outbound
+// allocation, the degree push-down topology formation (Algorithm 1),
+// per-view-group streaming trees rooted at the CDN, and the victim-recovery
+// and delay-layer-adaptation procedures of §VI. View synchronization state
+// (delay layers, effective delays after delayed receive) is maintained here
+// too, using the pure layer geometry from internal/layering.
+package overlay
+
+import (
+	"time"
+
+	"telecast/internal/layering"
+	"telecast/internal/model"
+)
+
+// PropFunc returns the one-way propagation delay d_prop between two viewers.
+type PropFunc func(a, b model.ViewerID) time.Duration
+
+// Params collects the session-wide overlay constants.
+type Params struct {
+	// Hierarchy is the delay-layer geometry (Δ, d_buff, κ, d_max).
+	Hierarchy layering.Hierarchy
+	// Proc is δ, the per-hop processing delay inside a forwarding viewer.
+	Proc time.Duration
+	// CutoffDF is df_th, the stream differentiation cut-off applied when
+	// composing views.
+	CutoffDF float64
+	// PushdownOffsetFrac is ℜ/(τr) ∈ [0,1]: where inside a layer a
+	// pushed-down viewer positions itself. The paper uses 1 (the top of
+	// the layer, lowest delay) so push-downs fade out in subsequent
+	// children (§V-B3); 0 is the naive bottom-of-layer placement the A3
+	// ablation contrasts against. The zero value means 1 so that
+	// existing configurations keep the paper's behaviour.
+	PushdownOffsetFrac *float64
+}
+
+// offsetFrac resolves the configured push-down offset (default 1).
+func (p Params) offsetFrac() float64 {
+	if p.PushdownOffsetFrac == nil {
+		return 1
+	}
+	f := *p.PushdownOffsetFrac
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ViewerInfo describes a joining viewer's identity and resource constraints.
+type ViewerInfo struct {
+	ID model.ViewerID
+	// InboundMbps is C^u_ibw, the viewer's total inbound capacity.
+	InboundMbps float64
+	// OutboundMbps is C^u_obw, the total outbound capacity the viewer
+	// contributes to the P2P layer.
+	OutboundMbps float64
+}
+
+// Node is a viewer's position in one stream's dissemination tree. A nil
+// Parent means the node is a direct child of the CDN.
+type Node struct {
+	Viewer   model.ViewerID
+	OutDeg   int
+	OutCap   float64 // C^u_obw, the degree push-down tie-breaker
+	Parent   *Node
+	Children []*Node
+
+	// MinE2E is the lowest end-to-end delay the overlay path allows:
+	// parent's effective delay + d_prop + δ (Δ for CDN children).
+	MinE2E time.Duration
+	// Layer is the assigned delay layer after stream subscription; it is
+	// at least LayerOf(MinE2E) and may be larger after layer push-down.
+	Layer int
+	// EffE2E is the effective delay at the assigned layer: the delay at
+	// which frames are actually received after delayed receive. Children
+	// inherit their MinE2E from this value (Layer Property 1).
+	EffE2E time.Duration
+}
+
+// FreeSlots returns the node's unused out-degree.
+func (n *Node) FreeSlots() int {
+	free := n.OutDeg - len(n.Children)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Viewer is the overlay-side record of a connected viewer.
+type Viewer struct {
+	Info    ViewerInfo
+	Request model.ViewRequest
+	Group   *Group
+	// Nodes maps each accepted stream to the viewer's tree position.
+	Nodes map[model.StreamID]*Node
+	// OutAlloc is the outbound bandwidth assigned per accepted stream by
+	// the round-robin allocation.
+	OutAlloc map[model.StreamID]float64
+	// OutDeg is ⌊OutAlloc/bw⌋ per stream.
+	OutDeg map[model.StreamID]int
+	// InUsedMbps is the inbound bandwidth consumed by accepted streams.
+	InUsedMbps float64
+	// Rejected records that admission failed (the viewer stays known so
+	// that experiments can report it in distributions).
+	Rejected bool
+}
+
+// AcceptedStreams returns the viewer's currently accepted stream IDs in
+// request priority order.
+func (v *Viewer) AcceptedStreams() []model.StreamID {
+	ids := make([]model.StreamID, 0, len(v.Nodes))
+	for _, rs := range v.Request.Streams {
+		if _, ok := v.Nodes[rs.Stream.ID]; ok {
+			ids = append(ids, rs.Stream.ID)
+		}
+	}
+	return ids
+}
+
+// MaxAssignedLayer returns the highest delay layer among the viewer's
+// accepted streams (the quantity Fig 14(a) plots) and false when the viewer
+// has no accepted streams.
+func (v *Viewer) MaxAssignedLayer() (int, bool) {
+	maxLayer, any := 0, false
+	for _, n := range v.Nodes {
+		if !any || n.Layer > maxLayer {
+			maxLayer = n.Layer
+		}
+		any = true
+	}
+	return maxLayer, any
+}
+
+// Group is a view group: the set of viewers that requested the same stream
+// set. Topologies are formed separately per group so popular views pool
+// their seed capacity without interference from unpopular ones (§III-B).
+type Group struct {
+	Key     model.ViewKey
+	Request model.ViewRequest
+	Trees   map[model.StreamID]*Tree
+	Members map[model.ViewerID]*Viewer
+}

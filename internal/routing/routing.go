@@ -1,0 +1,191 @@
+// Package routing implements the per-viewer session overlay routing table of
+// §III-B (Table I). The data plane matches each arriving frame against
+// (parent, stream) match fields and forwards it to the child addresses of
+// the matching entry, from the buffer/cache position named by the child's
+// subscription point. The control plane (the session layer) populates and
+// updates the table during joins, view changes, and subscription updates.
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"telecast/internal/model"
+)
+
+// Action tells the data plane what to do with a frame for one forwarding
+// address. The paper uses forward/drop today and reserves encoding and rate
+// control as future per-child transformations.
+type Action int
+
+// Actions, in the order Table I lists them.
+const (
+	ActionDrop Action = iota + 1
+	ActionForward
+	ActionEncode
+	ActionRateControl
+)
+
+// String names the action as Table I spells it.
+func (a Action) String() string {
+	switch a {
+	case ActionDrop:
+		return "drop"
+	case ActionForward:
+		return "forward"
+	case ActionEncode:
+		return "encoding"
+	case ActionRateControl:
+		return "rate"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// MatchField identifies an incoming flow: the stream and the parent it is
+// received from ("" designates the CDN).
+type MatchField struct {
+	Stream model.StreamID
+	Parent model.ViewerID
+}
+
+// Forward is one forwarding address with its action and subscription point.
+type Forward struct {
+	Child model.ViewerID
+	// Action is what to do for this child.
+	Action Action
+	// SubscriptionFrame is the frame number in the local buffer/cache
+	// from which the child is served (the "position in buffer and cache"
+	// column of Table I). The parent streams at the media rate starting
+	// from this frame.
+	SubscriptionFrame int64
+}
+
+// Table is a viewer's session routing table. It is safe for concurrent use:
+// the live emulation's data plane reads it from receive goroutines while the
+// control plane applies updates.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[MatchField][]Forward
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{entries: make(map[MatchField][]Forward)}
+}
+
+// SetEntry installs or replaces the forwarding list of a match field.
+func (t *Table) SetEntry(match MatchField, forwards []Forward) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copied := make([]Forward, len(forwards))
+	copy(copied, forwards)
+	t.entries[match] = copied
+}
+
+// AddForward appends a forwarding address to a match field, creating the
+// entry if needed. An existing forward for the same child is replaced.
+func (t *Table) AddForward(match MatchField, fw Forward) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.entries[match]
+	for i := range list {
+		if list[i].Child == fw.Child {
+			list[i] = fw
+			return
+		}
+	}
+	t.entries[match] = append(list, fw)
+}
+
+// RemoveForward deletes a child from a match field's forwarding list,
+// reporting whether it was present. Empty entries are removed.
+func (t *Table) RemoveForward(match MatchField, child model.ViewerID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.entries[match]
+	for i := range list {
+		if list[i].Child == child {
+			list = append(list[:i], list[i+1:]...)
+			if len(list) == 0 {
+				delete(t.entries, match)
+			} else {
+				t.entries[match] = list
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateSubscription moves a child's subscription point, reporting whether
+// the (match, child) pair exists. This is the routing-table side of the
+// stream subscription protocol (Fig. 6).
+func (t *Table) UpdateSubscription(match MatchField, child model.ViewerID, frame int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.entries[match]
+	for i := range list {
+		if list[i].Child == child {
+			list[i].SubscriptionFrame = frame
+			return true
+		}
+	}
+	return false
+}
+
+// DropEntry removes a whole match field (e.g. the parent stopped serving).
+func (t *Table) DropEntry(match MatchField) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, match)
+}
+
+// Lookup returns the forwarding list for an arriving frame's match field.
+// The returned slice is a copy; mutating it does not affect the table.
+func (t *Table) Lookup(match MatchField) []Forward {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	list, ok := t.entries[match]
+	if !ok {
+		return nil
+	}
+	out := make([]Forward, len(list))
+	copy(out, list)
+	return out
+}
+
+// LookupByStream returns all forwards of a stream regardless of parent;
+// useful when a victim switches parents but children subscriptions persist.
+func (t *Table) LookupByStream(id model.StreamID) []Forward {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Forward
+	for match, list := range t.entries {
+		if match.Stream == id {
+			out = append(out, list...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Child < out[j].Child })
+	return out
+}
+
+// Len returns the number of match-field entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Entries returns a deterministic copy of the table for inspection.
+func (t *Table) Entries() map[MatchField][]Forward {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[MatchField][]Forward, len(t.entries))
+	for k, v := range t.entries {
+		cp := make([]Forward, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package routing
+
+import (
+	"sync"
+	"testing"
+
+	"telecast/internal/model"
+)
+
+var (
+	s1 = model.StreamID{Site: "A", Index: 1}
+	s2 = model.StreamID{Site: "B", Index: 2}
+)
+
+func TestActionStrings(t *testing.T) {
+	cases := map[Action]string{
+		ActionDrop:        "drop",
+		ActionForward:     "forward",
+		ActionEncode:      "encoding",
+		ActionRateControl: "rate",
+		Action(99):        "action(99)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestSetAndLookup(t *testing.T) {
+	tb := NewTable()
+	match := MatchField{Stream: s1, Parent: "p"}
+	tb.SetEntry(match, []Forward{
+		{Child: "c1", Action: ActionForward, SubscriptionFrame: 100},
+		{Child: "c2", Action: ActionDrop},
+	})
+	got := tb.Lookup(match)
+	if len(got) != 2 || got[0].Child != "c1" || got[1].Action != ActionDrop {
+		t.Fatalf("lookup = %+v", got)
+	}
+	// Returned slice is a copy.
+	got[0].SubscriptionFrame = 999
+	if tb.Lookup(match)[0].SubscriptionFrame != 100 {
+		t.Error("lookup leaked internal state")
+	}
+	if tb.Lookup(MatchField{Stream: s2, Parent: "p"}) != nil {
+		t.Error("missing entry should return nil")
+	}
+}
+
+func TestAddForwardReplacesSameChild(t *testing.T) {
+	tb := NewTable()
+	match := MatchField{Stream: s1, Parent: "p"}
+	tb.AddForward(match, Forward{Child: "c", Action: ActionForward, SubscriptionFrame: 1})
+	tb.AddForward(match, Forward{Child: "c", Action: ActionForward, SubscriptionFrame: 7})
+	got := tb.Lookup(match)
+	if len(got) != 1 || got[0].SubscriptionFrame != 7 {
+		t.Fatalf("lookup = %+v", got)
+	}
+}
+
+func TestRemoveForward(t *testing.T) {
+	tb := NewTable()
+	match := MatchField{Stream: s1, Parent: "p"}
+	tb.AddForward(match, Forward{Child: "c1", Action: ActionForward})
+	tb.AddForward(match, Forward{Child: "c2", Action: ActionForward})
+	if !tb.RemoveForward(match, "c1") {
+		t.Fatal("remove existing failed")
+	}
+	if tb.RemoveForward(match, "c1") {
+		t.Fatal("remove twice succeeded")
+	}
+	if !tb.RemoveForward(match, "c2") {
+		t.Fatal("remove c2 failed")
+	}
+	if tb.Len() != 0 {
+		t.Error("empty entry not garbage-collected")
+	}
+}
+
+func TestUpdateSubscription(t *testing.T) {
+	tb := NewTable()
+	match := MatchField{Stream: s1, Parent: "p"}
+	tb.AddForward(match, Forward{Child: "c", Action: ActionForward, SubscriptionFrame: 5})
+	if !tb.UpdateSubscription(match, "c", 42) {
+		t.Fatal("update failed")
+	}
+	if got := tb.Lookup(match)[0].SubscriptionFrame; got != 42 {
+		t.Fatalf("frame = %d", got)
+	}
+	if tb.UpdateSubscription(match, "ghost", 1) {
+		t.Error("update of missing child succeeded")
+	}
+}
+
+func TestLookupByStreamMergesParents(t *testing.T) {
+	tb := NewTable()
+	tb.AddForward(MatchField{Stream: s1, Parent: "p1"}, Forward{Child: "b", Action: ActionForward})
+	tb.AddForward(MatchField{Stream: s1, Parent: "p2"}, Forward{Child: "a", Action: ActionForward})
+	tb.AddForward(MatchField{Stream: s2, Parent: "p1"}, Forward{Child: "z", Action: ActionForward})
+	got := tb.LookupByStream(s1)
+	if len(got) != 2 || got[0].Child != "a" || got[1].Child != "b" {
+		t.Fatalf("by stream = %+v", got)
+	}
+}
+
+func TestDropEntryAndEntries(t *testing.T) {
+	tb := NewTable()
+	m1 := MatchField{Stream: s1, Parent: "p"}
+	tb.AddForward(m1, Forward{Child: "c", Action: ActionForward})
+	tb.DropEntry(m1)
+	if tb.Len() != 0 {
+		t.Error("entry survived drop")
+	}
+	tb.AddForward(m1, Forward{Child: "c", Action: ActionForward})
+	snapshot := tb.Entries()
+	snapshot[m1][0].Child = "mutated"
+	if tb.Lookup(m1)[0].Child != "c" {
+		t.Error("Entries leaked internal state")
+	}
+}
+
+func TestTableConcurrency(t *testing.T) {
+	tb := NewTable()
+	match := MatchField{Stream: s1, Parent: "p"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.AddForward(match, Forward{Child: model.ViewerID(rune('a' + g)), Action: ActionForward, SubscriptionFrame: int64(i)})
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.Lookup(match)
+				tb.LookupByStream(s1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tb.Lookup(match)); got != 4 {
+		t.Fatalf("children = %d, want 4", got)
+	}
+}

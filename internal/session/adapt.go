@@ -1,0 +1,121 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+// This file implements the §VI adaptation loop beyond view changes: the
+// periodic delay-layer adaptation against network dynamism and the Eq. 2
+// subscription-point computation that positions each viewer inside its
+// assigned layer.
+
+// AdaptDelays re-evaluates every streaming tree against the current
+// propagation delays (the paper's "viewers also periodically monitor the
+// end-to-end delay of all streams in the requested view and update their
+// layer indexes accordingly"). Layer violations trigger the usual delay
+// layer adaptation — CDN re-provisioning or subscription drops — and
+// viewers whose parents moved up move up with them. It returns the number
+// of viewers whose layer assignment changed.
+func (c *Controller) AdaptDelays() int {
+	changed := 0
+	for _, lsc := range c.lscs {
+		changed += lsc.Overlay.RefreshAll()
+	}
+	return changed
+}
+
+// AttachMonitor installs the GSC monitoring component so that subscription
+// points can be computed against live producer metadata.
+func (c *Controller) AttachMonitor(m *Monitor) { c.monitor = m }
+
+// Monitor returns the attached monitoring component, if any.
+func (c *Controller) Monitor() *Monitor { return c.monitor }
+
+// SubscriptionPoint is one stream's computed delayed-receive position.
+type SubscriptionPoint struct {
+	Stream model.StreamID
+	// Layer is the viewer's assigned delay layer for the stream.
+	Layer int
+	// FromFrame is n′ of Eq. 2: the frame number the parent should serve
+	// from so the viewer lands at the top of its layer.
+	FromFrame int64
+	// Parent is the serving node ("" for the CDN).
+	Parent model.ViewerID
+}
+
+// SubscriptionPoints evaluates Eq. 2 for every accepted stream of a viewer:
+//
+//	n′ = n − (Δ + (x+1)τ)·r + (d_prop + δ)·r + d_prop·r + ℜ,  ℜ = τr
+//
+// with n and r taken from the GSC monitor, x the assigned layer, d_prop the
+// propagation delay to the parent, and δ the parent processing delay. The
+// ℜ = τr offset positions the viewer at the top of the layer so push-downs
+// fade out in subsequent children (§V-B3).
+func (c *Controller) SubscriptionPoints(id model.ViewerID) ([]SubscriptionPoint, error) {
+	if c.monitor == nil {
+		return nil, fmt.Errorf("subscription points %s: no monitor attached", id)
+	}
+	st, ok := c.viewers[id]
+	if !ok {
+		return nil, fmt.Errorf("subscription points %s: unknown viewer", id)
+	}
+	v, ok := st.lsc.Overlay.Viewer(id)
+	if !ok {
+		return nil, fmt.Errorf("subscription points %s: not in overlay", id)
+	}
+	h := c.cfg.Producers
+	hier := st.lsc.Overlay.Params().Hierarchy
+	points := make([]SubscriptionPoint, 0, len(v.Nodes))
+	for _, sid := range v.AcceptedStreams() {
+		node := v.Nodes[sid]
+		status, err := c.monitor.Status(sid)
+		if err != nil {
+			return nil, fmt.Errorf("subscription points %s: %w", id, err)
+		}
+		stream, _ := h.Stream(sid)
+		var parent model.ViewerID
+		var dprop time.Duration
+		if node.Parent != nil {
+			parent = node.Parent.Viewer
+			if p, ok := c.viewers[parent]; ok {
+				dprop = c.cfg.Latency.Delay(st.nodeIdx, p.nodeIdx)
+			}
+		} else {
+			// CDN parents are served by the edge co-located with the
+			// viewer's LSC.
+			dprop = c.cfg.Latency.Delay(st.nodeIdx, st.lsc.NodeIdx)
+		}
+		from := hier.SubscriptionFrame(status.LatestFrame, node.Layer,
+			stream.FrameRate, dprop, c.cfg.Proc, 1)
+		points = append(points, SubscriptionPoint{
+			Stream:    sid,
+			Layer:     node.Layer,
+			FromFrame: from,
+			Parent:    parent,
+		})
+	}
+	return points, nil
+}
+
+// DumpOverlay renders every LSC's dissemination trees (Fig. 7(b) style) for
+// operator inspection, in region order.
+func (c *Controller) DumpOverlay() string {
+	var b []byte
+	for r := 0; r < c.cfg.Latency.NumRegions(); r++ {
+		lsc, ok := c.lscs[trace.Region(r)]
+		if !ok {
+			continue
+		}
+		dump := lsc.Overlay.DumpTrees()
+		if dump == "" {
+			continue
+		}
+		b = append(b, fmt.Sprintf("LSC region %d:\n", r)...)
+		b = append(b, dump...)
+	}
+	return string(b)
+}

@@ -1,0 +1,228 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/metrics"
+	"telecast/internal/model"
+	"telecast/internal/overlay"
+)
+
+// JoinOutcome reports an admission attempt together with the protocol
+// latency the viewer experienced.
+type JoinOutcome struct {
+	Result *overlay.JoinResult
+	// Delay is the viewer join latency of Fig. 14(c): registration with
+	// the GSC, LSC hand-off, overlay construction, and the stream
+	// subscription exchange with the farthest parent.
+	Delay time.Duration
+	// LSCRegion identifies the cluster that admitted the viewer.
+	LSCRegion int
+}
+
+// Join runs the full viewer join protocol of Fig. 5. The viewer is assigned
+// the next latency-matrix node, routed to its region's LSC, and admitted
+// through the overlay construction pipeline; the protocol delay is recorded
+// for the overhead evaluation.
+func (c *Controller) Join(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*JoinOutcome, error) {
+	if _, dup := c.viewers[id]; dup {
+		return nil, fmt.Errorf("session join %s: viewer exists", id)
+	}
+	if c.nextNode >= c.cfg.Latency.Nodes() {
+		return nil, fmt.Errorf("session join %s: latency matrix exhausted (%d nodes)", id, c.cfg.Latency.Nodes())
+	}
+	nodeIdx := c.nextNode
+	c.nextNode++
+	lsc := c.lscFor(nodeIdx)
+	info := overlay.ViewerInfo{ID: id, InboundMbps: inboundMbps, OutboundMbps: outboundMbps}
+	st := &viewerState{nodeIdx: nodeIdx, lsc: lsc, info: info, view: view}
+	c.viewers[id] = st
+
+	res, err := lsc.Overlay.Join(info, view)
+	if err != nil {
+		delete(c.viewers, id)
+		c.nextNode--
+		return nil, fmt.Errorf("session join %s: %w", id, err)
+	}
+
+	delay := c.joinProtocolDelay(st, res)
+	c.joinDelays.AddDuration(delay)
+	return &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(lsc.Region)}, nil
+}
+
+// joinProtocolDelay adds up the legs of Fig. 5 plus the stream-subscription
+// exchange of Fig. 6:
+//
+//	viewer → GSC   registration
+//	GSC → LSC      forwarded join request (+ GSC processing)
+//	LSC → viewer   join OK
+//	viewer → LSC   view request with resources
+//	(LSC processing: bandwidth allocation + topology formation)
+//	LSC → viewer   overlay information (parents learn in parallel and
+//	               never later than the viewer path dominates)
+//	viewer ⇄ parent subscription-start round trip to the farthest parent
+func (c *Controller) joinProtocolDelay(st *viewerState, res *overlay.JoinResult) time.Duration {
+	v, g, l := st.nodeIdx, c.gscNode, st.lsc.NodeIdx
+	d := c.delay(v, g) + c.cfg.GSCProc +
+		c.delay(g, l) +
+		c.delay(l, v) +
+		c.delay(v, l) + c.cfg.LSCProc +
+		c.delay(l, v)
+	if res != nil && res.Admitted {
+		var worst time.Duration
+		for _, n := range res.Viewer.Nodes {
+			if n.Parent == nil {
+				continue
+			}
+			if p, ok := c.viewers[n.Parent.Viewer]; ok {
+				if rt := 2 * c.delay(v, p.nodeIdx); rt > worst {
+					worst = rt
+				}
+			}
+		}
+		d += worst
+	}
+	return d
+}
+
+// Leave removes a viewer; departures trigger the same victim recovery as
+// view changes (§VI).
+func (c *Controller) Leave(id model.ViewerID) error {
+	st, ok := c.viewers[id]
+	if !ok {
+		return fmt.Errorf("session leave %s: unknown viewer", id)
+	}
+	if err := st.lsc.Overlay.Leave(id); err != nil {
+		return fmt.Errorf("session leave %s: %w", id, err)
+	}
+	delete(c.viewers, id)
+	return nil
+}
+
+// ViewChangeOutcome reports a view change and its two latencies.
+type ViewChangeOutcome struct {
+	Result *overlay.JoinResult
+	// SwitchDelay is the user-perceived view change latency: the time
+	// until the new view's streams flow from the CDN (the fast first
+	// process of §VI). The paper reports this within 500 ms.
+	SwitchDelay time.Duration
+	// BackgroundDelay is the completion time of the second process (the
+	// normal join running in background), after which the viewer is
+	// switched to the P2P overlay.
+	BackgroundDelay time.Duration
+	// FastPathUsed reports whether the CDN had capacity to serve the
+	// instantaneous switch; without it the change waits for the join.
+	FastPathUsed bool
+}
+
+// ChangeView runs the paper's two-process view change (§III-B, §VI): the
+// streams of the new view are served from the CDN immediately while the
+// normal join (bandwidth allocation + overlay formation + subscription)
+// proceeds in the background; once done, the viewer switches to the overlay.
+func (c *Controller) ChangeView(id model.ViewerID, view model.View) (*ViewChangeOutcome, error) {
+	st, ok := c.viewers[id]
+	if !ok {
+		return nil, fmt.Errorf("session view change %s: unknown viewer", id)
+	}
+	// Fast path feasibility: the paper streams the new view from the CDN
+	// instantaneously; in strict mode the CDN must actually have spare
+	// egress for the transient reservation.
+	fast := true
+	if c.cfg.StrictFastPath {
+		req := model.ComposeView(c.cfg.Producers, view, c.cfg.CutoffDF)
+		var fastBW float64
+		for _, rs := range req.Streams {
+			fastBW += rs.Stream.BitrateMbps
+		}
+		fast = c.cdn.CanServe(fastBW)
+	}
+
+	res, err := st.lsc.Overlay.ChangeView(id, view)
+	if err != nil {
+		return nil, fmt.Errorf("session view change %s: %w", id, err)
+	}
+	st.view = view
+
+	v, l := st.nodeIdx, st.lsc.NodeIdx
+	// Fast path: request to LSC, LSC redirects the CDN edge (co-located
+	// with the LSC node), first frames flow edge → viewer.
+	switchDelay := c.delay(v, l) + c.cfg.LSCProc + c.delay(l, v)
+	background := c.joinProtocolDelay(st, res)
+	if !fast {
+		switchDelay = background
+	}
+	c.viewChangeDelays.AddDuration(switchDelay)
+	return &ViewChangeOutcome{
+		Result:          res,
+		SwitchDelay:     switchDelay,
+		BackgroundDelay: background,
+		FastPathUsed:    fast,
+	}, nil
+}
+
+// Stats aggregates the per-LSC overlay snapshots into session-wide totals.
+type Stats struct {
+	Overlay overlay.Snapshot
+	// JoinDelays and ViewChangeDelays are the Fig. 14(c) distributions.
+	JoinDelays       *metrics.CDF
+	ViewChangeDelays *metrics.CDF
+}
+
+// Stats merges every LSC's snapshot. CDN usage is global and identical in
+// every LSC snapshot, so it is taken once.
+func (c *Controller) Stats() Stats {
+	var agg overlay.Snapshot
+	first := true
+	for _, lsc := range c.lscs {
+		s := lsc.Overlay.Snapshot()
+		agg.Viewers += s.Viewers
+		agg.Admitted += s.Admitted
+		agg.Rejected += s.Rejected
+		agg.StreamsRequested += s.StreamsRequested
+		agg.StreamsAccepted += s.StreamsAccepted
+		agg.LiveStreams += s.LiveStreams
+		agg.ViaCDN += s.ViaCDN
+		agg.ViaP2P += s.ViaP2P
+		agg.Groups += s.Groups
+		agg.MaxLayerPerViewer = append(agg.MaxLayerPerViewer, s.MaxLayerPerViewer...)
+		agg.AcceptedPerViewer = append(agg.AcceptedPerViewer, s.AcceptedPerViewer...)
+		if first {
+			agg.CDNUsage = s.CDNUsage
+			first = false
+		}
+	}
+	return Stats{
+		Overlay:          agg,
+		JoinDelays:       &c.joinDelays,
+		ViewChangeDelays: &c.viewChangeDelays,
+	}
+}
+
+// Validate checks every LSC's overlay invariants and the global CDN
+// accounting: the egress implied by all trees across all LSCs must exactly
+// match what the CDN has allocated.
+func (c *Controller) Validate() error {
+	implied := make(map[model.StreamID]float64)
+	for region, lsc := range c.lscs {
+		if err := lsc.Overlay.Validate(); err != nil {
+			return fmt.Errorf("lsc region %d: %w", region, err)
+		}
+		for id, mbps := range lsc.Overlay.CDNImplied() {
+			implied[id] += mbps
+		}
+	}
+	usage := c.cdn.Snapshot()
+	for id, want := range implied {
+		if diff := usage.PerStreamMbps[id] - want; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("cdn accounting: stream %v allocated %v Mbps, trees imply %v",
+				id, usage.PerStreamMbps[id], want)
+		}
+	}
+	for id, got := range usage.PerStreamMbps {
+		if _, ok := implied[id]; !ok && got > 1e-6 {
+			return fmt.Errorf("cdn accounting: stream %v has %v Mbps with no tree roots", id, got)
+		}
+	}
+	return nil
+}

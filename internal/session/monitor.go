@@ -1,0 +1,110 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+// Monitor is the GSC's monitoring component (§III): it continuously tracks
+// producer metadata — frame rate, latest frame number, and frame size per
+// stream — and serves it to viewers on query. The stream-subscription
+// process needs the latest frame number n and the media rate r to evaluate
+// Eq. 2.
+type Monitor struct {
+	mu      sync.RWMutex
+	now     time.Duration
+	streams map[model.StreamID]*streamMeta
+}
+
+type streamMeta struct {
+	frameRate float64
+	trace     *trace.TEEVETrace
+}
+
+// StreamStatus is a point-in-time producer metadata snapshot.
+type StreamStatus struct {
+	Stream model.StreamID
+	// FrameRate is the media rate r.
+	FrameRate float64
+	// LatestFrame is the newest frame number n captured at the producer.
+	LatestFrame int64
+	// LatestSizeBytes is that frame's size.
+	LatestSizeBytes int
+}
+
+// NewMonitor builds a monitor over the producer session, synthesizing one
+// activity trace per stream (seeded deterministically) to stand in for the
+// producers' live telemetry.
+func NewMonitor(producers *model.Session, traceCfg trace.TEEVEConfig, horizon time.Duration) (*Monitor, error) {
+	if producers == nil {
+		return nil, fmt.Errorf("monitor: producers required")
+	}
+	m := &Monitor{streams: make(map[model.StreamID]*streamMeta)}
+	seed := traceCfg.Seed
+	for _, id := range producers.StreamIDs() {
+		st, _ := producers.Stream(id)
+		cfg := traceCfg
+		cfg.Seed = seed
+		cfg.FrameRate = st.FrameRate
+		cfg.MeanBitrateMbps = st.BitrateMbps
+		tr, err := trace.GenerateTEEVE(cfg, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("monitor %v: %w", id, err)
+		}
+		m.streams[id] = &streamMeta{frameRate: st.FrameRate, trace: tr}
+		seed++
+	}
+	return m, nil
+}
+
+// Advance moves the monitored session clock forward (driven by the
+// simulation engine or wall time). It never moves backwards.
+func (m *Monitor) Advance(now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+}
+
+// Now returns the monitored session clock.
+func (m *Monitor) Now() time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.now
+}
+
+// Status answers a viewer's metadata query for one stream.
+func (m *Monitor) Status(id model.StreamID) (StreamStatus, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	meta, ok := m.streams[id]
+	if !ok {
+		return StreamStatus{}, fmt.Errorf("monitor: unknown stream %v", id)
+	}
+	rec, ok := meta.trace.FrameAt(m.now)
+	if !ok {
+		return StreamStatus{Stream: id, FrameRate: meta.frameRate, LatestFrame: -1}, nil
+	}
+	return StreamStatus{
+		Stream:          id,
+		FrameRate:       meta.frameRate,
+		LatestFrame:     rec.Number,
+		LatestSizeBytes: rec.SizeBytes,
+	}, nil
+}
+
+// All returns the status of every monitored stream in deterministic order.
+func (m *Monitor) All(producers *model.Session) []StreamStatus {
+	out := make([]StreamStatus, 0, len(m.streams))
+	for _, id := range producers.StreamIDs() {
+		if st, err := m.Status(id); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}

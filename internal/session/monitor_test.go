@@ -1,0 +1,156 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+func testMonitor(t *testing.T) (*Monitor, *model.Session) {
+	t.Helper()
+	producers, err := model.NewSession(
+		model.NewRingSite("A", 4, 2.0, 10),
+		model.NewRingSite("B", 4, 2.0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(producers, trace.DefaultTEEVEConfig(3), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, producers
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, trace.DefaultTEEVEConfig(1), time.Minute); err == nil {
+		t.Error("nil producers accepted")
+	}
+}
+
+func TestMonitorTracksLatestFrame(t *testing.T) {
+	m, _ := testMonitor(t)
+	id := model.StreamID{Site: "A", Index: 1}
+	st, err := m.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FrameRate != 10 {
+		t.Errorf("frame rate = %v", st.FrameRate)
+	}
+	first := st.LatestFrame
+	m.Advance(5 * time.Second)
+	st, _ = m.Status(id)
+	if st.LatestFrame != 50 {
+		t.Errorf("latest frame at 5s = %d, want 50", st.LatestFrame)
+	}
+	if st.LatestFrame <= first {
+		t.Error("frame number did not advance")
+	}
+	if st.LatestSizeBytes <= 0 {
+		t.Error("no frame size")
+	}
+	// Clock never rewinds.
+	m.Advance(time.Second)
+	if m.Now() != 5*time.Second {
+		t.Errorf("clock rewound to %v", m.Now())
+	}
+}
+
+func TestMonitorUnknownStream(t *testing.T) {
+	m, _ := testMonitor(t)
+	if _, err := m.Status(model.StreamID{Site: "Z", Index: 9}); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}
+
+func TestMonitorAll(t *testing.T) {
+	m, producers := testMonitor(t)
+	m.Advance(2 * time.Second)
+	all := m.All(producers)
+	if len(all) != 8 {
+		t.Fatalf("statuses = %d, want 8", len(all))
+	}
+	for _, st := range all {
+		if st.LatestFrame != 20 {
+			t.Errorf("stream %v latest = %d, want 20", st.Stream, st.LatestFrame)
+		}
+	}
+}
+
+func TestSubscriptionPoints(t *testing.T) {
+	c := testController(t, 64, 6000)
+	mon, err := NewMonitor(c.cfg.Producers, trace.DefaultTEEVEConfig(3), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachMonitor(mon)
+	mon.Advance(30 * time.Second)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(vid(2), 12, 0, view); err != nil {
+		t.Fatal(err)
+	}
+	points, err := c.SubscriptionPoints(vid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d, want 6", len(points))
+	}
+	latest := int64(300) // 30 s at 10 fps
+	for _, p := range points {
+		if p.FromFrame >= latest {
+			t.Errorf("stream %v subscribes at %d, not behind latest %d", p.Stream, p.FromFrame, latest)
+		}
+		// Delayed receive must never reach further back than the
+		// maximum acceptable layer allows (d_max bound + one layer).
+		hier := c.lscs[0].Overlay.Params().Hierarchy
+		oldest := latest - int64((hier.DMax.Seconds()+hier.Tau().Seconds())*10)
+		if p.FromFrame < oldest {
+			t.Errorf("stream %v subscribes at %d, beyond d_max horizon %d", p.Stream, p.FromFrame, oldest)
+		}
+		// Deeper layers must request older frames than layer 0 would.
+		if p.Layer > 0 {
+			shallower := hier.SubscriptionFrame(latest, 0, 10, 0, 0, 1)
+			if p.FromFrame > shallower {
+				t.Errorf("stream %v at layer %d requests newer frames than layer 0", p.Stream, p.Layer)
+			}
+		}
+	}
+	if _, err := c.SubscriptionPoints("ghost"); err == nil {
+		t.Error("unknown viewer accepted")
+	}
+}
+
+func TestSubscriptionPointsRequiresMonitor(t *testing.T) {
+	c := testController(t, 64, 6000)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubscriptionPoints(vid(1)); err == nil {
+		t.Error("missing monitor not reported")
+	}
+}
+
+func TestAdaptDelaysStableNetworkIsQuiet(t *testing.T) {
+	c := testController(t, 256, 6000)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	for i := 0; i < 30; i++ {
+		if _, err := c.Join(vid(i), 12, float64(i%13), view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With static latencies the first adaptation pass must be a no-op.
+	if changed := c.AdaptDelays(); changed != 0 {
+		t.Errorf("stable network changed %d nodes", changed)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

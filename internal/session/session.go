@@ -1,0 +1,177 @@
+// Package session implements the 4D TeleCast control plane of §III: a
+// Global Session Controller (GSC) that monitors producers and routes viewer
+// requests to region-based Local Session Controllers (LSCs), the viewer join
+// protocol (Fig. 5), the stream-subscription protocol (Fig. 6), and the
+// system adaptation of §VI — two-phase view changes served instantly from
+// the CDN while the normal join runs in the background, and victim recovery
+// on departures.
+//
+// Topologies are formed per (LSC, view group): each LSC runs its own overlay
+// manager over its cluster's viewers, while all LSCs share the session's CDN
+// capacity — exactly the paper's split between centralized distribution and
+// region-local P2P management.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"telecast/internal/cdn"
+	"telecast/internal/layering"
+	"telecast/internal/metrics"
+	"telecast/internal/model"
+	"telecast/internal/overlay"
+	"telecast/internal/trace"
+)
+
+// Config assembles a 4D TeleCast session.
+type Config struct {
+	// Producers is the static producer-side session description.
+	Producers *model.Session
+	// CDN bounds the shared distribution substrate.
+	CDN cdn.Config
+	// Buff, Kappa: the delay-layer geometry (Δ comes from CDN.Delta).
+	Buff  time.Duration
+	Kappa int
+	// DMax is the viewer-side end-to-end delay bound.
+	DMax time.Duration
+	// Proc is δ, the per-hop forwarding/processing delay at viewers.
+	Proc time.Duration
+	// CutoffDF is the df threshold for view composition.
+	CutoffDF float64
+	// Latency is the all-pairs propagation-delay substrate. Node 0 hosts
+	// the GSC; the first node of each region hosts that region's LSC and
+	// CDN edge; viewers consume subsequent indices.
+	Latency *trace.LatencyMatrix
+	// GSCProc and LSCProc model controller processing time per protocol
+	// step (request parsing, bandwidth allocation, topology formation).
+	GSCProc time.Duration
+	LSCProc time.Duration
+	// StrictFastPath makes the view-change fast path respect the CDN
+	// egress bound. The paper serves view changes from the CDN
+	// unconditionally (the reservation is transient and absorbed by the
+	// edge caches), which is the default here too.
+	StrictFastPath bool
+}
+
+// DefaultConfig mirrors the paper's evaluation parameters for a given
+// producer session and latency matrix: Δ=60 s via cdn.DefaultConfig,
+// d_buff=300 ms, κ=2, d_max=65 s, 25 s cache implied by d_max−Δ−d_buff.
+func DefaultConfig(producers *model.Session, lat *trace.LatencyMatrix) Config {
+	return Config{
+		Producers: producers,
+		CDN:       cdn.DefaultConfig(),
+		Buff:      300 * time.Millisecond,
+		Kappa:     2,
+		DMax:      65 * time.Second,
+		Proc:      100 * time.Millisecond,
+		CutoffDF:  0.5,
+		Latency:   lat,
+		GSCProc:   20 * time.Millisecond,
+		LSCProc:   60 * time.Millisecond,
+	}
+}
+
+// LSC is a region-local session controller: it owns the overlay of its
+// cluster's viewers.
+type LSC struct {
+	Region  trace.Region
+	NodeIdx int
+	Overlay *overlay.Manager
+}
+
+// Controller is the GSC plus its LSC fleet; the public entry point for
+// joins, departures, and view changes.
+type Controller struct {
+	cfg  Config
+	cdn  *cdn.CDN
+	lscs map[trace.Region]*LSC
+
+	gscNode  int
+	nextNode int
+	viewers  map[model.ViewerID]*viewerState
+	monitor  *Monitor
+
+	joinDelays       metrics.CDF
+	viewChangeDelays metrics.CDF
+}
+
+type viewerState struct {
+	nodeIdx int
+	lsc     *LSC
+	info    overlay.ViewerInfo
+	view    model.View
+}
+
+// NewController builds the control plane. The latency matrix must be large
+// enough for the GSC, one LSC per region, and every viewer that will join.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Producers == nil {
+		return nil, fmt.Errorf("session: producers required")
+	}
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("session: latency matrix required")
+	}
+	h, err := layering.NewHierarchy(cfg.CDN.Delta, cfg.Buff, cfg.DMax, cfg.Kappa)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	c := &Controller{
+		cfg:     cfg,
+		cdn:     cdn.New(cfg.CDN),
+		lscs:    make(map[trace.Region]*LSC),
+		gscNode: 0,
+		viewers: make(map[model.ViewerID]*viewerState),
+	}
+	// Place one LSC at the first node of each region. Node indices
+	// 1..NumRegions are reserved; viewers start after them.
+	c.nextNode = 1 + cfg.Latency.NumRegions()
+	if c.nextNode > cfg.Latency.Nodes() {
+		return nil, fmt.Errorf("session: latency matrix too small for %d regions", cfg.Latency.NumRegions())
+	}
+	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF}
+	for r := 0; r < cfg.Latency.NumRegions(); r++ {
+		region := trace.Region(r)
+		nodeIdx := 1 + r
+		lsc := &LSC{Region: region, NodeIdx: nodeIdx}
+		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, c.propFunc(), params)
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		lsc.Overlay = mgr
+		c.lscs[region] = lsc
+	}
+	return c, nil
+}
+
+// propFunc adapts the latency matrix to the overlay's viewer-pair delays.
+func (c *Controller) propFunc() overlay.PropFunc {
+	return func(a, b model.ViewerID) time.Duration {
+		va, okA := c.viewers[a]
+		vb, okB := c.viewers[b]
+		if !okA || !okB {
+			// A viewer mid-join is registered before its overlay
+			// insertion, so lookups should always hit; fall back
+			// to a conservative default rather than panicking.
+			return 100 * time.Millisecond
+		}
+		return c.cfg.Latency.Delay(va.nodeIdx, vb.nodeIdx)
+	}
+}
+
+// CDN exposes the shared distribution substrate.
+func (c *Controller) CDN() *cdn.CDN { return c.cdn }
+
+// LSCs returns the controllers, keyed by region.
+func (c *Controller) LSCs() map[trace.Region]*LSC { return c.lscs }
+
+// lscFor implements the geo-location step: the viewer is handled by the LSC
+// of its region.
+func (c *Controller) lscFor(nodeIdx int) *LSC {
+	return c.lscs[c.cfg.Latency.RegionOf(nodeIdx)]
+}
+
+// delay is shorthand for the one-way propagation delay between matrix nodes.
+func (c *Controller) delay(a, b int) time.Duration {
+	return c.cfg.Latency.Delay(a, b)
+}

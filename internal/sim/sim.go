@@ -1,0 +1,124 @@
+// Package sim is a minimal deterministic discrete-event simulation engine.
+// The paper evaluates 4D TeleCast "using a discrete event simulator" (§VII);
+// this engine drives viewer arrivals, departures, view changes, and protocol
+// message delays over the synthetic latency matrix.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Fn runs at time At; Seq breaks ties so that
+// events scheduled earlier run earlier (FIFO within the same instant), which
+// keeps runs deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	// processed counts executed events, mostly for tests and stats.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events not yet executed.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// At schedules fn at the given absolute simulated time. Scheduling in the
+// past is an error: it would silently reorder causality.
+func (e *Engine) At(at time.Duration, fn func()) error {
+	if at < e.now {
+		return fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn delay after the current time. Negative delays are
+// clamped to zero (deliver "immediately after" the current event).
+func (e *Engine) After(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	// e.now+delay >= e.now always holds, so At cannot fail.
+	_ = e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue drains or the horizon is passed.
+// Events scheduled exactly at the horizon still run.
+func (e *Engine) Run(horizon time.Duration) {
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.at > horizon {
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+}
+
+// RunAll executes events until the queue drains.
+func (e *Engine) RunAll() {
+	for e.events.Len() > 0 {
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+}
+
+// Step executes exactly one event, returning false if the queue was empty.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*event)
+	e.now = next.at
+	e.processed++
+	next.fn()
+	return true
+}

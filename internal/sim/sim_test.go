@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*time.Millisecond, func() { order = append(order, 3) })
+	e.After(10*time.Millisecond, func() { order = append(order, 1) })
+	e.After(20*time.Millisecond, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order broken: %v", order)
+		}
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Second, func() {
+		if err := e.At(500*time.Millisecond, func() {}); err == nil {
+			t.Error("scheduling in the past accepted")
+		}
+	})
+	e.RunAll()
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.RunAll()
+	if !ran {
+		t.Error("clamped event did not run")
+	}
+	if e.Now() != 0 {
+		t.Errorf("now = %v, want 0", e.Now())
+	}
+}
+
+func TestEngineHorizonStopsButKeepsEvents(t *testing.T) {
+	e := NewEngine()
+	var ran []int
+	e.After(time.Second, func() { ran = append(ran, 1) })
+	e.After(3*time.Second, func() { ran = append(ran, 2) })
+	e.Run(2 * time.Second)
+	if len(ran) != 1 {
+		t.Fatalf("ran %v within horizon", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if len(ran) != 2 {
+		t.Fatalf("ran %v after RunAll", ran)
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Millisecond, recurse)
+		}
+	}
+	e.After(0, recurse)
+	e.RunAll()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.After(time.Millisecond, func() { n++ })
+	e.After(2*time.Millisecond, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Error("step on empty queue returned true")
+	}
+}
+
+func TestEngineHorizonInclusive(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(2*time.Second, func() { ran = true })
+	e.Run(2 * time.Second)
+	if !ran {
+		t.Error("event at the horizon should run")
+	}
+}

@@ -1,0 +1,226 @@
+// Package srtp implements the wire protocol of 4D TeleCast's data plane: a
+// compact binary framing in the spirit of S-RTP [4], the streaming-as-a-
+// service RTP extension the paper uses for viewer-to-viewer transport. Each
+// message is length-prefixed and carries a type, a stream identity, frame
+// numbering, and the origin capture timestamp that drives view
+// synchronization at the renderer.
+package srtp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"telecast/internal/model"
+)
+
+// Version is the protocol version carried in every message.
+const Version = 1
+
+// MsgType discriminates data-plane from control-plane messages.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgData carries one 3D frame of a stream.
+	MsgData MsgType = iota + 1
+	// MsgSubscribe asks the receiving node to start forwarding a stream
+	// from the given subscription-point frame number (Fig. 6's
+	// Subscription-Start).
+	MsgSubscribe
+	// MsgUnsubscribe stops forwarding a stream to the sender.
+	MsgUnsubscribe
+	// MsgSubscriptionUpdate moves the subscription point (layer
+	// push-down propagation).
+	MsgSubscriptionUpdate
+	// MsgHello identifies the connecting node.
+	MsgHello
+)
+
+// maxMessageSize bounds a single message (64 MiB) so a corrupted length
+// prefix cannot trigger an absurd allocation.
+const maxMessageSize = 64 << 20
+
+// ErrTooLarge is returned for messages exceeding maxMessageSize.
+var ErrTooLarge = errors.New("srtp: message exceeds size bound")
+
+// Message is one S-RTP message. The fields used depend on Type: data
+// messages fill Frame/CaptureNanos/Payload; subscribe messages fill
+// FromFrame; hello fills only Node.
+type Message struct {
+	Type MsgType
+	// Node identifies the sending node (subscriber or forwarder).
+	Node model.ViewerID
+	// Stream is the subject stream.
+	Stream model.StreamID
+	// Frame is the frame number of a data message.
+	Frame int64
+	// CaptureNanos is the origin capture timestamp (nanoseconds from
+	// session start) of a data message.
+	CaptureNanos int64
+	// FromFrame is the subscription point for subscribe/update messages.
+	FromFrame int64
+	// Payload is the encoded 3D frame content.
+	Payload []byte
+}
+
+// writeString emits a length-prefixed string.
+func writeString(w *bufio.Writer, s string) error {
+	if len(s) > 0xFFFF {
+		return fmt.Errorf("srtp: string too long (%d)", len(s))
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(s)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Conn frames messages over a net.Conn (or any io.ReadWriteCloser). Writes
+// are serialized by an internal mutex so multiple forwarding goroutines can
+// share one connection; reads must be single-threaded (one reader loop per
+// connection, the normal pattern).
+type Conn struct {
+	raw io.ReadWriteCloser
+	br  *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// NewConn wraps a transport connection.
+func NewConn(raw io.ReadWriteCloser) *Conn {
+	return &Conn{
+		raw: raw,
+		br:  bufio.NewReaderSize(raw, 64<<10),
+		bw:  bufio.NewWriterSize(raw, 64<<10),
+	}
+}
+
+// Dial connects to a node's S-RTP endpoint.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("srtp dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// Write sends one message.
+func (c *Conn) Write(m *Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	// Header: version(1) type(1) frame(8) capture(8) from(8)
+	// node(str) stream(str) payloadLen(4) payload.
+	var head [18]byte
+	head[0] = Version
+	head[1] = byte(m.Type)
+	binary.BigEndian.PutUint64(head[2:], uint64(m.Frame))
+	binary.BigEndian.PutUint64(head[10:], uint64(m.CaptureNanos))
+	if _, err := c.bw.Write(head[:]); err != nil {
+		return err
+	}
+	var from [8]byte
+	binary.BigEndian.PutUint64(from[:], uint64(m.FromFrame))
+	if _, err := c.bw.Write(from[:]); err != nil {
+		return err
+	}
+	if err := writeString(c.bw, string(m.Node)); err != nil {
+		return err
+	}
+	// A zero stream (hello messages) travels as the empty string.
+	streamText := ""
+	if m.Stream != (model.StreamID{}) {
+		streamText = m.Stream.String()
+	}
+	if err := writeString(c.bw, streamText); err != nil {
+		return err
+	}
+	if len(m.Payload) > maxMessageSize {
+		return ErrTooLarge
+	}
+	var plen [4]byte
+	binary.BigEndian.PutUint32(plen[:], uint32(len(m.Payload)))
+	if _, err := c.bw.Write(plen[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(m.Payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Read receives the next message. It blocks until a full message arrives or
+// the transport fails (io.EOF on orderly close).
+func (c *Conn) Read() (*Message, error) {
+	var head [18]byte
+	if _, err := io.ReadFull(c.br, head[:]); err != nil {
+		return nil, err
+	}
+	if head[0] != Version {
+		return nil, fmt.Errorf("srtp: unsupported version %d", head[0])
+	}
+	m := &Message{
+		Type:         MsgType(head[1]),
+		Frame:        int64(binary.BigEndian.Uint64(head[2:])),
+		CaptureNanos: int64(binary.BigEndian.Uint64(head[10:])),
+	}
+	var from [8]byte
+	if _, err := io.ReadFull(c.br, from[:]); err != nil {
+		return nil, err
+	}
+	m.FromFrame = int64(binary.BigEndian.Uint64(from[:]))
+	node, err := readString(c.br)
+	if err != nil {
+		return nil, err
+	}
+	m.Node = model.ViewerID(node)
+	streamText, err := readString(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if streamText != "" {
+		id, err := model.ParseStreamID(streamText)
+		if err != nil {
+			return nil, fmt.Errorf("srtp: %w", err)
+		}
+		m.Stream = id
+	}
+	var plen [4]byte
+	if _, err := io.ReadFull(c.br, plen[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(plen[:])
+	if n > maxMessageSize {
+		return nil, ErrTooLarge
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(c.br, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

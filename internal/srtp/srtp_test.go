@@ -1,0 +1,332 @@
+package srtp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"telecast/internal/model"
+)
+
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- a.Write(m) }()
+	got, err := b.Read()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return got
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:         MsgData,
+		Node:         "viewer-7",
+		Stream:       model.StreamID{Site: "A", Index: 4},
+		Frame:        123456,
+		CaptureNanos: 987654321,
+		Payload:      []byte("3d-frame-payload"),
+	}
+	got := roundTrip(t, m)
+	if got.Type != m.Type || got.Node != m.Node || got.Stream != m.Stream ||
+		got.Frame != m.Frame || got.CaptureNanos != m.CaptureNanos ||
+		string(got.Payload) != string(m.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, m)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      MsgSubscribe,
+		Node:      "u2",
+		Stream:    model.StreamID{Site: "B", Index: 7},
+		FromFrame: -42, // back-in-time positions are legal
+	}
+	got := roundTrip(t, m)
+	if got.Type != MsgSubscribe || got.FromFrame != -42 || got.Stream != m.Stream {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestHelloWithoutStream(t *testing.T) {
+	got := roundTrip(t, &Message{Type: MsgHello, Node: "n1"})
+	if got.Type != MsgHello || got.Node != "n1" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Stream != (model.StreamID{}) {
+		t.Fatalf("stream should stay zero: %+v", got.Stream)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	got := roundTrip(t, &Message{Type: MsgData, Node: "n", Stream: model.StreamID{Site: "A", Index: 1}})
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v", got.Payload)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	m := &Message{Type: MsgData, Node: "n", Stream: model.StreamID{Site: "A", Index: 1}}
+	m.Payload = make([]byte, maxMessageSize+1)
+	if err := a.Write(m); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read()
+		done <- err
+	}()
+	bad := make([]byte, 64)
+	bad[0] = 99 // wrong version
+	if _, err := a.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("bad version accepted")
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestReadEOFOnClose(t *testing.T) {
+	a, b := pipePair()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("err = %v", err)
+	}
+	b.Close()
+}
+
+func TestSequentialMessagesOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		raw, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		conn := NewConn(raw)
+		defer conn.Close()
+		for i := 0; i < n; i++ {
+			m, err := conn.Read()
+			if err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if m.Frame != int64(i) {
+				t.Errorf("frame %d: got %d", i, m.Frame)
+				return
+			}
+		}
+	}()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		err := conn.Write(&Message{
+			Type:    MsgData,
+			Node:    "p",
+			Stream:  model.StreamID{Site: "A", Index: 1},
+			Frame:   int64(i),
+			Payload: make([]byte, 100+i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestConcurrentWritersInterleaveWholeMessages(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = a.Write(&Message{
+					Type:    MsgData,
+					Node:    model.ViewerID(rune('a' + w)),
+					Stream:  model.StreamID{Site: "A", Index: w + 1},
+					Frame:   int64(i),
+					Payload: make([]byte, 64),
+				})
+			}
+		}(w)
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < writers*perWriter {
+			m, err := b.Read()
+			if err != nil {
+				t.Errorf("read after %d: %v", got, err)
+				return
+			}
+			if m.Type != MsgData || len(m.Payload) != 64 {
+				t.Errorf("corrupted message: %+v", m)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	a.Close()
+	<-done
+	if got != writers*perWriter {
+		t.Fatalf("got %d messages", got)
+	}
+}
+
+// Property: arbitrary field values survive the round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(frame, capture, from int64, node string, idx uint8, payload []byte) bool {
+		if len(node) > 1000 {
+			node = node[:1000]
+		}
+		m := &Message{
+			Type:         MsgData,
+			Node:         model.ViewerID(node),
+			Stream:       model.StreamID{Site: "S", Index: int(idx)},
+			Frame:        frame,
+			CaptureNanos: capture,
+			FromFrame:    from,
+			Payload:      payload,
+		}
+		a, b := pipePair()
+		defer a.Close()
+		defer b.Close()
+		errc := make(chan error, 1)
+		go func() { errc <- a.Write(m) }()
+		got, err := b.Read()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		if got.Frame != frame || got.CaptureNanos != capture || got.FromFrame != from {
+			return false
+		}
+		if got.Node != m.Node || got.Stream != m.Stream {
+			return false
+		}
+		return string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestTruncatedStreamErrors(t *testing.T) {
+	// A writer that dies mid-message must surface an error, not hang on a
+	// partial read or panic.
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read()
+		done <- err
+	}()
+	// Valid version+type then truncate.
+	_, _ = a.Write([]byte{Version, byte(MsgData), 0, 1, 2})
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	b.Close()
+}
+
+func TestCorruptStreamIDRejected(t *testing.T) {
+	a, b := net.Pipe()
+	reader := NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		_, err := reader.Read()
+		done <- err
+	}()
+	// Hand-craft a message whose stream field is garbage.
+	var buf []byte
+	buf = append(buf, Version, byte(MsgData))
+	buf = append(buf, make([]byte, 8+8+8)...) // frame, capture, from
+	buf = append(buf, 0, 1, 'n')              // node "n"
+	buf = append(buf, 0, 3, 'b', 'a', 'd')    // stream "bad"
+	buf = append(buf, 0, 0, 0, 0)             // payload len 0
+	if _, err := a.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("corrupt stream id accepted")
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestOversizedLengthPrefixRejected(t *testing.T) {
+	a, b := net.Pipe()
+	reader := NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		_, err := reader.Read()
+		done <- err
+	}()
+	var buf []byte
+	buf = append(buf, Version, byte(MsgData))
+	buf = append(buf, make([]byte, 8+8+8)...)
+	buf = append(buf, 0, 1, 'n')
+	buf = append(buf, 0, 0)                   // empty stream
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF) // absurd payload length
+	if _, err := a.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	a.Close()
+	b.Close()
+}

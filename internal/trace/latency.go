@@ -1,0 +1,128 @@
+// Package trace provides the two workload substrates the paper's evaluation
+// depends on: (1) a PlanetLab-like all-pairs latency matrix standing in for
+// the 4-hour PlanetLab ping traces [14], and (2) a TEEVE-like 3DTI activity
+// trace standing in for the "light saber" session recordings [18]. Both are
+// fully synthetic, seeded, and deterministic; DESIGN.md documents why the
+// substitutions preserve the behaviour the algorithms depend on.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Region groups nodes whose mutual latencies are low (same continent /
+// backbone in PlanetLab terms). Cross-region latencies are drawn from a
+// heavier distribution.
+type Region int
+
+// LatencyConfig parameterizes the synthetic PlanetLab matrix.
+type LatencyConfig struct {
+	// Nodes is the number of overlay endpoints (viewers + producers +
+	// CDN edges) to generate latencies for.
+	Nodes int
+	// Regions is the number of geographic clusters.
+	Regions int
+	// IntraMean is the mean one-way intra-region delay.
+	IntraMean time.Duration
+	// InterMean is the mean one-way inter-region delay.
+	InterMean time.Duration
+	// Sigma is the log-normal shape parameter controlling the tail.
+	Sigma float64
+	// Seed makes the matrix reproducible.
+	Seed int64
+}
+
+// DefaultLatencyConfig mirrors published PlanetLab measurement shape:
+// intra-region one-way delays around 20 ms, inter-region around 80 ms, with
+// a lognormal tail reaching a few hundred milliseconds.
+func DefaultLatencyConfig(nodes int, seed int64) LatencyConfig {
+	return LatencyConfig{
+		Nodes:     nodes,
+		Regions:   8,
+		IntraMean: 20 * time.Millisecond,
+		InterMean: 80 * time.Millisecond,
+		Sigma:     0.45,
+		Seed:      seed,
+	}
+}
+
+// LatencyMatrix is a symmetric all-pairs one-way propagation-delay matrix
+// with region labels per node. It implements the paper's d_prop.
+type LatencyMatrix struct {
+	cfg     LatencyConfig
+	regions []Region
+	// delays is stored as a flattened upper-triangular matrix.
+	delays []time.Duration
+}
+
+// GenerateLatencyMatrix synthesizes the matrix from the config.
+func GenerateLatencyMatrix(cfg LatencyConfig) (*LatencyMatrix, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("latency matrix: nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Regions <= 0 {
+		return nil, fmt.Errorf("latency matrix: regions must be positive, got %d", cfg.Regions)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	regions := make([]Region, cfg.Nodes)
+	for i := range regions {
+		regions[i] = Region(rng.Intn(cfg.Regions))
+	}
+	n := cfg.Nodes
+	delays := make([]time.Duration, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			idx := triIndex(n, i, j)
+			if i == j {
+				delays[idx] = 0
+				continue
+			}
+			mean := cfg.InterMean
+			if regions[i] == regions[j] {
+				mean = cfg.IntraMean
+			}
+			delays[idx] = lognormalDelay(rng, mean, cfg.Sigma)
+		}
+	}
+	return &LatencyMatrix{cfg: cfg, regions: regions, delays: delays}, nil
+}
+
+// lognormalDelay draws a delay with the given mean and lognormal sigma.
+func lognormalDelay(rng *rand.Rand, mean time.Duration, sigma float64) time.Duration {
+	// For a lognormal with parameters (mu, sigma), mean = exp(mu+sigma²/2).
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	d := time.Duration(math.Exp(mu + sigma*rng.NormFloat64()))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func triIndex(n, i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row i starts after rows 0..i-1, which hold n + (n-1) + ... entries.
+	return i*n - i*(i-1)/2 + (j - i)
+}
+
+// Nodes returns the number of endpoints in the matrix.
+func (m *LatencyMatrix) Nodes() int { return m.cfg.Nodes }
+
+// Delay returns the one-way propagation delay between endpoints i and j.
+// It panics on out-of-range indices: indices come from internal placement
+// logic, so a bad index is a programming error, not an input error.
+func (m *LatencyMatrix) Delay(i, j int) time.Duration {
+	return m.delays[triIndex(m.cfg.Nodes, i, j)]
+}
+
+// RegionOf returns the region label of endpoint i. The session layer uses it
+// to assign viewers to region-based Local Session Controller clusters
+// (the paper's geo-location detector, §III).
+func (m *LatencyMatrix) RegionOf(i int) Region { return m.regions[i] }
+
+// NumRegions returns the configured region count.
+func (m *LatencyMatrix) NumRegions() int { return m.cfg.Regions }

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// TEEVEConfig parameterizes the synthetic 3DTI activity trace. The defaults
+// match the paper's evaluation setup: each camera stream is bounded by a
+// 2 Mbps bandwidth requirement; TEEVE captures run near 10 frames/second.
+type TEEVEConfig struct {
+	// MeanBitrateMbps is the long-run stream bitrate.
+	MeanBitrateMbps float64
+	// FrameRate is frames per second (the media rate r of Eq. 2).
+	FrameRate float64
+	// Burstiness in [0,1) controls frame-size variance: 3D reconstruction
+	// output swings with scene activity (e.g. fast saber swings).
+	Burstiness float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultTEEVEConfig returns the evaluation defaults.
+func DefaultTEEVEConfig(seed int64) TEEVEConfig {
+	return TEEVEConfig{MeanBitrateMbps: 2.0, FrameRate: 10, Burstiness: 0.3, Seed: seed}
+}
+
+// FrameRecord is one captured 3D frame of a stream: the paper's f(i,n)_t with
+// capture timestamp t and frame number n.
+type FrameRecord struct {
+	Number    int64
+	Capture   time.Duration // offset from session start
+	SizeBytes int
+}
+
+// TEEVETrace is a deterministic per-stream frame-size series. Activity level
+// follows a slow sinusoidal envelope (performers alternate calm and intense
+// phases) plus white jitter, so that consecutive frames correlate the way
+// real 3D reconstruction output does.
+type TEEVETrace struct {
+	cfg    TEEVEConfig
+	frames []FrameRecord
+}
+
+// GenerateTEEVE synthesizes a trace covering the given duration.
+func GenerateTEEVE(cfg TEEVEConfig, duration time.Duration) (*TEEVETrace, error) {
+	if cfg.MeanBitrateMbps <= 0 {
+		return nil, fmt.Errorf("teeve trace: bitrate must be positive, got %v", cfg.MeanBitrateMbps)
+	}
+	if cfg.FrameRate <= 0 {
+		return nil, fmt.Errorf("teeve trace: frame rate must be positive, got %v", cfg.FrameRate)
+	}
+	if cfg.Burstiness < 0 || cfg.Burstiness >= 1 {
+		return nil, fmt.Errorf("teeve trace: burstiness must be in [0,1), got %v", cfg.Burstiness)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := time.Duration(float64(time.Second) / cfg.FrameRate)
+	n := int(duration / interval)
+	meanFrameBytes := cfg.MeanBitrateMbps * 1e6 / 8 / cfg.FrameRate
+	frames := make([]FrameRecord, 0, n)
+	// Activity envelope period: ~8 seconds of swing per phase.
+	period := 8 * cfg.FrameRate
+	for i := 0; i < n; i++ {
+		envelope := 1 + cfg.Burstiness*math.Sin(2*math.Pi*float64(i)/period)
+		jitter := 1 + cfg.Burstiness*0.5*(rng.Float64()*2-1)
+		size := int(meanFrameBytes * envelope * jitter)
+		if size < 1 {
+			size = 1
+		}
+		frames = append(frames, FrameRecord{
+			Number:    int64(i),
+			Capture:   time.Duration(i) * interval,
+			SizeBytes: size,
+		})
+	}
+	return &TEEVETrace{cfg: cfg, frames: frames}, nil
+}
+
+// Len returns the number of frames in the trace.
+func (t *TEEVETrace) Len() int { return len(t.frames) }
+
+// Frame returns frame i of the trace.
+func (t *TEEVETrace) Frame(i int) FrameRecord { return t.frames[i] }
+
+// FrameRate returns the media rate r.
+func (t *TEEVETrace) FrameRate() float64 { return t.cfg.FrameRate }
+
+// FrameAt returns the latest frame captured at or before the given session
+// offset, mirroring "the latest captured frame number n at the producer"
+// used by Eq. 2. ok is false before the first capture.
+func (t *TEEVETrace) FrameAt(offset time.Duration) (FrameRecord, bool) {
+	interval := time.Duration(float64(time.Second) / t.cfg.FrameRate)
+	i := int(offset / interval)
+	if i < 0 {
+		return FrameRecord{}, false
+	}
+	if i >= len(t.frames) {
+		i = len(t.frames) - 1
+	}
+	if i < 0 {
+		return FrameRecord{}, false
+	}
+	return t.frames[i], true
+}
+
+// MeanBitrateMbps measures the realized average bitrate of the trace.
+func (t *TEEVETrace) MeanBitrateMbps() float64 {
+	if len(t.frames) == 0 {
+		return 0
+	}
+	var total float64
+	for _, f := range t.frames {
+		total += float64(f.SizeBytes)
+	}
+	duration := float64(len(t.frames)) / t.cfg.FrameRate
+	return total * 8 / 1e6 / duration
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateLatencyMatrixValidation(t *testing.T) {
+	if _, err := GenerateLatencyMatrix(LatencyConfig{Nodes: 0, Regions: 1}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := GenerateLatencyMatrix(LatencyConfig{Nodes: 5, Regions: 0}); err == nil {
+		t.Error("zero regions accepted")
+	}
+}
+
+func TestLatencyMatrixSymmetricZeroDiagonal(t *testing.T) {
+	m, err := GenerateLatencyMatrix(DefaultLatencyConfig(40, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Nodes(); i++ {
+		if d := m.Delay(i, i); d != 0 {
+			t.Fatalf("self delay %d = %v, want 0", i, d)
+		}
+		for j := 0; j < m.Nodes(); j++ {
+			if m.Delay(i, j) != m.Delay(j, i) {
+				t.Fatalf("asymmetric delay (%d,%d)", i, j)
+			}
+			if i != j && m.Delay(i, j) <= 0 {
+				t.Fatalf("non-positive delay (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLatencyMatrixDeterministic(t *testing.T) {
+	a, _ := GenerateLatencyMatrix(DefaultLatencyConfig(30, 42))
+	b, _ := GenerateLatencyMatrix(DefaultLatencyConfig(30, 42))
+	c, _ := GenerateLatencyMatrix(DefaultLatencyConfig(30, 43))
+	same, diff := true, false
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if a.Delay(i, j) != b.Delay(i, j) {
+				same = false
+			}
+			if a.Delay(i, j) != c.Delay(i, j) {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different matrices")
+	}
+	if !diff {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestLatencyMatrixRegionStructure(t *testing.T) {
+	m, err := GenerateLatencyMatrix(DefaultLatencyConfig(200, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intraSum, interSum time.Duration
+	var intraN, interN int
+	for i := 0; i < m.Nodes(); i++ {
+		for j := i + 1; j < m.Nodes(); j++ {
+			if m.RegionOf(i) == m.RegionOf(j) {
+				intraSum += m.Delay(i, j)
+				intraN++
+			} else {
+				interSum += m.Delay(i, j)
+				interN++
+			}
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Fatal("degenerate region assignment")
+	}
+	intraMean := intraSum / time.Duration(intraN)
+	interMean := interSum / time.Duration(interN)
+	if intraMean >= interMean {
+		t.Errorf("intra-region mean %v not below inter-region mean %v", intraMean, interMean)
+	}
+	if m.NumRegions() != 8 {
+		t.Errorf("NumRegions = %d, want 8", m.NumRegions())
+	}
+}
+
+func TestTriIndexBijective(t *testing.T) {
+	n := 17
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			idx := triIndex(n, i, j)
+			if seen[idx] {
+				t.Fatalf("collision at (%d,%d)", i, j)
+			}
+			seen[idx] = true
+			if idx != triIndex(n, j, i) {
+				t.Fatalf("triIndex not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if len(seen) != n*(n+1)/2 {
+		t.Fatalf("covered %d cells, want %d", len(seen), n*(n+1)/2)
+	}
+}
+
+func TestGenerateTEEVEValidation(t *testing.T) {
+	bad := []TEEVEConfig{
+		{MeanBitrateMbps: 0, FrameRate: 10},
+		{MeanBitrateMbps: 2, FrameRate: 0},
+		{MeanBitrateMbps: 2, FrameRate: 10, Burstiness: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateTEEVE(cfg, time.Second); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTEEVEMeanBitrateNearTarget(t *testing.T) {
+	tr, err := GenerateTEEVE(DefaultTEEVEConfig(5), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.MeanBitrateMbps()
+	if math.Abs(got-2.0) > 0.3 {
+		t.Errorf("mean bitrate %v Mbps, want ~2.0", got)
+	}
+	if tr.Len() != 600 {
+		t.Errorf("frames = %d, want 600 (60s at 10fps)", tr.Len())
+	}
+	if tr.FrameRate() != 10 {
+		t.Errorf("frame rate = %v", tr.FrameRate())
+	}
+}
+
+func TestTEEVEFrameAt(t *testing.T) {
+	tr, err := GenerateTEEVE(DefaultTEEVEConfig(5), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := tr.FrameAt(2500 * time.Millisecond)
+	if !ok {
+		t.Fatal("FrameAt failed")
+	}
+	if f.Number != 25 {
+		t.Errorf("frame number = %d, want 25", f.Number)
+	}
+	if _, ok := tr.FrameAt(-time.Second); ok {
+		t.Error("negative offset returned a frame")
+	}
+	// Past the end clamps to the last frame.
+	last, ok := tr.FrameAt(time.Hour)
+	if !ok || last.Number != int64(tr.Len()-1) {
+		t.Errorf("clamped frame = %+v ok=%v", last, ok)
+	}
+}
+
+func TestTEEVEFrameNumbersMonotonic(t *testing.T) {
+	tr, err := GenerateTEEVE(DefaultTEEVEConfig(9), 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < tr.Len(); i++ {
+		prev, cur := tr.Frame(i-1), tr.Frame(i)
+		if cur.Number != prev.Number+1 {
+			t.Fatalf("frame numbers not consecutive at %d", i)
+		}
+		if cur.Capture <= prev.Capture {
+			t.Fatalf("capture timestamps not increasing at %d", i)
+		}
+		if cur.SizeBytes <= 0 {
+			t.Fatalf("frame %d has non-positive size", i)
+		}
+	}
+}
+
+// Property: frame sizes stay within the burstiness bound around the mean.
+func TestTEEVESizesBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultTEEVEConfig(seed)
+		tr, err := GenerateTEEVE(cfg, 5*time.Second)
+		if err != nil {
+			return false
+		}
+		meanFrame := cfg.MeanBitrateMbps * 1e6 / 8 / cfg.FrameRate
+		// envelope ≤ 1+b, jitter ≤ 1+b/2 ⇒ size < mean*(1+b)*(1+b/2)+1
+		upper := meanFrame*(1+cfg.Burstiness)*(1+cfg.Burstiness/2) + 1
+		for i := 0; i < tr.Len(); i++ {
+			if float64(tr.Frame(i).SizeBytes) > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

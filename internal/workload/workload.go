@@ -1,0 +1,267 @@
+// Package workload generates and executes dynamic viewer behaviour against
+// a 4D TeleCast session: Poisson arrivals, exponential session lengths,
+// run-time view changes, flash crowds, and mass departures — the "large-
+// scale simultaneous viewer arrivals or departures" the paper lists as its
+// third challenge (§I). Schedules are deterministic given a seed and are
+// executed on the discrete-event engine.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/sim"
+)
+
+// EventKind discriminates schedule entries.
+type EventKind int
+
+// Schedule event kinds.
+const (
+	EventJoin EventKind = iota + 1
+	EventLeave
+	EventViewChange
+)
+
+// Event is one scheduled viewer action.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	Viewer model.ViewerID
+	// OutboundMbps applies to joins.
+	OutboundMbps float64
+	// ViewAngle applies to joins and view changes.
+	ViewAngle float64
+}
+
+// Config parameterizes schedule generation.
+type Config struct {
+	// Seed drives all draws.
+	Seed int64
+	// Duration is the schedule horizon.
+	Duration time.Duration
+	// FlashCrowd viewers all arrive in the first FlashWindow.
+	FlashCrowd  int
+	FlashWindow time.Duration
+	// ArrivalRate is the steady-state Poisson arrival rate (viewers/s).
+	ArrivalRate float64
+	// MeanSession is the mean exponential viewing time before departure;
+	// zero means viewers never leave.
+	MeanSession time.Duration
+	// ViewChangeRate is per-viewer view changes per second.
+	ViewChangeRate float64
+	// OutboundLo/Hi bound the uniform outbound-capacity draw.
+	OutboundLo, OutboundHi float64
+	// ViewAngles are the views viewers pick from.
+	ViewAngles []float64
+	// InboundMbps is every viewer's inbound capacity.
+	InboundMbps float64
+}
+
+// DefaultConfig is a 60-second scenario: a 200-viewer flash crowd in the
+// first two seconds, then 5 arrivals/s with 30 s mean sessions and
+// occasional view changes.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Duration:       60 * time.Second,
+		FlashCrowd:     200,
+		FlashWindow:    2 * time.Second,
+		ArrivalRate:    5,
+		MeanSession:    30 * time.Second,
+		ViewChangeRate: 0.02,
+		OutboundLo:     0,
+		OutboundHi:     12,
+		ViewAngles:     []float64{0, math.Pi / 2, math.Pi},
+		InboundMbps:    12,
+	}
+}
+
+// Generate produces a deterministic event schedule. Events are returned in
+// time order; the engine breaks remaining ties by insertion order.
+func Generate(cfg Config) ([]Event, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration must be positive")
+	}
+	if len(cfg.ViewAngles) == 0 {
+		return nil, fmt.Errorf("workload: at least one view angle required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []Event
+	next := 0
+	newViewer := func(at time.Duration) {
+		id := model.ViewerID(fmt.Sprintf("w%06d", next))
+		next++
+		obw := cfg.OutboundLo + rng.Float64()*(cfg.OutboundHi-cfg.OutboundLo)
+		angle := cfg.ViewAngles[rng.Intn(len(cfg.ViewAngles))]
+		events = append(events, Event{
+			At: at, Kind: EventJoin, Viewer: id,
+			OutboundMbps: obw, ViewAngle: angle,
+		})
+		// Departure.
+		if cfg.MeanSession > 0 {
+			stay := time.Duration(rng.ExpFloat64() * float64(cfg.MeanSession))
+			if leaveAt := at + stay; leaveAt < cfg.Duration {
+				events = append(events, Event{At: leaveAt, Kind: EventLeave, Viewer: id})
+				// View changes within the viewer's stay.
+				if cfg.ViewChangeRate > 0 {
+					for t := at; ; {
+						gap := time.Duration(rng.ExpFloat64() / cfg.ViewChangeRate * float64(time.Second))
+						t += gap
+						if t >= leaveAt {
+							break
+						}
+						events = append(events, Event{
+							At: t, Kind: EventViewChange, Viewer: id,
+							ViewAngle: cfg.ViewAngles[rng.Intn(len(cfg.ViewAngles))],
+						})
+					}
+				}
+			}
+		}
+	}
+	// Flash crowd: uniform within the window.
+	for i := 0; i < cfg.FlashCrowd; i++ {
+		newViewer(time.Duration(rng.Float64() * float64(cfg.FlashWindow)))
+	}
+	// Steady-state Poisson arrivals.
+	if cfg.ArrivalRate > 0 {
+		for t := cfg.FlashWindow; t < cfg.Duration; {
+			t += time.Duration(rng.ExpFloat64() / cfg.ArrivalRate * float64(time.Second))
+			if t >= cfg.Duration {
+				break
+			}
+			newViewer(t)
+		}
+	}
+	sortEvents(events)
+	return events, nil
+}
+
+// sortEvents orders by time, stably keeping generation order within ties.
+func sortEvents(events []Event) {
+	// Insertion-stable sort by At.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// Sample is one time-series observation taken during execution.
+type Sample struct {
+	At          time.Duration
+	Viewers     int
+	LiveStreams int
+	Acceptance  float64
+	CDNMbps     float64
+	CDNFraction float64
+}
+
+// Result summarizes an executed schedule.
+type Result struct {
+	Samples []Sample
+	// Joins/Leaves/ViewChanges count executed events; JoinErrors counts
+	// joins refused because the viewer already existed or the substrate
+	// was exhausted (distinct from admission rejections, which the
+	// session counts).
+	Joins, Leaves, ViewChanges int
+	// PeakViewers is the maximum concurrent audience.
+	PeakViewers int
+}
+
+// Execute runs a schedule against a controller on the discrete-event
+// engine, sampling session health at the given interval and validating the
+// overlay invariants at every sample when validate is true.
+func Execute(ctrl *session.Controller, producers *model.Session, events []Event, cfg Config, sampleEvery time.Duration, validate bool) (Result, error) {
+	engine := sim.NewEngine()
+	var res Result
+	var execErr error
+	fail := func(err error) {
+		if execErr == nil {
+			execErr = err
+		}
+	}
+	live := make(map[model.ViewerID]bool)
+	for _, ev := range events {
+		ev := ev
+		err := engine.At(ev.At, func() {
+			if execErr != nil {
+				return
+			}
+			switch ev.Kind {
+			case EventJoin:
+				view := model.NewUniformView(producers, ev.ViewAngle)
+				if _, err := ctrl.Join(ev.Viewer, cfg.InboundMbps, ev.OutboundMbps, view); err != nil {
+					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				live[ev.Viewer] = true
+				res.Joins++
+				if len(live) > res.PeakViewers {
+					res.PeakViewers = len(live)
+				}
+			case EventLeave:
+				if !live[ev.Viewer] {
+					return
+				}
+				if err := ctrl.Leave(ev.Viewer); err != nil {
+					fail(fmt.Errorf("leave %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				delete(live, ev.Viewer)
+				res.Leaves++
+			case EventViewChange:
+				if !live[ev.Viewer] {
+					return
+				}
+				view := model.NewUniformView(producers, ev.ViewAngle)
+				if _, err := ctrl.ChangeView(ev.Viewer, view); err != nil {
+					fail(fmt.Errorf("view change %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				res.ViewChanges++
+			}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Periodic sampling.
+	for t := sampleEvery; t <= cfg.Duration; t += sampleEvery {
+		t := t
+		if err := engine.At(t, func() {
+			if execErr != nil {
+				return
+			}
+			if mon := ctrl.Monitor(); mon != nil {
+				mon.Advance(t)
+			}
+			st := ctrl.Stats()
+			res.Samples = append(res.Samples, Sample{
+				At:          t,
+				Viewers:     len(live),
+				LiveStreams: st.Overlay.LiveStreams,
+				Acceptance:  st.Overlay.AcceptanceRatio(),
+				CDNMbps:     st.Overlay.CDNUsage.OutTotalMbps,
+				CDNFraction: st.Overlay.CDNFraction(),
+			})
+			if validate {
+				if err := ctrl.Validate(); err != nil {
+					fail(fmt.Errorf("invariants at %v: %w", t, err))
+				}
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	engine.Run(cfg.Duration)
+	if execErr != nil {
+		return Result{}, execErr
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+// Package telecast is an open reimplementation of 4D TeleCast (Arefin,
+// Huang, Nahrstedt, Agarwal — ICDCS 2012): a hybrid CDN + P2P dissemination
+// framework that delivers live multi-stream, multi-view 3D tele-immersive
+// content to large passive audiences while preserving the inter-stream
+// dependencies that make a 3D view coherent.
+//
+// The package is a façade: it re-exports the library's building blocks so
+// applications depend on a single import.
+//
+//   - Producer modelling: sites, camera streams, views, the df/η stream
+//     priority machinery (§II of the paper).
+//   - The control plane: a Global Session Controller routing viewers to
+//     region-local LSCs, each running the overlay construction pipeline —
+//     priority inbound allocation, round-robin outbound allocation, degree
+//     push-down topology formation (§IV) — and the delay-layer stream
+//     subscription that bounds inter-stream skew by d_buff (§V).
+//   - System adaptation: two-phase view changes served instantly from the
+//     CDN, victim recovery on departures (§VI).
+//   - A live emulation mode that runs producers, the CDN edge, and viewer
+//     gateways as goroutines exchanging S-RTP frames over TCP.
+//
+// Quick start:
+//
+//	producers, _ := telecast.NewSession(
+//	    telecast.NewRingSite("A", 8, 2.0, 10),
+//	    telecast.NewRingSite("B", 8, 2.0, 10),
+//	)
+//	lat, _ := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(1100, 42))
+//	ctrl, _ := telecast.NewController(telecast.DefaultConfig(producers, lat))
+//	out, _ := ctrl.Join("viewer-1", 12, 8, telecast.NewUniformView(producers, 0))
+//	fmt.Println(out.Result.Accepted)
+package telecast
+
+import (
+	"telecast/internal/cdn"
+	"telecast/internal/emu"
+	"telecast/internal/layering"
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+)
+
+// Producer-side domain model (§II).
+type (
+	// Session is the static producer-side description: the sites whose
+	// joint performance viewers watch.
+	Session = model.Session
+	// Site is one 3DTI producer site and its camera streams.
+	Site = model.Site
+	// Stream is a single camera stream with orientation and bitrate.
+	Stream = model.Stream
+	// StreamID identifies a stream within a site.
+	StreamID = model.StreamID
+	// SiteID identifies a producer site.
+	SiteID = model.SiteID
+	// ViewerID identifies a passive viewer.
+	ViewerID = model.ViewerID
+	// View is a global view request: one orientation per site.
+	View = model.View
+	// ViewRequest is a composed, priority-ordered stream request.
+	ViewRequest = model.ViewRequest
+	// RankedStream carries a stream's df, η, and global priority key.
+	RankedStream = model.RankedStream
+	// Vec3 is an orientation vector in the shared virtual space.
+	Vec3 = model.Vec3
+)
+
+// Control plane (§III–§VI).
+type (
+	// Controller is the GSC plus its LSC fleet: joins, departures, view
+	// changes, statistics, and invariant checking.
+	Controller = session.Controller
+	// Config assembles a session: producers, CDN bounds, delay-layer
+	// geometry, latency substrate, protocol processing times.
+	Config = session.Config
+	// JoinOutcome reports an admission attempt and its protocol latency.
+	JoinOutcome = session.JoinOutcome
+	// ViewChangeOutcome reports a two-phase view change and both its
+	// latencies (fast CDN switch, background join).
+	ViewChangeOutcome = session.ViewChangeOutcome
+	// Stats aggregates overlay and latency metrics across LSCs.
+	Stats = session.Stats
+	// CDNConfig bounds the distribution substrate.
+	CDNConfig = cdn.Config
+	// Hierarchy is the delay-layer geometry (Δ, d_buff, κ, d_max).
+	Hierarchy = layering.Hierarchy
+)
+
+// Workload substrates (§VII).
+type (
+	// LatencyMatrix is the synthetic PlanetLab-like propagation-delay
+	// substrate.
+	LatencyMatrix = trace.LatencyMatrix
+	// LatencyConfig parameterizes the matrix synthesis.
+	LatencyConfig = trace.LatencyConfig
+	// TEEVEConfig parameterizes the synthetic 3DTI activity traces.
+	TEEVEConfig = trace.TEEVEConfig
+	// TEEVETrace is a per-stream frame-size series.
+	TEEVETrace = trace.TEEVETrace
+)
+
+// Live emulation (goroutines + TCP).
+type (
+	// Cluster is a running live overlay: CDN edge, producers, viewers.
+	Cluster = emu.Cluster
+	// ClusterConfig sizes a live cluster.
+	ClusterConfig = emu.Config
+	// ViewerNode is a live viewer gateway.
+	ViewerNode = emu.ViewerNode
+	// ViewerReport snapshots a live viewer's data-plane health.
+	ViewerReport = emu.ViewerReport
+)
+
+// Producer-side constructors.
+var (
+	// NewSession builds a producer session from sites.
+	NewSession = model.NewSession
+	// NewRingSite arranges n cameras uniformly on a ring.
+	NewRingSite = model.NewRingSite
+	// NewUniformView looks at every site from the same ring angle.
+	NewUniformView = model.NewUniformView
+	// ComposeView translates a view into a prioritized stream request.
+	ComposeView = model.ComposeView
+)
+
+// Control-plane constructors.
+var (
+	// NewController builds the GSC/LSC control plane.
+	NewController = session.NewController
+	// DefaultConfig mirrors the paper's evaluation parameters.
+	DefaultConfig = session.DefaultConfig
+	// NewHierarchy validates a delay-layer geometry.
+	NewHierarchy = layering.NewHierarchy
+	// DefaultCDNConfig is the paper's CDN: Δ=60 s, 6000 Mbps egress.
+	DefaultCDNConfig = cdn.DefaultConfig
+)
+
+// Substrate constructors.
+var (
+	// GenerateLatencyMatrix synthesizes the PlanetLab-like matrix.
+	GenerateLatencyMatrix = trace.GenerateLatencyMatrix
+	// DefaultLatencyConfig calibrates it to published PlanetLab shape.
+	DefaultLatencyConfig = trace.DefaultLatencyConfig
+	// GenerateTEEVE synthesizes a 3DTI activity trace.
+	GenerateTEEVE = trace.GenerateTEEVE
+	// DefaultTEEVEConfig is the evaluation's 2 Mbps / 10 fps profile.
+	DefaultTEEVEConfig = trace.DefaultTEEVEConfig
+)
+
+// Emulation constructors.
+var (
+	// StartCluster launches a live overlay cluster.
+	StartCluster = emu.Start
+	// DefaultClusterConfig returns laptop-scale timings.
+	DefaultClusterConfig = emu.DefaultConfig
+)
