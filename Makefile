@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test test-race bench vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) build ./...
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

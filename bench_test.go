@@ -245,6 +245,59 @@ func BenchmarkViewChange(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentJoin measures batched join throughput as the region
+// count — and so the number of concurrently-locked LSC shards — grows. The
+// joins/s custom metric is the headline: with the sharded control plane it
+// should rise with the region count (16-region throughput > 1-region).
+func BenchmarkConcurrentJoin(b *testing.B) {
+	const audience = 2000
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, regions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			latCfg := telecast.DefaultLatencyConfig(audience+regions+1, 42)
+			latCfg.Regions = regions
+			var joined int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				lat, err := telecast.GenerateLatencyMatrix(latCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := telecast.DefaultConfig(producers, lat)
+				cfg.CDN.OutboundCapacityMbps = 0 // unbounded: measure control-plane cost
+				ctrl, err := telecast.NewController(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				view := telecast.NewUniformView(producers, 0)
+				reqs := make([]telecast.JoinRequest, audience)
+				for j := range reqs {
+					reqs[j] = telecast.JoinRequest{
+						ID:           telecast.ViewerID(fmt.Sprintf("w%06d", j)),
+						InboundMbps:  12,
+						OutboundMbps: float64(j % 13),
+						View:         view,
+					}
+				}
+				b.StartTimer()
+				for _, out := range ctrl.JoinBatch(reqs) {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+				joined += audience
+			}
+			b.ReportMetric(float64(joined)/b.Elapsed().Seconds(), "joins/s")
+		})
+	}
+}
+
 // BenchmarkChurn runs the dynamic scenario: flash crowd, Poisson churn,
 // view changes, invariants validated every simulated second.
 func BenchmarkChurn(b *testing.B) {

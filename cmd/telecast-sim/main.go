@@ -8,6 +8,8 @@
 //	telecast-sim -exp all            # everything (several minutes)
 //	telecast-sim -exp fig13a        # one figure
 //	telecast-sim -exp fig15b -seed 7 -audience 500
+//	telecast-sim -exp concurrent    # join throughput vs LSC shard count
+//	telecast-sim -exp fig14c -parallel   # admissions fan out across shards
 package main
 
 import (
@@ -18,18 +20,21 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"telecast/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig13a|fig13b|fig13c|fig14a|fig14b|fig14c|fig15a|fig15b|ablations|churn|all")
+	exp := flag.String("exp", "all", "experiment: fig13a|fig13b|fig13c|fig14a|fig14b|fig14c|fig15a|fig15b|ablations|churn|concurrent|all")
 	seed := flag.Int64("seed", 42, "random seed for traces and capacity draws")
 	audience := flag.Int("audience", 1000, "viewer count for fixed-size experiments")
+	parallel := flag.Bool("parallel", false, "drive joins through the sharded JoinBatch fan-out (concurrent per-region LSC admission)")
 	flag.Parse()
 
 	setup := experiments.DefaultSetup(*seed)
 	setup.Audience = *audience
+	setup.Parallel = *parallel
 	if err := run(*exp, setup); err != nil {
 		log.Fatal(err)
 	}
@@ -37,19 +42,20 @@ func main() {
 
 func run(exp string, setup experiments.Setup) error {
 	runners := map[string]func(experiments.Setup) error{
-		"fig13a":    runFig13a,
-		"fig13b":    runFig13b,
-		"fig13c":    runFig13c,
-		"fig14a":    runFig14a,
-		"fig14b":    runFig14b,
-		"fig14c":    runFig14c,
-		"fig15a":    runFig15a,
-		"fig15b":    runFig15b,
-		"ablations": runAblations,
-		"churn":     runChurn,
+		"fig13a":     runFig13a,
+		"fig13b":     runFig13b,
+		"fig13c":     runFig13c,
+		"fig14a":     runFig14a,
+		"fig14b":     runFig14b,
+		"fig14c":     runFig14c,
+		"fig15a":     runFig15a,
+		"fig15b":     runFig15b,
+		"ablations":  runAblations,
+		"churn":      runChurn,
+		"concurrent": runConcurrent,
 	}
 	if exp == "all" {
-		order := []string{"fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "ablations", "churn"}
+		order := []string{"fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "ablations", "churn", "concurrent"}
 		for _, name := range order {
 			if err := runners[name](setup); err != nil {
 				return err
@@ -264,6 +270,32 @@ func runAblations(setup experiments.Setup) error {
 	fmt.Fprintf(w, "two-phase (CDN fast path)\t%.0f\t%.0f\n", vc.TwoPhaseMedian*1000, vc.TwoPhaseP95*1000)
 	fmt.Fprintf(w, "plain re-join\t%.0f\t%.0f\n", vc.PlainMedian*1000, vc.PlainP95*1000)
 	w.Flush()
+	return nil
+}
+
+func runConcurrent(setup experiments.Setup) error {
+	header("Concurrent joins: batched admission throughput vs LSC shard count")
+	rows, err := experiments.RunConcurrentJoin(setup, []int{1, 4, 16})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "regions\tviewers\tadmitted\telapsed\tjoins/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%.0f\n", r.Regions, r.Viewers, r.Admitted, r.Elapsed.Round(time.Millisecond), r.JoinsPerSec)
+	}
+	w.Flush()
+	base := rows[0].JoinsPerSec
+	if base > 0 {
+		fmt.Printf("speedup vs 1 region: ")
+		for i, r := range rows {
+			if i > 0 {
+				fmt.Printf("  ")
+			}
+			fmt.Printf("%d regions ×%.2f", r.Regions, r.JoinsPerSec/base)
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

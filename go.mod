@@ -1,0 +1,3 @@
+module telecast
+
+go 1.24

@@ -8,8 +8,10 @@ package cdn
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"telecast/internal/model"
@@ -43,20 +45,46 @@ func DefaultConfig() Config {
 	}
 }
 
-// CDN tracks capacity usage per stream. It is safe for concurrent use: the
-// live emulation mode calls it from multiple node goroutines, while the
-// discrete-event simulator calls it single-threaded.
+// unitsPerMbps is the fixed-point scale of the capacity counters: bandwidth
+// is accounted in integer nano-Mbps so that the hot capacity check is a
+// single lock-free compare-and-swap with no float drift.
+const unitsPerMbps = 1e9
+
+// toUnits converts Mbps to counter units, saturating far below the int64
+// range so arithmetic on absurd inputs cannot overflow.
+func toUnits(mbps float64) int64 {
+	u := math.Round(mbps * unitsPerMbps)
+	if u > math.MaxInt64/4 {
+		return math.MaxInt64 / 4
+	}
+	return int64(u)
+}
+
+// toMbps converts counter units back to Mbps.
+func toMbps(units int64) float64 { return float64(units) / unitsPerMbps }
+
+// CDN tracks capacity usage per stream. It is the only resource shared by
+// every LSC shard of a session, so all counters are designed for concurrent
+// use: the egress total, peak, and inbound total are atomics, and parallel
+// admissions go through the Reserve → Commit/Rollback protocol so that the
+// Δ-bounded egress is never oversubscribed even transiently.
 type CDN struct {
 	cfg Config
+	// capOut/capIn are the configured bounds in counter units (0 = unbounded).
+	capOut int64
+	capIn  int64
 
+	// outTotal is the egress currently reserved or allocated; peakOut is
+	// its high-water mark, the quantity Fig 13(a) reports.
+	outTotal atomic.Int64
+	peakOut  atomic.Int64
+	inTotal  atomic.Int64
+
+	// mu guards the per-stream maps only; the capacity decision never
+	// takes it.
 	mu sync.Mutex
-	// outPerStream is the egress currently allocated to each stream.
-	outPerStream map[model.StreamID]float64
-	outTotal     float64
-	inTotal      float64
-	// peakOut records the high-water mark of egress, the quantity Fig
-	// 13(a) reports.
-	peakOut float64
+	// outPerStream is the egress committed to each stream.
+	outPerStream map[model.StreamID]int64
 	// uploaded counts producer frames stored, per stream.
 	uploaded map[model.StreamID]int64
 }
@@ -65,7 +93,9 @@ type CDN struct {
 func New(cfg Config) *CDN {
 	return &CDN{
 		cfg:          cfg,
-		outPerStream: make(map[model.StreamID]float64),
+		capOut:       toUnits(cfg.OutboundCapacityMbps),
+		capIn:        toUnits(cfg.InboundCapacityMbps),
+		outPerStream: make(map[model.StreamID]int64),
 		uploaded:     make(map[model.StreamID]int64),
 	}
 }
@@ -74,43 +104,113 @@ func New(cfg Config) *CDN {
 func (c *CDN) Delta() time.Duration { return c.cfg.Delta }
 
 // Bounded reports whether the session's CDN egress is capacity-limited.
-func (c *CDN) Bounded() bool { return c.cfg.OutboundCapacityMbps > 0 }
+func (c *CDN) Bounded() bool { return c.capOut > 0 }
 
 // RemainingMbps returns the unallocated egress capacity. Unbounded CDNs
 // report +Inf-like behaviour via a very large number; callers should check
 // Bounded for exact semantics.
 func (c *CDN) RemainingMbps() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !c.Bounded() {
 		return 1e18
 	}
-	return c.cfg.OutboundCapacityMbps - c.outTotal
+	return toMbps(c.capOut - c.outTotal.Load())
 }
 
-// CanServe reports whether the CDN has bw Mbps of spare egress.
+// CanServe reports whether the CDN has bw Mbps of spare egress. It is a
+// point-in-time hint: under concurrent admission only a Reserve actually
+// holds the capacity.
 func (c *CDN) CanServe(bwMbps float64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return !c.Bounded() || c.outTotal+bwMbps <= c.cfg.OutboundCapacityMbps+1e-9
+	return !c.Bounded() || c.outTotal.Load()+toUnits(bwMbps) <= c.capOut
+}
+
+// Reservation is egress capacity held out of the shared budget but not yet
+// attributed to a stream. Exactly one of Commit or Rollback must be called;
+// settling twice panics, because it means two owners believed they held the
+// same capacity.
+type Reservation struct {
+	cdn     *CDN
+	units   int64
+	settled atomic.Bool
+}
+
+// Mbps returns the reserved bandwidth.
+func (r *Reservation) Mbps() float64 { return toMbps(r.units) }
+
+// Reserve holds bw Mbps of egress out of the shared budget. The check-and-
+// hold is a single CAS, so parallel admissions from different LSC shards can
+// never collectively exceed the bound. It fails with ErrCapacity when the
+// session's CDN budget is exhausted.
+func (c *CDN) Reserve(bwMbps float64) (*Reservation, error) {
+	if bwMbps < 0 {
+		return nil, fmt.Errorf("cdn reserve: negative bandwidth %v", bwMbps)
+	}
+	units := toUnits(bwMbps)
+	for {
+		cur := c.outTotal.Load()
+		if c.capOut > 0 && cur+units > c.capOut {
+			return nil, fmt.Errorf("cdn reserve %v Mbps: %w", bwMbps, ErrCapacity)
+		}
+		if c.outTotal.CompareAndSwap(cur, cur+units) {
+			break
+		}
+	}
+	c.raisePeak()
+	return &Reservation{cdn: c, units: units}, nil
+}
+
+// Commit attributes the reserved egress to one direct child of the given
+// stream; the reservation is spent.
+func (r *Reservation) Commit(id model.StreamID) {
+	if !r.settled.CompareAndSwap(false, true) {
+		panic("cdn: reservation settled twice")
+	}
+	r.cdn.mu.Lock()
+	r.cdn.outPerStream[id] += r.units
+	r.cdn.mu.Unlock()
+}
+
+// Rollback returns the reserved egress to the shared budget; the reservation
+// is spent.
+func (r *Reservation) Rollback() {
+	if !r.settled.CompareAndSwap(false, true) {
+		panic("cdn: reservation settled twice")
+	}
+	r.cdn.subOut(r.units)
+}
+
+// raisePeak lifts the egress high-water mark to the current total.
+func (c *CDN) raisePeak() {
+	total := c.outTotal.Load()
+	for {
+		peak := c.peakOut.Load()
+		if total <= peak || c.peakOut.CompareAndSwap(peak, total) {
+			return
+		}
+	}
+}
+
+// subOut decrements the egress total, clamping at zero so an accounting
+// error surfaced elsewhere cannot drive the counter negative.
+func (c *CDN) subOut(units int64) {
+	for v := c.outTotal.Add(-units); v < 0; v = c.outTotal.Load() {
+		if c.outTotal.CompareAndSwap(v, 0) {
+			return
+		}
+	}
 }
 
 // Allocate reserves bw Mbps of egress for one direct child of the given
-// stream. It fails when the session's CDN budget is exhausted.
+// stream. It fails when the session's CDN budget is exhausted. It is
+// shorthand for Reserve followed by Commit.
 func (c *CDN) Allocate(id model.StreamID, bwMbps float64) error {
 	if bwMbps < 0 {
 		return fmt.Errorf("cdn allocate %v: negative bandwidth %v", id, bwMbps)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.Bounded() && c.outTotal+bwMbps > c.cfg.OutboundCapacityMbps+1e-9 {
+	r, err := c.Reserve(bwMbps)
+	if err != nil {
 		return fmt.Errorf("cdn allocate %v: %w", id, ErrCapacity)
 	}
-	c.outPerStream[id] += bwMbps
-	c.outTotal += bwMbps
-	if c.outTotal > c.peakOut {
-		c.peakOut = c.outTotal
-	}
+	r.Commit(id)
 	return nil
 }
 
@@ -118,34 +218,40 @@ func (c *CDN) Allocate(id model.StreamID, bwMbps float64) error {
 // Releasing more than allocated clamps to zero and reports an error so that
 // accounting bugs surface in tests rather than corrupting totals.
 func (c *CDN) Release(id model.StreamID, bwMbps float64) error {
+	units := toUnits(bwMbps)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	cur := c.outPerStream[id]
-	if bwMbps > cur+1e-9 {
-		c.outTotal -= cur
+	if units > cur {
 		delete(c.outPerStream, id)
-		return fmt.Errorf("cdn release %v: released %v Mbps with only %v allocated", id, bwMbps, cur)
+		c.mu.Unlock()
+		c.subOut(cur)
+		return fmt.Errorf("cdn release %v: released %v Mbps with only %v allocated", id, bwMbps, toMbps(cur))
 	}
-	c.outPerStream[id] = cur - bwMbps
-	if c.outPerStream[id] < 1e-9 {
+	if cur-units == 0 {
 		delete(c.outPerStream, id)
+	} else {
+		c.outPerStream[id] = cur - units
 	}
-	c.outTotal -= bwMbps
-	if c.outTotal < 0 {
-		c.outTotal = 0
-	}
+	c.mu.Unlock()
+	c.subOut(units)
 	return nil
 }
 
 // RecordUpload accounts a producer frame entering the distribution storage.
 func (c *CDN) RecordUpload(id model.StreamID, bwMbps float64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.InboundCapacityMbps > 0 && c.inTotal+bwMbps > c.cfg.InboundCapacityMbps+1e-9 {
-		return fmt.Errorf("cdn upload %v: %w", id, ErrCapacity)
+	units := toUnits(bwMbps)
+	for {
+		cur := c.inTotal.Load()
+		if c.capIn > 0 && cur+units > c.capIn {
+			return fmt.Errorf("cdn upload %v: %w", id, ErrCapacity)
+		}
+		if c.inTotal.CompareAndSwap(cur, cur+units) {
+			break
+		}
 	}
-	c.inTotal += bwMbps
+	c.mu.Lock()
 	c.uploaded[id]++
+	c.mu.Unlock()
 	return nil
 }
 
@@ -160,15 +266,15 @@ type Usage struct {
 // Snapshot returns a copy of the current usage counters.
 func (c *CDN) Snapshot() Usage {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	per := make(map[model.StreamID]float64, len(c.outPerStream))
 	for k, v := range c.outPerStream {
-		per[k] = v
+		per[k] = toMbps(v)
 	}
+	c.mu.Unlock()
 	return Usage{
-		OutTotalMbps:  c.outTotal,
-		PeakOutMbps:   c.peakOut,
-		InTotalMbps:   c.inTotal,
+		OutTotalMbps:  toMbps(c.outTotal.Load()),
+		PeakOutMbps:   toMbps(c.peakOut.Load()),
+		InTotalMbps:   toMbps(c.inTotal.Load()),
 		PerStreamMbps: per,
 	}
 }
@@ -176,11 +282,11 @@ func (c *CDN) Snapshot() Usage {
 // Streams returns the stream IDs with live allocations, sorted.
 func (c *CDN) Streams() []model.StreamID {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	ids := make([]model.StreamID, 0, len(c.outPerStream))
 	for id := range c.outPerStream {
 		ids = append(ids, id)
 	}
+	c.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids
 }

@@ -1,0 +1,127 @@
+package cdn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestReserveCommitRollback(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 10})
+	r, err := c.Reserve(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserved capacity is held before commit: a second reserve over the
+	// remainder must fail.
+	if _, err := c.Reserve(5); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("reserve over held capacity = %v, want ErrCapacity", err)
+	}
+	if u := c.Snapshot(); u.OutTotalMbps != 6 || u.PerStreamMbps[s1] != 0 {
+		t.Fatalf("pre-commit usage = %+v", u)
+	}
+	r.Commit(s1)
+	if u := c.Snapshot(); u.OutTotalMbps != 6 || u.PerStreamMbps[s1] != 6 {
+		t.Fatalf("post-commit usage = %+v", u)
+	}
+
+	r2, err := c.Reserve(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Rollback()
+	if u := c.Snapshot(); u.OutTotalMbps != 6 {
+		t.Fatalf("rollback did not return capacity: %+v", u)
+	}
+	// Peak saw the transient reservation.
+	if u := c.Snapshot(); u.PeakOutMbps != 10 {
+		t.Fatalf("peak = %v, want 10", u.PeakOutMbps)
+	}
+}
+
+func TestReservationDoubleSettlePanics(t *testing.T) {
+	c := New(Config{OutboundCapacityMbps: 10})
+	r, err := c.Reserve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Commit(s1)
+	defer func() {
+		if recover() == nil {
+			t.Error("second settle did not panic")
+		}
+	}()
+	r.Rollback()
+}
+
+func TestReserveNegativeRejected(t *testing.T) {
+	c := New(DefaultConfig())
+	if _, err := c.Reserve(-1); err == nil {
+		t.Error("negative reservation accepted")
+	}
+}
+
+// TestParallelReserveNeverOversubscribes is the contention proof: many
+// goroutines hammer Reserve/Commit/Rollback/Release against a tight budget,
+// and neither the live total nor the high-water mark may ever exceed the
+// bound — the invariant the Δ-bounded egress depends on.
+func TestParallelReserveNeverOversubscribes(t *testing.T) {
+	const capMbps = 100.0
+	c := New(Config{OutboundCapacityMbps: capMbps})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var committed float64
+			for i := 0; i < 2000; i++ {
+				bw := float64(1 + rng.Intn(5))
+				r, err := c.Reserve(bw)
+				if err != nil {
+					if !errors.Is(err, ErrCapacity) {
+						t.Errorf("reserve: %v", err)
+						return
+					}
+					// Budget full: return something if we hold any.
+					if committed >= 2 {
+						if err := c.Release(s1, 2); err != nil {
+							t.Errorf("release: %v", err)
+							return
+						}
+						committed -= 2
+					}
+					continue
+				}
+				if got := c.Snapshot().OutTotalMbps; got > capMbps {
+					t.Errorf("oversubscribed: %v > %v", got, capMbps)
+					r.Rollback()
+					return
+				}
+				if rng.Intn(2) == 0 {
+					r.Commit(s1)
+					committed += bw
+				} else {
+					r.Rollback()
+				}
+			}
+			// Drain what this goroutine still holds.
+			for committed >= 1 {
+				if err := c.Release(s1, 1); err != nil {
+					t.Errorf("drain: %v", err)
+					return
+				}
+				committed--
+			}
+		}(g)
+	}
+	wg.Wait()
+	u := c.Snapshot()
+	if u.PeakOutMbps > capMbps {
+		t.Fatalf("peak %v exceeded capacity %v", u.PeakOutMbps, capMbps)
+	}
+	if u.OutTotalMbps > 1e-6 {
+		t.Fatalf("leaked %v Mbps", u.OutTotalMbps)
+	}
+}

@@ -233,13 +233,13 @@ func (c *Cluster) reconcile() error {
 // plane ("" = CDN).
 func (c *Cluster) overlayViewer(id model.ViewerID) (map[model.StreamID]model.ViewerID, bool) {
 	for _, lsc := range c.ctrl.LSCs() {
-		if v, ok := lsc.Overlay.Viewer(id); ok {
-			out := make(map[model.StreamID]model.ViewerID, len(v.Nodes))
-			for sid, n := range v.Nodes {
-				if n.Parent == nil {
+		if parents, ok := lsc.ViewerParents(id); ok {
+			out := make(map[model.StreamID]model.ViewerID, len(parents))
+			for sid, p := range parents {
+				if p == "" {
 					out[sid] = cdnNodeID
 				} else {
-					out[sid] = n.Parent.Viewer
+					out[sid] = p
 				}
 			}
 			return out, true

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+)
+
+// ConcurrentJoinRow is one point of the control-plane scaling measurement:
+// the same audience admitted through JoinBatch against a latency substrate
+// partitioned into a varying number of regions, i.e. a varying number of
+// concurrently-locked LSC shards.
+type ConcurrentJoinRow struct {
+	Regions     int
+	Viewers     int
+	Admitted    int
+	Elapsed     time.Duration
+	JoinsPerSec float64
+}
+
+// RunConcurrentJoin measures batched join throughput as the region (shard)
+// count grows. The CDN is unbounded so the measurement isolates the
+// control-plane cost — overlay construction, tree insertion, subscription
+// propagation — rather than admission-control rejections. With a sharded
+// control plane, throughput should rise with the region count.
+func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, error) {
+	rows := make([]ConcurrentJoinRow, 0, len(regionCounts))
+	for _, regions := range regionCounts {
+		if regions <= 0 {
+			return nil, fmt.Errorf("concurrent join: region count must be positive, got %d", regions)
+		}
+		latCfg := trace.DefaultLatencyConfig(setup.Audience+regions+1, setup.Seed)
+		latCfg.Regions = regions
+		lat, err := trace.GenerateLatencyMatrix(latCfg)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := setup.controllerWith(lat, 0)
+		if err != nil {
+			return nil, err
+		}
+		producers, err := setup.producers()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(setup.Seed))
+		obw := UniformObw(0, 12)
+		reqs := make([]session.JoinRequest, setup.Audience)
+		for i := range reqs {
+			angle := setup.ViewAngles[i%len(setup.ViewAngles)]
+			reqs[i] = session.JoinRequest{
+				ID:           model.ViewerID(fmt.Sprintf("v%05d", i)),
+				InboundMbps:  setup.InboundMbps,
+				OutboundMbps: obw.Draw(rng),
+				View:         model.NewUniformView(producers, angle),
+			}
+		}
+		start := time.Now()
+		outs := ctrl.JoinBatch(reqs)
+		elapsed := time.Since(start)
+		admitted := 0
+		for _, out := range outs {
+			if out.Err != nil {
+				return nil, fmt.Errorf("concurrent join (%d regions): %w", regions, out.Err)
+			}
+			if out.Outcome.Result.Admitted {
+				admitted++
+			}
+		}
+		if err := ctrl.Validate(); err != nil {
+			return nil, fmt.Errorf("concurrent join (%d regions): invariants: %w", regions, err)
+		}
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(len(reqs)) / elapsed.Seconds()
+		}
+		rows = append(rows, ConcurrentJoinRow{
+			Regions:     regions,
+			Viewers:     len(reqs),
+			Admitted:    admitted,
+			Elapsed:     elapsed,
+			JoinsPerSec: rate,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+func TestRunConcurrentJoinScalesRegions(t *testing.T) {
+	setup := DefaultSetup(7)
+	setup.Audience = 120
+	setup.MaxViewers = 200
+	rows, err := RunConcurrentJoin(setup, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Viewers != 120 {
+			t.Errorf("regions %d joined %d viewers, want 120", r.Regions, r.Viewers)
+		}
+		if r.Admitted == 0 || r.JoinsPerSec <= 0 {
+			t.Errorf("regions %d: admitted=%d rate=%f", r.Regions, r.Admitted, r.JoinsPerSec)
+		}
+	}
+}
+
+// TestParallelPopulateMatchesSequential checks that the parallel driver
+// admits the same audience the sequential one does on an unbounded CDN
+// (admission there is order-independent: no shared-capacity races).
+func TestParallelPopulateMatchesSequential(t *testing.T) {
+	seq := DefaultSetup(3)
+	seq.Audience = 150
+	seq.MaxViewers = 220
+	par := seq
+	par.Parallel = true
+	par.BatchSize = 32
+
+	seqStats, err := seq.runScenario(seq.Audience, UniformObw(0, 12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parStats, err := par.runScenario(par.Audience, UniformObw(0, 12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Overlay.Viewers != parStats.Overlay.Viewers {
+		t.Errorf("viewers: seq %d, par %d", seqStats.Overlay.Viewers, parStats.Overlay.Viewers)
+	}
+	if seqStats.Overlay.StreamsRequested != parStats.Overlay.StreamsRequested {
+		t.Errorf("requested: seq %d, par %d", seqStats.Overlay.StreamsRequested, parStats.Overlay.StreamsRequested)
+	}
+	if seqStats.Overlay.StreamsAccepted != parStats.Overlay.StreamsAccepted {
+		t.Errorf("accepted: seq %d, par %d", seqStats.Overlay.StreamsAccepted, parStats.Overlay.StreamsAccepted)
+	}
+}

@@ -42,6 +42,13 @@ type Setup struct {
 	Audience int
 	// Sizes is the viewer-count sweep for Fig 13 and Fig 15(b).
 	Sizes []int
+	// Parallel drives joins through the sharded JoinBatch fan-out instead
+	// of one sequential join per viewer. The request schedule is identical
+	// either way; admission order across regions becomes concurrent, which
+	// is exactly the deployment the paper's GSC/LSC split describes.
+	Parallel bool
+	// BatchSize bounds one JoinBatch fan-out in parallel mode (0 = 256).
+	BatchSize int
 }
 
 // DefaultSetup returns the §VII parameters.
@@ -133,15 +140,49 @@ func (s Setup) controllerWith(lat *trace.LatencyMatrix, cdnCapMbps float64) (*se
 }
 
 // populate joins n viewers with outbound capacities drawn from the spec and
-// views cycling through the setup's angles. It returns the controller's
-// producers for further requests.
+// views cycling through the setup's angles. In parallel mode the same
+// schedule is fanned out across LSC shards via JoinBatch.
 func (s Setup) populate(c *session.Controller, producers *model.Session, n int, obw OutboundSpec, rng *rand.Rand) error {
+	if s.Parallel {
+		return s.populateParallel(c, producers, n, obw, rng)
+	}
 	for i := 0; i < n; i++ {
 		angle := s.ViewAngles[i%len(s.ViewAngles)]
 		view := model.NewUniformView(producers, angle)
 		id := model.ViewerID(fmt.Sprintf("v%05d", i))
 		if _, err := c.Join(id, s.InboundMbps, obw.Draw(rng), view); err != nil {
 			return fmt.Errorf("populate viewer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// populateParallel drives the same deterministic request schedule through
+// the sharded batch admission path.
+func (s Setup) populateParallel(c *session.Controller, producers *model.Session, n int, obw OutboundSpec, rng *rand.Rand) error {
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	reqs := make([]session.JoinRequest, n)
+	for i := 0; i < n; i++ {
+		angle := s.ViewAngles[i%len(s.ViewAngles)]
+		reqs[i] = session.JoinRequest{
+			ID:           model.ViewerID(fmt.Sprintf("v%05d", i)),
+			InboundMbps:  s.InboundMbps,
+			OutboundMbps: obw.Draw(rng),
+			View:         model.NewUniformView(producers, angle),
+		}
+	}
+	for at := 0; at < n; at += batch {
+		end := at + batch
+		if end > n {
+			end = n
+		}
+		for i, out := range c.JoinBatch(reqs[at:end]) {
+			if out.Err != nil {
+				return fmt.Errorf("populate viewer %d: %w", at+i, out.Err)
+			}
 		}
 	}
 	return nil

@@ -28,6 +28,14 @@ func (c *CDF) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
 // Len returns the sample count.
 func (c *CDF) Len() int { return len(c.samples) }
 
+// Clone returns an independent copy, so a snapshot of a live distribution
+// can be queried (quantiles sort in place) without racing further Adds.
+func (c *CDF) Clone() *CDF {
+	out := &CDF{sorted: c.sorted}
+	out.samples = append(out.samples, c.samples...)
+	return out
+}
+
 func (c *CDF) sort() {
 	if !c.sorted {
 		sort.Float64s(c.samples)

@@ -8,12 +8,16 @@ import (
 	"telecast/internal/model"
 )
 
-// Manager owns the overlay state of one 3DTI session: view groups, one
-// dissemination tree per (group, stream), viewer records, and the CDN
+// Manager owns the overlay state of one 3DTI session shard: view groups,
+// one dissemination tree per (group, stream), viewer records, and the CDN
 // capacity accounting. It implements the LSC-side overlay construction
 // (bandwidth allocation + topology formation, §IV) and the adaptation
-// procedures (§VI). The Manager is not safe for concurrent use; the
-// discrete-event simulator and the session layer serialize calls.
+// procedures (§VI). The Manager is deliberately not safe for concurrent
+// use: it is the single-owner core behind the Shard interface — each
+// session-layer LSC owns one Manager and serializes every call through its
+// shard lock, so region shards run in parallel while the Manager itself
+// stays lock-free. The only cross-shard state it touches is the CDN, which
+// synchronizes internally.
 type Manager struct {
 	session *model.Session
 	cdn     *cdn.CDN

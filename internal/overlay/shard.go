@@ -1,0 +1,37 @@
+package overlay
+
+import "telecast/internal/model"
+
+// Shard is the narrow contract the session layer consumes from an overlay
+// manager. A shard is single-threaded by design: each region-local session
+// controller (LSC) owns exactly one shard and serializes every call through
+// its own lock, so different regions' shards run concurrently while a
+// shard's internal state never needs synchronization. Anything returned by
+// reference (JoinResult, Viewer) is owned by the shard and must only be
+// dereferenced while the owner still holds its serialization lock.
+type Shard interface {
+	// Join admits a viewer through the full §IV construction pipeline.
+	Join(info ViewerInfo, view model.View) (*JoinResult, error)
+	// Leave removes a viewer, recovering the victims of its departure (§VI).
+	Leave(id model.ViewerID) error
+	// ChangeView re-admits an existing viewer with a new view.
+	ChangeView(id model.ViewerID, view model.View) (*JoinResult, error)
+	// Viewer returns the record of a joined viewer.
+	Viewer(id model.ViewerID) (*Viewer, bool)
+	// RefreshAll re-runs the periodic delay-layer adaptation (§VI).
+	RefreshAll() int
+	// Snapshot summarizes the shard for cross-shard aggregation.
+	Snapshot() Snapshot
+	// Validate checks the shard's overlay invariants.
+	Validate() error
+	// CDNImplied returns the per-stream egress the shard's trees imply,
+	// for global CDN accounting checks.
+	CDNImplied() map[model.StreamID]float64
+	// Params returns the session-wide overlay constants.
+	Params() Params
+	// DumpTrees renders the shard's dissemination trees for inspection.
+	DumpTrees() string
+}
+
+// Manager is the canonical Shard implementation.
+var _ Shard = (*Manager)(nil)

@@ -19,21 +19,22 @@ import (
 // layer indexes accordingly"). Layer violations trigger the usual delay
 // layer adaptation — CDN re-provisioning or subscription drops — and
 // viewers whose parents moved up move up with them. It returns the number
-// of viewers whose layer assignment changed.
+// of viewers whose layer assignment changed. Shards adapt one at a time;
+// each shard's refresh runs under its own lock.
 func (c *Controller) AdaptDelays() int {
 	changed := 0
 	for _, lsc := range c.lscs {
-		changed += lsc.Overlay.RefreshAll()
+		changed += lsc.RefreshAll()
 	}
 	return changed
 }
 
 // AttachMonitor installs the GSC monitoring component so that subscription
 // points can be computed against live producer metadata.
-func (c *Controller) AttachMonitor(m *Monitor) { c.monitor = m }
+func (c *Controller) AttachMonitor(m *Monitor) { c.monitor.Store(m) }
 
 // Monitor returns the attached monitoring component, if any.
-func (c *Controller) Monitor() *Monitor { return c.monitor }
+func (c *Controller) Monitor() *Monitor { return c.monitor.Load() }
 
 // SubscriptionPoint is one stream's computed delayed-receive position.
 type SubscriptionPoint struct {
@@ -56,41 +57,57 @@ type SubscriptionPoint struct {
 // ℜ = τr offset positions the viewer at the top of the layer so push-downs
 // fade out in subsequent children (§V-B3).
 func (c *Controller) SubscriptionPoints(id model.ViewerID) ([]SubscriptionPoint, error) {
-	if c.monitor == nil {
+	mon := c.Monitor()
+	if mon == nil {
 		return nil, fmt.Errorf("subscription points %s: no monitor attached", id)
 	}
-	st, ok := c.viewers[id]
-	if !ok {
+	lsc := c.lookupRoute(id)
+	if lsc == nil {
 		return nil, fmt.Errorf("subscription points %s: unknown viewer", id)
 	}
-	v, ok := st.lsc.Overlay.Viewer(id)
-	if !ok {
-		return nil, fmt.Errorf("subscription points %s: not in overlay", id)
+	points, err := lsc.subscriptionPoints(id, mon, c.cfg.Producers, c.cfg.Proc)
+	if err != nil {
+		return nil, fmt.Errorf("subscription points %s: %w", id, err)
 	}
-	h := c.cfg.Producers
-	hier := st.lsc.Overlay.Params().Hierarchy
+	return points, nil
+}
+
+// subscriptionPoints computes a viewer's Eq. 2 positions on its owning
+// shard, holding the shard lock so tree positions cannot move mid-read.
+func (l *LSC) subscriptionPoints(id model.ViewerID, mon *Monitor, producers *model.Session, proc time.Duration) ([]SubscriptionPoint, error) {
+	st, ok := l.state(id)
+	if !ok {
+		return nil, fmt.Errorf("not registered")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.shard.Viewer(id)
+	if !ok {
+		return nil, fmt.Errorf("not in overlay")
+	}
+	hier := l.shard.Params().Hierarchy
 	points := make([]SubscriptionPoint, 0, len(v.Nodes))
 	for _, sid := range v.AcceptedStreams() {
 		node := v.Nodes[sid]
-		status, err := c.monitor.Status(sid)
+		status, err := mon.Status(sid)
 		if err != nil {
-			return nil, fmt.Errorf("subscription points %s: %w", id, err)
+			return nil, err
 		}
-		stream, _ := h.Stream(sid)
+		stream, _ := producers.Stream(sid)
 		var parent model.ViewerID
 		var dprop time.Duration
 		if node.Parent != nil {
 			parent = node.Parent.Viewer
-			if p, ok := c.viewers[parent]; ok {
-				dprop = c.cfg.Latency.Delay(st.nodeIdx, p.nodeIdx)
+			if p, ok := l.state(parent); ok {
+				dprop = l.cfg.Latency.Delay(st.nodeIdx, p.nodeIdx)
 			}
 		} else {
 			// CDN parents are served by the edge co-located with the
 			// viewer's LSC.
-			dprop = c.cfg.Latency.Delay(st.nodeIdx, st.lsc.NodeIdx)
+			dprop = l.cfg.Latency.Delay(st.nodeIdx, l.NodeIdx)
 		}
 		from := hier.SubscriptionFrame(status.LatestFrame, node.Layer,
-			stream.FrameRate, dprop, c.cfg.Proc, 1)
+			stream.FrameRate, dprop, proc, 1)
 		points = append(points, SubscriptionPoint{
 			Stream:    sid,
 			Layer:     node.Layer,
@@ -110,7 +127,7 @@ func (c *Controller) DumpOverlay() string {
 		if !ok {
 			continue
 		}
-		dump := lsc.Overlay.DumpTrees()
+		dump := lsc.DumpTrees()
 		if dump == "" {
 			continue
 		}

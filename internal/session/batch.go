@@ -1,0 +1,95 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"telecast/internal/model"
+)
+
+// JoinRequest is one admission request of a batch.
+type JoinRequest struct {
+	ID           model.ViewerID
+	InboundMbps  float64
+	OutboundMbps float64
+	View         model.View
+}
+
+// BatchOutcome is the per-request result of a batch operation, in input
+// order. Exactly one of Outcome and Err is meaningful for joins; departures
+// set only Err.
+type BatchOutcome struct {
+	ID      model.ViewerID
+	Outcome *JoinOutcome
+	Err     error
+}
+
+// JoinBatch admits many viewers at once, exploiting the sharded control
+// plane: requests are routed by the GSC (cheap, serial), grouped by owning
+// LSC, and each shard's group is admitted in input order on its own
+// goroutine — so a batch spanning R regions runs R admissions wide with no
+// lock contention between shards. Results are returned in input order.
+func (c *Controller) JoinBatch(reqs []JoinRequest) []BatchOutcome {
+	out := make([]BatchOutcome, len(reqs))
+	type routed struct {
+		idx int
+		p   *preparedJoin
+	}
+	perShard := make(map[*LSC][]routed, len(c.lscs))
+	for i, req := range reqs {
+		out[i].ID = req.ID
+		p, err := c.prepare(req.ID, req.InboundMbps, req.OutboundMbps, req.View)
+		if err != nil {
+			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
+			continue
+		}
+		perShard[p.lsc] = append(perShard[p.lsc], routed{idx: i, p: p})
+	}
+	var wg sync.WaitGroup
+	for _, group := range perShard {
+		wg.Add(1)
+		go func(group []routed) {
+			defer wg.Done()
+			for _, r := range group {
+				out[r.idx].Outcome, out[r.idx].Err = c.admit(r.p)
+			}
+		}(group)
+	}
+	wg.Wait()
+	return out
+}
+
+// DepartBatch removes many viewers at once, grouped by owning shard and
+// processed in parallel across shards. Results are returned in input order.
+func (c *Controller) DepartBatch(ids []model.ViewerID) []BatchOutcome {
+	out := make([]BatchOutcome, len(ids))
+	perShard := make(map[*LSC][]int, len(c.lscs))
+	for i, id := range ids {
+		out[i].ID = id
+		lsc := c.takeRoute(id)
+		if lsc == nil {
+			out[i].Err = fmt.Errorf("session leave %s: unknown viewer", id)
+			continue
+		}
+		perShard[lsc] = append(perShard[lsc], i)
+	}
+	var wg sync.WaitGroup
+	for lsc, idxs := range perShard {
+		wg.Add(1)
+		go func(lsc *LSC, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				id := out[i].ID
+				nodeIdx, err := lsc.leave(id)
+				c.dropRoute(id)
+				if err != nil {
+					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
+					continue
+				}
+				c.nodes.release(nodeIdx)
+			}
+		}(lsc, idxs)
+	}
+	wg.Wait()
+	return out
+}

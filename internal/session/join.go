@@ -21,34 +21,65 @@ type JoinOutcome struct {
 	LSCRegion int
 }
 
+// preparedJoin is a routed-but-not-yet-admitted viewer: ID claimed, node
+// placed, shard chosen, registry entry installed.
+type preparedJoin struct {
+	lsc  *LSC
+	st   *viewerState
+	view model.View
+}
+
+// prepare runs the GSC half of the join protocol: duplicate check, node
+// placement, geo-routing to the owning shard, and registry insertion. It is
+// cheap and thread-safe; the expensive admission runs on the shard.
+func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*preparedJoin, error) {
+	if err := c.claimID(id); err != nil {
+		return nil, err
+	}
+	nodeIdx, ok := c.nodes.acquire()
+	if !ok {
+		c.dropRoute(id)
+		return nil, fmt.Errorf("latency matrix exhausted (%d nodes)", c.cfg.Latency.Nodes())
+	}
+	lsc := c.lscFor(nodeIdx)
+	st := &viewerState{
+		nodeIdx: nodeIdx,
+		info:    overlay.ViewerInfo{ID: id, InboundMbps: inboundMbps, OutboundMbps: outboundMbps},
+	}
+	lsc.register(st)
+	// The route stays a claim (nil) until the shard admits the viewer, so
+	// a racing Leave or ChangeView sees "unknown viewer" instead of
+	// operating on a half-joined one.
+	return &preparedJoin{lsc: lsc, st: st, view: view}, nil
+}
+
+// admit runs the shard half of the join protocol on the prepared viewer's
+// owning LSC and records the Fig. 14(c) protocol latency.
+func (c *Controller) admit(p *preparedJoin) (*JoinOutcome, error) {
+	id := p.st.info.ID
+	res, worst, err := p.lsc.join(p.st, p.view)
+	if err != nil {
+		p.lsc.unregister(id)
+		c.dropRoute(id)
+		c.nodes.release(p.st.nodeIdx)
+		return nil, fmt.Errorf("session join %s: %w", id, err)
+	}
+	c.bindRoute(id, p.lsc)
+	delay := c.joinProtocolDelay(p.st.nodeIdx, p.lsc.NodeIdx, worst)
+	c.recordJoinDelay(delay)
+	return &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(p.lsc.Region)}, nil
+}
+
 // Join runs the full viewer join protocol of Fig. 5. The viewer is assigned
 // the next latency-matrix node, routed to its region's LSC, and admitted
 // through the overlay construction pipeline; the protocol delay is recorded
 // for the overhead evaluation.
 func (c *Controller) Join(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*JoinOutcome, error) {
-	if _, dup := c.viewers[id]; dup {
-		return nil, fmt.Errorf("session join %s: viewer exists", id)
-	}
-	if c.nextNode >= c.cfg.Latency.Nodes() {
-		return nil, fmt.Errorf("session join %s: latency matrix exhausted (%d nodes)", id, c.cfg.Latency.Nodes())
-	}
-	nodeIdx := c.nextNode
-	c.nextNode++
-	lsc := c.lscFor(nodeIdx)
-	info := overlay.ViewerInfo{ID: id, InboundMbps: inboundMbps, OutboundMbps: outboundMbps}
-	st := &viewerState{nodeIdx: nodeIdx, lsc: lsc, info: info, view: view}
-	c.viewers[id] = st
-
-	res, err := lsc.Overlay.Join(info, view)
+	p, err := c.prepare(id, inboundMbps, outboundMbps, view)
 	if err != nil {
-		delete(c.viewers, id)
-		c.nextNode--
 		return nil, fmt.Errorf("session join %s: %w", id, err)
 	}
-
-	delay := c.joinProtocolDelay(st, res)
-	c.joinDelays.AddDuration(delay)
-	return &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(lsc.Region)}, nil
+	return c.admit(p)
 }
 
 // joinProtocolDelay adds up the legs of Fig. 5 plus the stream-subscription
@@ -62,41 +93,29 @@ func (c *Controller) Join(id model.ViewerID, inboundMbps, outboundMbps float64, 
 //	LSC → viewer   overlay information (parents learn in parallel and
 //	               never later than the viewer path dominates)
 //	viewer ⇄ parent subscription-start round trip to the farthest parent
-func (c *Controller) joinProtocolDelay(st *viewerState, res *overlay.JoinResult) time.Duration {
-	v, g, l := st.nodeIdx, c.gscNode, st.lsc.NodeIdx
-	d := c.delay(v, g) + c.cfg.GSCProc +
+func (c *Controller) joinProtocolDelay(v, l int, worstParentRTT time.Duration) time.Duration {
+	g := c.gscNode
+	return c.delay(v, g) + c.cfg.GSCProc +
 		c.delay(g, l) +
 		c.delay(l, v) +
 		c.delay(v, l) + c.cfg.LSCProc +
-		c.delay(l, v)
-	if res != nil && res.Admitted {
-		var worst time.Duration
-		for _, n := range res.Viewer.Nodes {
-			if n.Parent == nil {
-				continue
-			}
-			if p, ok := c.viewers[n.Parent.Viewer]; ok {
-				if rt := 2 * c.delay(v, p.nodeIdx); rt > worst {
-					worst = rt
-				}
-			}
-		}
-		d += worst
-	}
-	return d
+		c.delay(l, v) +
+		worstParentRTT
 }
 
 // Leave removes a viewer; departures trigger the same victim recovery as
 // view changes (§VI).
 func (c *Controller) Leave(id model.ViewerID) error {
-	st, ok := c.viewers[id]
-	if !ok {
+	lsc := c.takeRoute(id)
+	if lsc == nil {
 		return fmt.Errorf("session leave %s: unknown viewer", id)
 	}
-	if err := st.lsc.Overlay.Leave(id); err != nil {
+	nodeIdx, err := lsc.leave(id)
+	c.dropRoute(id)
+	if err != nil {
 		return fmt.Errorf("session leave %s: %w", id, err)
 	}
-	delete(c.viewers, id)
+	c.nodes.release(nodeIdx)
 	return nil
 }
 
@@ -121,13 +140,16 @@ type ViewChangeOutcome struct {
 // normal join (bandwidth allocation + overlay formation + subscription)
 // proceeds in the background; once done, the viewer switches to the overlay.
 func (c *Controller) ChangeView(id model.ViewerID, view model.View) (*ViewChangeOutcome, error) {
-	st, ok := c.viewers[id]
-	if !ok {
+	lsc := c.lookupRoute(id)
+	if lsc == nil {
 		return nil, fmt.Errorf("session view change %s: unknown viewer", id)
 	}
 	// Fast path feasibility: the paper streams the new view from the CDN
-	// instantaneously; in strict mode the CDN must actually have spare
-	// egress for the transient reservation.
+	// instantaneously; in strict mode the transient edge bandwidth is
+	// checked against the spare egress. It is a hint, not a hold: the
+	// transient is absorbed by the edge caches (§VI), so it must neither
+	// compete with the viewer's own background rejoin nor pollute the
+	// peak-egress metric the way a real Reservation would.
 	fast := true
 	if c.cfg.StrictFastPath {
 		req := model.ComposeView(c.cfg.Producers, view, c.cfg.CutoffDF)
@@ -138,21 +160,19 @@ func (c *Controller) ChangeView(id model.ViewerID, view model.View) (*ViewChange
 		fast = c.cdn.CanServe(fastBW)
 	}
 
-	res, err := st.lsc.Overlay.ChangeView(id, view)
+	res, worst, nodeIdx, err := lsc.changeView(id, view)
 	if err != nil {
 		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
-	st.view = view
 
-	v, l := st.nodeIdx, st.lsc.NodeIdx
 	// Fast path: request to LSC, LSC redirects the CDN edge (co-located
 	// with the LSC node), first frames flow edge → viewer.
-	switchDelay := c.delay(v, l) + c.cfg.LSCProc + c.delay(l, v)
-	background := c.joinProtocolDelay(st, res)
+	switchDelay := c.delay(nodeIdx, lsc.NodeIdx) + c.cfg.LSCProc + c.delay(lsc.NodeIdx, nodeIdx)
+	background := c.joinProtocolDelay(nodeIdx, lsc.NodeIdx, worst)
 	if !fast {
 		switchDelay = background
 	}
-	c.viewChangeDelays.AddDuration(switchDelay)
+	c.recordViewChangeDelay(switchDelay)
 	return &ViewChangeOutcome{
 		Result:          res,
 		SwitchDelay:     switchDelay,
@@ -169,13 +189,13 @@ type Stats struct {
 	ViewChangeDelays *metrics.CDF
 }
 
-// Stats merges every LSC's snapshot. CDN usage is global and identical in
-// every LSC snapshot, so it is taken once.
+// Stats merges every LSC's snapshot. CDN usage is global, so it is taken
+// once from the shared substrate. The delay distributions are copies, safe
+// to query while the session keeps running.
 func (c *Controller) Stats() Stats {
 	var agg overlay.Snapshot
-	first := true
 	for _, lsc := range c.lscs {
-		s := lsc.Overlay.Snapshot()
+		s := lsc.Snapshot()
 		agg.Viewers += s.Viewers
 		agg.Admitted += s.Admitted
 		agg.Rejected += s.Rejected
@@ -187,28 +207,30 @@ func (c *Controller) Stats() Stats {
 		agg.Groups += s.Groups
 		agg.MaxLayerPerViewer = append(agg.MaxLayerPerViewer, s.MaxLayerPerViewer...)
 		agg.AcceptedPerViewer = append(agg.AcceptedPerViewer, s.AcceptedPerViewer...)
-		if first {
-			agg.CDNUsage = s.CDNUsage
-			first = false
-		}
 	}
+	agg.CDNUsage = c.cdn.Snapshot()
+	c.statsMu.Lock()
+	joins := c.joinDelays.Clone()
+	changes := c.viewChangeDelays.Clone()
+	c.statsMu.Unlock()
 	return Stats{
 		Overlay:          agg,
-		JoinDelays:       &c.joinDelays,
-		ViewChangeDelays: &c.viewChangeDelays,
+		JoinDelays:       joins,
+		ViewChangeDelays: changes,
 	}
 }
 
 // Validate checks every LSC's overlay invariants and the global CDN
 // accounting: the egress implied by all trees across all LSCs must exactly
-// match what the CDN has allocated.
+// match what the CDN has allocated. It assumes a quiescent session; shards
+// are checked one at a time.
 func (c *Controller) Validate() error {
 	implied := make(map[model.StreamID]float64)
 	for region, lsc := range c.lscs {
-		if err := lsc.Overlay.Validate(); err != nil {
+		if err := lsc.Validate(); err != nil {
 			return fmt.Errorf("lsc region %d: %w", region, err)
 		}
-		for id, mbps := range lsc.Overlay.CDNImplied() {
+		for id, mbps := range lsc.CDNImplied() {
 			implied[id] += mbps
 		}
 	}

@@ -1,0 +1,234 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/overlay"
+	"telecast/internal/trace"
+)
+
+// LSC is a region-local session controller: an independently-locked shard of
+// the control plane. It owns the overlay of its cluster's viewers and the
+// per-shard viewer registry, so joins, departures, and view changes in one
+// region proceed concurrently with every other region. Two locks protect a
+// shard:
+//
+//   - mu is the owner lock: it serializes all calls into the single-threaded
+//     overlay shard (the toxcore-style one-subsystem-one-lock discipline).
+//   - vmu guards the viewer registry, read-mostly so the overlay's
+//     propagation-delay lookups take only an RLock.
+//
+// Lock order is mu before vmu; nothing may acquire mu while holding vmu.
+type LSC struct {
+	Region  trace.Region
+	NodeIdx int
+
+	cfg *Config
+
+	mu    sync.Mutex
+	shard overlay.Shard
+
+	vmu     sync.RWMutex
+	viewers map[model.ViewerID]*viewerState
+}
+
+type viewerState struct {
+	nodeIdx int
+	info    overlay.ViewerInfo
+}
+
+func newLSC(region trace.Region, nodeIdx int, cfg *Config) *LSC {
+	return &LSC{
+		Region:  region,
+		NodeIdx: nodeIdx,
+		cfg:     cfg,
+		viewers: make(map[model.ViewerID]*viewerState),
+	}
+}
+
+// propFunc adapts the latency matrix to the overlay's viewer-pair delays
+// using the shard-local registry; the lookup never leaves the shard. A miss
+// is a registration-order bug — viewers are registered with their LSC before
+// any overlay insertion — so it panics instead of fabricating a delay.
+func (l *LSC) propFunc() overlay.PropFunc {
+	return func(a, b model.ViewerID) time.Duration {
+		l.vmu.RLock()
+		va, okA := l.viewers[a]
+		vb, okB := l.viewers[b]
+		l.vmu.RUnlock()
+		if !okA || !okB {
+			panic(fmt.Sprintf(
+				"session: propagation lookup for unregistered viewer (%s ok=%t, %s ok=%t) in LSC region %d: registration-order bug",
+				a, okA, b, okB, l.Region))
+		}
+		return l.cfg.Latency.Delay(va.nodeIdx, vb.nodeIdx)
+	}
+}
+
+// register inserts a viewer into the shard registry before its overlay
+// insertion so propagation-delay lookups always hit.
+func (l *LSC) register(st *viewerState) {
+	l.vmu.Lock()
+	l.viewers[st.info.ID] = st
+	l.vmu.Unlock()
+}
+
+// unregister removes a viewer from the shard registry.
+func (l *LSC) unregister(id model.ViewerID) {
+	l.vmu.Lock()
+	delete(l.viewers, id)
+	l.vmu.Unlock()
+}
+
+// state returns the registry record of a viewer owned by this shard.
+func (l *LSC) state(id model.ViewerID) (*viewerState, bool) {
+	l.vmu.RLock()
+	st, ok := l.viewers[id]
+	l.vmu.RUnlock()
+	return st, ok
+}
+
+// join runs the overlay admission for an already-registered viewer and
+// returns the subscription round trip to the farthest parent, measured while
+// the shard lock still pins the resulting topology.
+func (l *LSC) join(st *viewerState, view model.View) (*overlay.JoinResult, time.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, err := l.shard.Join(st.info, view)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, l.worstParentRTTLocked(st, res), nil
+}
+
+// leave removes a viewer from the overlay and the shard registry, returning
+// its latency-matrix node for reuse. The registry removal happens inside the
+// shard critical section so it cannot interleave with another admission.
+func (l *LSC) leave(id model.ViewerID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.shard.Leave(id); err != nil {
+		return 0, err
+	}
+	l.vmu.Lock()
+	st, ok := l.viewers[id]
+	delete(l.viewers, id)
+	l.vmu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("lsc region %d: viewer %s left overlay but was never registered", l.Region, id)
+	}
+	return st.nodeIdx, nil
+}
+
+// changeView re-admits a viewer with a new view and returns the new
+// topology, the farthest-parent round trip, and the viewer's node index.
+func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResult, time.Duration, int, error) {
+	st, ok := l.state(id)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("unknown viewer")
+	}
+	l.mu.Lock()
+	res, err := l.shard.ChangeView(id, view)
+	if err != nil {
+		l.mu.Unlock()
+		return nil, 0, 0, err
+	}
+	worst := l.worstParentRTTLocked(st, res)
+	l.mu.Unlock()
+	return res, worst, st.nodeIdx, nil
+}
+
+// worstParentRTTLocked computes the subscription-start round trip to the
+// farthest parent of an admission result. Callers must hold mu so the node
+// parents cannot move while they are read; parents are always viewers of the
+// same shard.
+func (l *LSC) worstParentRTTLocked(st *viewerState, res *overlay.JoinResult) time.Duration {
+	if res == nil || !res.Admitted {
+		return 0
+	}
+	var worst time.Duration
+	l.vmu.RLock()
+	for _, n := range res.Viewer.Nodes {
+		if n.Parent == nil {
+			continue
+		}
+		if p, ok := l.viewers[n.Parent.Viewer]; ok {
+			if rt := 2 * l.cfg.Latency.Delay(st.nodeIdx, p.nodeIdx); rt > worst {
+				worst = rt
+			}
+		}
+	}
+	l.vmu.RUnlock()
+	return worst
+}
+
+// Viewer returns the overlay record for a joined viewer. The record is
+// shard-owned; use ViewerParents for a stable copy.
+func (l *LSC) Viewer(id model.ViewerID) (*overlay.Viewer, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.Viewer(id)
+}
+
+// ViewerParents returns a copy of a viewer's per-stream parents ("" = CDN),
+// taken atomically against shard mutations.
+func (l *LSC) ViewerParents(id model.ViewerID) (map[model.StreamID]model.ViewerID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.shard.Viewer(id)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[model.StreamID]model.ViewerID, len(v.Nodes))
+	for sid, n := range v.Nodes {
+		if n.Parent == nil {
+			out[sid] = ""
+		} else {
+			out[sid] = n.Parent.Viewer
+		}
+	}
+	return out, true
+}
+
+// Params returns the session-wide overlay constants (immutable).
+func (l *LSC) Params() overlay.Params {
+	return l.shard.Params()
+}
+
+// Snapshot summarizes the shard's overlay.
+func (l *LSC) Snapshot() overlay.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.Snapshot()
+}
+
+// RefreshAll runs the periodic delay-layer adaptation on this shard.
+func (l *LSC) RefreshAll() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.RefreshAll()
+}
+
+// Validate checks the shard's overlay invariants.
+func (l *LSC) Validate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.Validate()
+}
+
+// CDNImplied returns the per-stream egress this shard's trees imply.
+func (l *LSC) CDNImplied() map[model.StreamID]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.CDNImplied()
+}
+
+// DumpTrees renders the shard's dissemination trees.
+func (l *LSC) DumpTrees() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.DumpTrees()
+}

@@ -109,7 +109,7 @@ func TestSubscriptionPoints(t *testing.T) {
 		}
 		// Delayed receive must never reach further back than the
 		// maximum acceptable layer allows (d_max bound + one layer).
-		hier := c.lscs[0].Overlay.Params().Hierarchy
+		hier := c.lscs[0].Params().Hierarchy
 		oldest := latest - int64((hier.DMax.Seconds()+hier.Tau().Seconds())*10)
 		if p.FromFrame < oldest {
 			t.Errorf("stream %v subscribes at %d, beyond d_max horizon %d", p.Stream, p.FromFrame, oldest)

@@ -6,14 +6,21 @@
 // the CDN while the normal join runs in the background, and victim recovery
 // on departures.
 //
+// The control plane is sharded the way the paper's architecture implies:
+// each LSC is an independently-locked shard that processes joins,
+// departures, and view changes for its region concurrently with every other
+// region, while the GSC is reduced to a thread-safe router (viewer → owning
+// shard, plus latency-matrix node placement) and the CDN is the only shared
+// substrate, arbitrated through its atomic reserve/commit protocol.
 // Topologies are formed per (LSC, view group): each LSC runs its own overlay
-// manager over its cluster's viewers, while all LSCs share the session's CDN
-// capacity — exactly the paper's split between centralized distribution and
-// region-local P2P management.
+// shard over its cluster's viewers — exactly the paper's split between
+// centralized distribution and region-local P2P management.
 package session
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"telecast/internal/cdn"
@@ -72,35 +79,60 @@ func DefaultConfig(producers *model.Session, lat *trace.LatencyMatrix) Config {
 	}
 }
 
-// LSC is a region-local session controller: it owns the overlay of its
-// cluster's viewers.
-type LSC struct {
-	Region  trace.Region
-	NodeIdx int
-	Overlay *overlay.Manager
-}
-
-// Controller is the GSC plus its LSC fleet; the public entry point for
-// joins, departures, and view changes.
+// Controller is the GSC plus its LSC shard fleet; the public entry point for
+// joins, departures, and view changes. It is safe for concurrent use:
+// requests for different regions run in parallel on their shards, and the
+// GSC itself only routes.
 type Controller struct {
 	cfg  Config
 	cdn  *cdn.CDN
-	lscs map[trace.Region]*LSC
+	lscs map[trace.Region]*LSC // immutable after construction
 
-	gscNode  int
-	nextNode int
-	viewers  map[model.ViewerID]*viewerState
-	monitor  *Monitor
+	gscNode int
+	nodes   nodeAllocator
 
+	// routeMu guards routes, the GSC's viewer → owning-shard map. A nil
+	// entry is a claim by an in-flight join.
+	routeMu sync.RWMutex
+	routes  map[model.ViewerID]*LSC
+
+	monitor atomic.Pointer[Monitor]
+
+	// statsMu guards the protocol-latency distributions.
+	statsMu          sync.Mutex
 	joinDelays       metrics.CDF
 	viewChangeDelays metrics.CDF
 }
 
-type viewerState struct {
-	nodeIdx int
-	lsc     *LSC
-	info    overlay.ViewerInfo
-	view    model.View
+// nodeAllocator hands out latency-matrix node indices to joining viewers and
+// recycles the slots of departed ones.
+type nodeAllocator struct {
+	mu   sync.Mutex
+	next int
+	max  int
+	free []int
+}
+
+func (a *nodeAllocator) acquire() (int, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		return idx, true
+	}
+	if a.next >= a.max {
+		return 0, false
+	}
+	idx := a.next
+	a.next++
+	return idx, true
+}
+
+func (a *nodeAllocator) release(idx int) {
+	a.mu.Lock()
+	a.free = append(a.free, idx)
+	a.mu.Unlock()
 }
 
 // NewController builds the control plane. The latency matrix must be large
@@ -121,48 +153,34 @@ func NewController(cfg Config) (*Controller, error) {
 		cdn:     cdn.New(cfg.CDN),
 		lscs:    make(map[trace.Region]*LSC),
 		gscNode: 0,
-		viewers: make(map[model.ViewerID]*viewerState),
+		routes:  make(map[model.ViewerID]*LSC),
 	}
 	// Place one LSC at the first node of each region. Node indices
 	// 1..NumRegions are reserved; viewers start after them.
-	c.nextNode = 1 + cfg.Latency.NumRegions()
-	if c.nextNode > cfg.Latency.Nodes() {
+	c.nodes.next = 1 + cfg.Latency.NumRegions()
+	c.nodes.max = cfg.Latency.Nodes()
+	if c.nodes.next > c.nodes.max {
 		return nil, fmt.Errorf("session: latency matrix too small for %d regions", cfg.Latency.NumRegions())
 	}
 	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {
 		region := trace.Region(r)
-		nodeIdx := 1 + r
-		lsc := &LSC{Region: region, NodeIdx: nodeIdx}
-		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, c.propFunc(), params)
+		lsc := newLSC(region, 1+r, &c.cfg)
+		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, lsc.propFunc(), params)
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
 		}
-		lsc.Overlay = mgr
+		lsc.shard = mgr
 		c.lscs[region] = lsc
 	}
 	return c, nil
 }
 
-// propFunc adapts the latency matrix to the overlay's viewer-pair delays.
-func (c *Controller) propFunc() overlay.PropFunc {
-	return func(a, b model.ViewerID) time.Duration {
-		va, okA := c.viewers[a]
-		vb, okB := c.viewers[b]
-		if !okA || !okB {
-			// A viewer mid-join is registered before its overlay
-			// insertion, so lookups should always hit; fall back
-			// to a conservative default rather than panicking.
-			return 100 * time.Millisecond
-		}
-		return c.cfg.Latency.Delay(va.nodeIdx, vb.nodeIdx)
-	}
-}
-
 // CDN exposes the shared distribution substrate.
 func (c *Controller) CDN() *cdn.CDN { return c.cdn }
 
-// LSCs returns the controllers, keyed by region.
+// LSCs returns the shard controllers, keyed by region. The map is immutable
+// after construction.
 func (c *Controller) LSCs() map[trace.Region]*LSC { return c.lscs }
 
 // lscFor implements the geo-location step: the viewer is handled by the LSC
@@ -174,4 +192,63 @@ func (c *Controller) lscFor(nodeIdx int) *LSC {
 // delay is shorthand for the one-way propagation delay between matrix nodes.
 func (c *Controller) delay(a, b int) time.Duration {
 	return c.cfg.Latency.Delay(a, b)
+}
+
+// claimID reserves a viewer ID in the routing table, failing on duplicates.
+func (c *Controller) claimID(id model.ViewerID) error {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if _, dup := c.routes[id]; dup {
+		return fmt.Errorf("viewer exists")
+	}
+	c.routes[id] = nil // claimed; bound to a shard once placed
+	return nil
+}
+
+// bindRoute points a claimed viewer ID at its owning shard.
+func (c *Controller) bindRoute(id model.ViewerID, lsc *LSC) {
+	c.routeMu.Lock()
+	c.routes[id] = lsc
+	c.routeMu.Unlock()
+}
+
+// dropRoute removes a viewer from the routing table.
+func (c *Controller) dropRoute(id model.ViewerID) {
+	c.routeMu.Lock()
+	delete(c.routes, id)
+	c.routeMu.Unlock()
+}
+
+// lookupRoute returns the shard owning a viewer, nil if unknown or mid-join.
+func (c *Controller) lookupRoute(id model.ViewerID) *LSC {
+	c.routeMu.RLock()
+	lsc := c.routes[id]
+	c.routeMu.RUnlock()
+	return lsc
+}
+
+// takeRoute atomically looks up a viewer's route and downgrades it to a
+// claim, so exactly one departure wins a race and the ID stays reserved —
+// blocking a re-join from overwriting the shard registry entry — until the
+// caller finishes the departure and drops the route.
+func (c *Controller) takeRoute(id model.ViewerID) *LSC {
+	c.routeMu.Lock()
+	lsc := c.routes[id]
+	if lsc != nil {
+		c.routes[id] = nil // departure in progress
+	}
+	c.routeMu.Unlock()
+	return lsc
+}
+
+func (c *Controller) recordJoinDelay(d time.Duration) {
+	c.statsMu.Lock()
+	c.joinDelays.AddDuration(d)
+	c.statsMu.Unlock()
+}
+
+func (c *Controller) recordViewChangeDelay(d time.Duration) {
+	c.statsMu.Lock()
+	c.viewChangeDelays.AddDuration(d)
+	c.statsMu.Unlock()
 }

@@ -75,6 +75,10 @@ type (
 	Config = session.Config
 	// JoinOutcome reports an admission attempt and its protocol latency.
 	JoinOutcome = session.JoinOutcome
+	// JoinRequest is one admission request of a JoinBatch fan-out.
+	JoinRequest = session.JoinRequest
+	// BatchOutcome is a per-request result of JoinBatch/DepartBatch.
+	BatchOutcome = session.BatchOutcome
 	// ViewChangeOutcome reports a two-phase view change and both its
 	// latencies (fast CDN switch, background join).
 	ViewChangeOutcome = session.ViewChangeOutcome
