@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: build test test-race bench vet
+.PHONY: build test test-race bench bench-smoke vet lint
 
 build:
 	$(GO) build ./...
+
+lint:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -13,7 +17,10 @@ test: vet
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload
+	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-smoke:
+	$(GO) test -bench=BenchmarkConcurrentJoin -benchtime=1x -run='^$$' .

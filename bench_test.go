@@ -7,6 +7,7 @@
 package telecast_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -183,26 +184,33 @@ func BenchmarkJoin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := telecast.DefaultConfig(producers, lat)
-	cfg.CDN.OutboundCapacityMbps = 0 // unbounded: measure algorithm cost
-	ctrl, err := telecast.NewController(cfg)
+	ctrl, err := telecast.NewController(producers, lat,
+		telecast.WithCDN(unboundedCDN())) // unbounded: measure algorithm cost
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	view := telecast.NewUniformView(producers, 0)
 	for i := 0; i < 1000; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("w%06d", i))
-		if _, err := ctrl.Join(id, 12, float64(i%13), view); err != nil {
+		if _, err := ctrl.Join(ctx, id, 12, float64(i%13), view); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("b%06d", i))
-		if _, err := ctrl.Join(id, 12, float64(i%13), view); err != nil {
+		if _, err := ctrl.Join(ctx, id, 12, float64(i%13), view); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// unboundedCDN is the paper's CDN with the egress cap removed.
+func unboundedCDN() telecast.CDNConfig {
+	cfg := telecast.DefaultCDNConfig()
+	cfg.OutboundCapacityMbps = 0
+	return cfg
 }
 
 // BenchmarkViewChange measures the full two-phase view change (leave trees,
@@ -219,12 +227,11 @@ func BenchmarkViewChange(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := telecast.DefaultConfig(producers, lat)
-	cfg.CDN.OutboundCapacityMbps = 0
-	ctrl, err := telecast.NewController(cfg)
+	ctrl, err := telecast.NewController(producers, lat, telecast.WithCDN(unboundedCDN()))
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	views := []telecast.View{
 		telecast.NewUniformView(producers, 0),
 		telecast.NewUniformView(producers, 1.5),
@@ -232,14 +239,14 @@ func BenchmarkViewChange(b *testing.B) {
 	const fleet = 500
 	for i := 0; i < fleet; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("w%06d", i))
-		if _, err := ctrl.Join(id, 12, float64(i%13), views[0]); err != nil {
+		if _, err := ctrl.Join(ctx, id, 12, float64(i%13), views[0]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("w%06d", i%fleet))
-		if _, err := ctrl.ChangeView(id, views[(i+1)%len(views)]); err != nil {
+		if _, err := ctrl.ChangeView(ctx, id, views[(i+1)%len(views)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -248,8 +255,22 @@ func BenchmarkViewChange(b *testing.B) {
 // BenchmarkConcurrentJoin measures batched join throughput as the region
 // count — and so the number of concurrently-locked LSC shards — grows. The
 // joins/s custom metric is the headline: with the sharded control plane it
-// should rise with the region count (16-region throughput > 1-region).
+// should rise with the region count (16-region throughput > 1-region). The
+// "/sub" variants run the same batch with one event-stream subscriber
+// attached and must stay within ~10% of the bare runs: observation flows
+// through per-shard ring buffers, never through the admission path's locks.
 func BenchmarkConcurrentJoin(b *testing.B) {
+	for _, regions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			benchConcurrentJoin(b, regions, false)
+		})
+		b.Run(fmt.Sprintf("regions=%d/sub", regions), func(b *testing.B) {
+			benchConcurrentJoin(b, regions, true)
+		})
+	}
+}
+
+func benchConcurrentJoin(b *testing.B, regions int, subscribe bool) {
 	const audience = 2000
 	producers, err := telecast.NewSession(
 		telecast.NewRingSite("A", 8, 2.0, 10),
@@ -258,44 +279,61 @@ func BenchmarkConcurrentJoin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, regions := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
-			latCfg := telecast.DefaultLatencyConfig(audience+regions+1, 42)
-			latCfg.Regions = regions
-			var joined int
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				lat, err := telecast.GenerateLatencyMatrix(latCfg)
-				if err != nil {
-					b.Fatal(err)
+	ctx := context.Background()
+	latCfg := telecast.DefaultLatencyConfig(audience+regions+1, 42)
+	latCfg.Regions = regions
+	var joined int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lat, err := telecast.GenerateLatencyMatrix(latCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := telecast.NewController(producers, lat,
+			telecast.WithCDN(unboundedCDN())) // unbounded: measure control-plane cost
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub *telecast.Subscription
+		drained := make(chan int, 1)
+		if subscribe {
+			sub = ctrl.Subscribe()
+			go func() {
+				n := 0
+				for range sub.Events() {
+					n++
 				}
-				cfg := telecast.DefaultConfig(producers, lat)
-				cfg.CDN.OutboundCapacityMbps = 0 // unbounded: measure control-plane cost
-				ctrl, err := telecast.NewController(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				view := telecast.NewUniformView(producers, 0)
-				reqs := make([]telecast.JoinRequest, audience)
-				for j := range reqs {
-					reqs[j] = telecast.JoinRequest{
-						ID:           telecast.ViewerID(fmt.Sprintf("w%06d", j)),
-						InboundMbps:  12,
-						OutboundMbps: float64(j % 13),
-						View:         view,
-					}
-				}
-				b.StartTimer()
-				for _, out := range ctrl.JoinBatch(reqs) {
-					if out.Err != nil {
-						b.Fatal(out.Err)
-					}
-				}
-				joined += audience
+				drained <- n
+			}()
+		}
+		view := telecast.NewUniformView(producers, 0)
+		reqs := make([]telecast.JoinRequest, audience)
+		for j := range reqs {
+			reqs[j] = telecast.JoinRequest{
+				ID:           telecast.ViewerID(fmt.Sprintf("w%06d", j)),
+				InboundMbps:  12,
+				OutboundMbps: float64(j % 13),
+				View:         view,
 			}
-			b.ReportMetric(float64(joined)/b.Elapsed().Seconds(), "joins/s")
-		})
+		}
+		b.StartTimer()
+		for _, out := range ctrl.JoinBatch(ctx, reqs) {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+		joined += audience
+		b.StopTimer()
+		if subscribe {
+			sub.Close()
+			ctrl.Close()
+			if n := <-drained; n == 0 {
+				b.Fatal("subscriber saw no events")
+			}
+		}
+		b.StartTimer()
 	}
+	b.ReportMetric(float64(joined)/b.Elapsed().Seconds(), "joins/s")
 }
 
 // BenchmarkChurn runs the dynamic scenario: flash crowd, Poisson churn,

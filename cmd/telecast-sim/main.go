@@ -280,11 +280,12 @@ func runConcurrent(setup experiments.Setup) error {
 		return err
 	}
 	w := newTab()
-	fmt.Fprintln(w, "regions\tviewers\tadmitted\telapsed\tjoins/s")
+	fmt.Fprintln(w, "regions\tviewers\tadmitted\trejected\telapsed\tjoins/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%.0f\n", r.Regions, r.Viewers, r.Admitted, r.Elapsed.Round(time.Millisecond), r.JoinsPerSec)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%.0f\n", r.Regions, r.Viewers, r.Admitted, r.Rejected, r.Elapsed.Round(time.Millisecond), r.JoinsPerSec)
 	}
 	w.Flush()
+	fmt.Println("(admitted/rejected tallied from the Controller.Subscribe event stream)")
 	base := rows[0].JoinsPerSec
 	if base > 0 {
 		fmt.Printf("speedup vs 1 region: ")

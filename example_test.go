@@ -1,6 +1,8 @@
 package telecast_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"telecast"
@@ -27,14 +29,15 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	ctrl, err := telecast.NewController(telecast.DefaultConfig(producers, lat))
+	ctrl, err := telecast.NewController(producers, lat)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
+	ctx := context.Background()
 	view := telecast.NewUniformView(producers, 0)
-	seed, _ := ctrl.Join("seed", 12, 12, view)
-	leaf, _ := ctrl.Join("leaf", 12, 0, view)
+	seed, _ := ctrl.Join(ctx, "seed", 12, 12, view)
+	leaf, _ := ctrl.Join(ctx, "leaf", 12, 0, view)
 	fmt.Printf("seed admitted=%v streams=%d\n", seed.Result.Admitted, len(seed.Result.Accepted))
 	fmt.Printf("leaf admitted=%v streams=%d\n", leaf.Result.Admitted, len(leaf.Result.Accepted))
 	st := ctrl.Stats()
@@ -43,4 +46,126 @@ func Example() {
 	// seed admitted=true streams=6
 	// leaf admitted=true streams=6
 	// via CDN=6 via P2P=6
+}
+
+// ExampleNewController_options assembles a controller with functional
+// options: a tight CDN egress budget, a custom delay-layer geometry, and
+// the strict view-change fast path.
+func ExampleNewController_options() {
+	producers, err := telecast.NewSession(telecast.NewRingSite("A", 8, 2.0, 10))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.LatencyConfig{
+		Nodes: 16, Regions: 1, IntraMean: 20e6, InterMean: 80e6, Sigma: 0.3, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cdnCfg := telecast.DefaultCDNConfig()
+	cdnCfg.OutboundCapacityMbps = 120
+	ctrl, err := telecast.NewController(producers, lat,
+		telecast.WithCDN(cdnCfg),
+		telecast.WithHierarchy(300e6, 2, 65e9), // d_buff=300ms, κ=2, d_max=65s
+		telecast.WithStrictFastPath(true),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := ctrl.Join(context.Background(), "viewer", 12, 4, telecast.NewUniformView(producers, 0))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("admitted=%v streams=%d\n", out.Result.Admitted, len(out.Result.Accepted))
+	// Output:
+	// admitted=true streams=3
+}
+
+// ExampleController_join_rejected shows the typed-error contract: an
+// admission-control rejection matches ErrRejected with errors.Is, and
+// errors.As retrieves the structured cause — here the Δ-bounded CDN egress
+// is exhausted and no peer layer exists for the second viewer's view group.
+func ExampleController_join_rejected() {
+	producers, err := telecast.NewSession(telecast.NewRingSite("A", 8, 2.0, 10))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.LatencyConfig{
+		Nodes: 16, Regions: 1, IntraMean: 20e6, InterMean: 80e6, Sigma: 0.3, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cdnCfg := telecast.DefaultCDNConfig()
+	cdnCfg.OutboundCapacityMbps = 6 // room for one viewer's three streams
+	ctrl, err := telecast.NewController(producers, lat, telecast.WithCDN(cdnCfg))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctx := context.Background()
+	if _, err := ctrl.Join(ctx, "first", 12, 0, telecast.NewUniformView(producers, 0)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// A different gaze angle forms a new view group: its trees are empty
+	// and the CDN has nothing left.
+	_, err = ctrl.Join(ctx, "second", 12, 0, telecast.NewUniformView(producers, 3.14))
+	fmt.Println("rejected:", errors.Is(err, telecast.ErrRejected))
+	var rej *telecast.RejectionError
+	if errors.As(err, &rej) {
+		fmt.Printf("viewer=%s reason=%s\n", rej.Viewer, rej.Reason)
+	}
+	// Output:
+	// rejected: true
+	// viewer=second reason=cdn egress exhausted
+}
+
+// ExampleController_subscribe consumes the control plane's event stream: a
+// join and a departure arrive as typed events, in the order the shard
+// processed them.
+func ExampleController_subscribe() {
+	producers, err := telecast.NewSession(telecast.NewRingSite("A", 8, 2.0, 10))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lat, err := telecast.GenerateLatencyMatrix(telecast.LatencyConfig{
+		Nodes: 16, Regions: 1, IntraMean: 20e6, InterMean: 80e6, Sigma: 0.3, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctrl, err := telecast.NewController(producers, lat)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sub := ctrl.Subscribe()
+	defer sub.Close()
+
+	ctx := context.Background()
+	view := telecast.NewUniformView(producers, 0)
+	if _, err := ctrl.Join(ctx, "viewer", 12, 8, view); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := ctrl.Leave(ctx, "viewer"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 2; i++ {
+		ev := <-sub.Events()
+		fmt.Printf("%s %s (region %d, seq %d)\n", ev.Kind, ev.Viewer, ev.Region, ev.Seq)
+	}
+	// Output:
+	// join-accepted viewer (region 0, seq 1)
+	// departed viewer (region 0, seq 2)
 }

@@ -4,13 +4,17 @@
 // churns. The example drives the control plane through a mass-arrival wave,
 // steady-state churn, and a mass departure, validating the overlay
 // invariants after every phase and reporting acceptance, CDN offload, and
-// the join-latency distribution.
+// the join-latency distribution. A subscription to the control plane's
+// event stream tallies admission rejections by cause while the phases run.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 
 	"telecast"
 )
@@ -38,13 +42,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := telecast.DefaultConfig(producers, lat)
-	cfg.CDN.OutboundCapacityMbps = cdnMbps
-	ctrl, err := telecast.NewController(cfg)
+	cdnCfg := telecast.DefaultCDNConfig()
+	cdnCfg.OutboundCapacityMbps = cdnMbps
+	ctrl, err := telecast.NewController(producers, lat, telecast.WithCDN(cdnCfg))
 	if err != nil {
 		return err
 	}
 
+	// Watch the control plane while the scenario runs: every rejection is
+	// tallied by its admission-failure cause, every CDN high-water mark
+	// is printed as it is crossed.
+	sub := ctrl.Subscribe()
+	var watch sync.WaitGroup
+	rejections := make(map[telecast.RejectReason]int)
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for ev := range sub.Events() {
+			switch ev.Kind {
+			case telecast.EventJoinRejected:
+				rejections[ev.Reason]++
+			case telecast.EventCDNHighWater:
+				fmt.Printf("  [event] CDN egress high water: %.0f Mbps\n", ev.PeakMbps)
+			}
+		}
+	}()
+
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	view := telecast.NewUniformView(producers, 0)
 
@@ -53,7 +77,7 @@ func run() error {
 	fmt.Printf("phase 1: flash crowd of %d spectators\n", audience)
 	for i := 0; i < audience; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("fan-%04d", i))
-		if _, err := ctrl.Join(id, 12, 12*rng.Float64(), view); err != nil {
+		if _, err := ctrl.Join(ctx, id, 12, 12*rng.Float64(), view); err != nil && !errors.Is(err, telecast.ErrRejected) {
 			return err
 		}
 	}
@@ -65,11 +89,11 @@ func run() error {
 	fmt.Println("\nphase 2: churn (leave + replacement)")
 	for i := 0; i < audience/3; i++ {
 		leaving := telecast.ViewerID(fmt.Sprintf("fan-%04d", rng.Intn(audience)))
-		if err := ctrl.Leave(leaving); err != nil {
+		if err := ctrl.Leave(ctx, leaving); err != nil {
 			continue // already left in an earlier iteration
 		}
 		replacement := telecast.ViewerID(fmt.Sprintf("late-%04d", i))
-		if _, err := ctrl.Join(replacement, 12, 12*rng.Float64(), view); err != nil {
+		if _, err := ctrl.Join(ctx, replacement, 12, 12*rng.Float64(), view); err != nil && !errors.Is(err, telecast.ErrRejected) {
 			return err
 		}
 	}
@@ -77,22 +101,34 @@ func run() error {
 		return err
 	}
 
-	// Phase 3 — the match ends: everyone who is still watching leaves.
+	// Phase 3 — the match ends: everyone still watching leaves in one
+	// batched departure fanned out across the LSC shards.
 	fmt.Println("\nphase 3: mass departure")
-	left := 0
+	ids := make([]telecast.ViewerID, 0, audience+audience/3)
 	for i := 0; i < audience; i++ {
-		if ctrl.Leave(telecast.ViewerID(fmt.Sprintf("fan-%04d", i))) == nil {
-			left++
-		}
+		ids = append(ids, telecast.ViewerID(fmt.Sprintf("fan-%04d", i)))
 	}
 	for i := 0; i < audience/3; i++ {
-		if ctrl.Leave(telecast.ViewerID(fmt.Sprintf("late-%04d", i))) == nil {
+		ids = append(ids, telecast.ViewerID(fmt.Sprintf("late-%04d", i)))
+	}
+	left := 0
+	for _, out := range ctrl.DepartBatch(ctx, ids) {
+		if out.Err == nil {
 			left++
 		}
 	}
 	fmt.Printf("%d spectators departed cleanly\n", left)
 	st := ctrl.Stats()
 	fmt.Printf("residual CDN egress: %.0f Mbps (must be 0)\n", st.Overlay.CDNUsage.OutTotalMbps)
+
+	sub.Close()
+	watch.Wait()
+	if len(rejections) > 0 {
+		fmt.Println("\nadmission rejections by cause:")
+		for reason, n := range rejections {
+			fmt.Printf("  %-36s %d\n", reason, n)
+		}
+	}
 	return ctrl.Validate()
 }
 

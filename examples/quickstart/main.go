@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -34,7 +36,7 @@ func run() error {
 		return err
 	}
 
-	ctrl, err := telecast.NewController(telecast.DefaultConfig(producers, lat))
+	ctrl, err := telecast.NewController(producers, lat)
 	if err != nil {
 		return err
 	}
@@ -42,6 +44,7 @@ func run() error {
 	// Ten viewers request the same view (gaze angle 0 ⇒ the three
 	// frontmost cameras of each site). The first contributes 12 Mbps of
 	// outbound bandwidth; the rest contribute less and less.
+	ctx := context.Background()
 	view := telecast.NewUniformView(producers, 0)
 	for i := 0; i < 10; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("viewer-%02d", i))
@@ -49,8 +52,8 @@ func run() error {
 		if outbound < 0 {
 			outbound = 0
 		}
-		out, err := ctrl.Join(id, 12, outbound, view)
-		if err != nil {
+		out, err := ctrl.Join(ctx, id, 12, outbound, view)
+		if err != nil && !errors.Is(err, telecast.ErrRejected) {
 			return err
 		}
 		fmt.Printf("%s: admitted=%-5v streams=%d join-delay=%v\n",

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -34,23 +36,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := telecast.NewController(telecast.DefaultConfig(producers, lat))
+	ctrl, err := telecast.NewController(producers, lat)
 	if err != nil {
 		return err
 	}
 
 	// Seed the room with a few spectators so the peer layer exists.
+	ctx := context.Background()
 	front := telecast.NewUniformView(producers, 0)
 	for i := 0; i < 6; i++ {
 		id := telecast.ViewerID(fmt.Sprintf("spectator-%d", i))
-		if _, err := ctrl.Join(id, 12, 10, front); err != nil {
+		if _, err := ctrl.Join(ctx, id, 12, 10, front); err != nil {
 			return err
 		}
 	}
 
 	// One roving viewer walks around the stage in 45° steps.
 	rover := telecast.ViewerID("rover")
-	out, err := ctrl.Join(rover, 12, 6, front)
+	out, err := ctrl.Join(ctx, rover, 12, 6, front)
 	if err != nil {
 		return err
 	}
@@ -60,8 +63,8 @@ func run() error {
 	prev := out.Result.Accepted
 	for step := 1; step <= 8; step++ {
 		angle := float64(step) * math.Pi / 4
-		change, err := ctrl.ChangeView(rover, telecast.NewUniformView(producers, angle))
-		if err != nil {
+		change, err := ctrl.ChangeView(ctx, rover, telecast.NewUniformView(producers, angle))
+		if err != nil && !errors.Is(err, telecast.ErrRejected) {
 			return err
 		}
 		added, removed := diff(prev, change.Result.Accepted)

@@ -116,6 +116,10 @@ func (c *CDN) RemainingMbps() float64 {
 	return toMbps(c.capOut - c.outTotal.Load())
 }
 
+// PeakMbps returns the egress high-water mark without taking any lock, so
+// hot paths can watch it cheaply (Snapshot copies the per-stream map too).
+func (c *CDN) PeakMbps() float64 { return toMbps(c.peakOut.Load()) }
+
 // CanServe reports whether the CDN has bw Mbps of spare egress. It is a
 // point-in-time hint: under concurrent admission only a Reserve actually
 // holds the capacity.

@@ -1,6 +1,8 @@
 package emu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -54,15 +56,33 @@ func DefaultConfig(producers *model.Session) Config {
 }
 
 // Cluster is a running live overlay: the control plane (GSC/LSCs), the CDN
-// edge, and the viewer gateways.
+// edge, and the viewer gateways. The data plane is event-driven: the
+// cluster subscribes to the control plane's event stream and re-wires
+// viewer subscriptions whenever a join, departure, view change, or
+// adaptation drop is published — the same signal an external operator
+// would consume.
 type Cluster struct {
 	cfg   Config
 	ctrl  *session.Controller
+	sub   *session.Subscription
 	cdn   *CDNNode
 	start time.Time
 
 	mu      sync.Mutex
 	viewers map[model.ViewerID]*ViewerNode
+
+	// applyMu guards the event-application ledger: applied counts, per
+	// viewer, the operation events the loop has processed (reconciled);
+	// gen is closed and replaced on every application so waiters can
+	// block without polling. Waiting on the viewer's own count — not a
+	// global one — keeps concurrent cluster operations from satisfying
+	// each other's waits.
+	applyMu      sync.Mutex
+	applied      map[model.ViewerID]int
+	gen          chan struct{}
+	reconcileErr error
+
+	loopDone chan struct{}
 }
 
 // Start builds the control plane, launches the CDN edge and producer
@@ -85,16 +105,13 @@ func Start(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
-	sessCfg := session.DefaultConfig(cfg.Producers, lat)
-	sessCfg.CDN.Delta = cfg.Delta
-	sessCfg.CDN.OutboundCapacityMbps = 0 // unbounded for live runs
-	sessCfg.Buff = cfg.Buff
-	sessCfg.Kappa = cfg.Kappa
-	sessCfg.DMax = cfg.DMax
-	sessCfg.Proc = 5 * time.Millisecond
-	sessCfg.GSCProc = time.Millisecond
-	sessCfg.LSCProc = 2 * time.Millisecond
-	ctrl, err := session.NewController(sessCfg)
+	cdnCfg := session.DefaultConfig(cfg.Producers, lat).CDN
+	cdnCfg.Delta = cfg.Delta
+	cdnCfg.OutboundCapacityMbps = 0 // unbounded for live runs
+	ctrl, err := session.NewController(cfg.Producers, lat,
+		session.WithCDN(cdnCfg),
+		session.WithHierarchy(cfg.Buff, cfg.Kappa, cfg.DMax),
+		session.WithProcessing(5*time.Millisecond, time.Millisecond, 2*time.Millisecond))
 	if err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
@@ -108,13 +125,79 @@ func Start(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
-	return &Cluster{
-		cfg:     cfg,
-		ctrl:    ctrl,
-		cdn:     cdnNode,
-		start:   start,
-		viewers: make(map[model.ViewerID]*ViewerNode),
-	}, nil
+	c := &Cluster{
+		cfg:      cfg,
+		ctrl:     ctrl,
+		sub:      ctrl.Subscribe(),
+		cdn:      cdnNode,
+		start:    start,
+		viewers:  make(map[model.ViewerID]*ViewerNode),
+		applied:  make(map[model.ViewerID]int),
+		gen:      make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go c.eventLoop()
+	return c, nil
+}
+
+// eventLoop consumes the control plane's event stream and keeps the data
+// plane aligned with the overlay: every join, rejection, departure, view
+// change, and adaptation drop triggers a reconciliation pass. Exactly one
+// event per control-plane operation advances that viewer's applied count,
+// which is what the public operations wait on.
+func (c *Cluster) eventLoop() {
+	defer close(c.loopDone)
+	for ev := range c.sub.Events() {
+		switch ev.Kind {
+		case session.EventJoinAccepted, session.EventJoinRejected,
+			session.EventDeparted, session.EventViewChanged:
+			err := c.reconcile()
+			c.applyMu.Lock()
+			c.applied[ev.Viewer]++
+			c.reconcileErr = err
+			close(c.gen)
+			c.gen = make(chan struct{})
+			c.applyMu.Unlock()
+		case session.EventStreamDropped:
+			// Adaptation drops re-wire survivors but belong to no
+			// cluster operation; don't advance the ledger.
+			_ = c.reconcile()
+		}
+	}
+}
+
+// appliedFor reads a viewer's current applied-event count. Callers snapshot
+// it before issuing an operation and then wait for it to advance.
+func (c *Cluster) appliedFor(id model.ViewerID) int {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+	return c.applied[id]
+}
+
+// waitApplied blocks until the event loop has applied more than prev events
+// for the viewer — i.e. the caller's own operation has been reconciled —
+// then reports the last reconciliation error. If the stream stalls (an
+// overflowing subscription drops events) it falls back to reconciling
+// directly so the data plane cannot wedge.
+func (c *Cluster) waitApplied(id model.ViewerID, prev int) error {
+	deadline := time.After(10 * time.Second)
+	for {
+		c.applyMu.Lock()
+		if c.applied[id] > prev {
+			err := c.reconcileErr
+			c.applyMu.Unlock()
+			return err
+		}
+		gen := c.gen
+		c.applyMu.Unlock()
+		select {
+		case <-gen:
+		case <-c.loopDone:
+			return c.reconcile()
+		case <-deadline:
+			return c.reconcile()
+		}
+	}
 }
 
 func (c Config) bufferConfig() buffer.Config {
@@ -125,15 +208,10 @@ func (c Config) bufferConfig() buffer.Config {
 func (c *Cluster) Controller() *session.Controller { return c.ctrl }
 
 // AddViewer admits a viewer through the control plane and wires its data
-// plane: one subscription per accepted stream to the computed parent.
+// plane: the viewer node goes live first, the join is issued, and the event
+// loop reacts to the published JoinAccepted by subscribing the node to its
+// computed parents. AddViewer returns once the wiring is in place.
 func (c *Cluster) AddViewer(id model.ViewerID, inMbps, outMbps float64, view model.View) (*ViewerNode, error) {
-	out, err := c.ctrl.Join(id, inMbps, outMbps, view)
-	if err != nil {
-		return nil, fmt.Errorf("emu add %s: %w", id, err)
-	}
-	if !out.Result.Admitted {
-		return nil, fmt.Errorf("emu add %s: request rejected by admission control", id)
-	}
 	node, err := newViewerNode(id, c.cfg.bufferConfig(), c.start)
 	if err != nil {
 		return nil, fmt.Errorf("emu add %s: %w", id, err)
@@ -141,7 +219,21 @@ func (c *Cluster) AddViewer(id model.ViewerID, inMbps, outMbps float64, view mod
 	c.mu.Lock()
 	c.viewers[id] = node
 	c.mu.Unlock()
-	if err := c.reconcile(); err != nil {
+	prev := c.appliedFor(id)
+	out, err := c.ctrl.Join(context.Background(), id, inMbps, outMbps, view)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.viewers, id)
+		c.mu.Unlock()
+		node.close()
+		if errors.Is(err, session.ErrRejected) {
+			// The shard processed (and published) the rejection; the
+			// record stays routed for the acceptance metrics.
+			return nil, fmt.Errorf("emu add %s: request rejected by admission control: %w", id, err)
+		}
+		return nil, fmt.Errorf("emu add %s: %w", id, err)
+	}
+	if err := c.waitApplied(id, prev); err != nil {
 		return nil, fmt.Errorf("emu add %s: %w", id, err)
 	}
 	// Render at the highest stream rate present.
@@ -157,12 +249,9 @@ func (c *Cluster) AddViewer(id model.ViewerID, inMbps, outMbps float64, view mod
 	return node, nil
 }
 
-// RemoveViewer departs a viewer; survivors are re-wired per the control
-// plane's victim recovery.
+// RemoveViewer departs a viewer; the event loop re-wires survivors when the
+// Departed event arrives (the control plane's victim recovery).
 func (c *Cluster) RemoveViewer(id model.ViewerID) error {
-	if err := c.ctrl.Leave(id); err != nil {
-		return fmt.Errorf("emu remove %s: %w", id, err)
-	}
 	c.mu.Lock()
 	node := c.viewers[id]
 	delete(c.viewers, id)
@@ -170,16 +259,22 @@ func (c *Cluster) RemoveViewer(id model.ViewerID) error {
 	if node != nil {
 		node.close()
 	}
-	return c.reconcile()
+	prev := c.appliedFor(id)
+	if err := c.ctrl.Leave(context.Background(), id); err != nil {
+		return fmt.Errorf("emu remove %s: %w", id, err)
+	}
+	return c.waitApplied(id, prev)
 }
 
 // ChangeView switches a viewer's view: the control plane recomputes the
-// overlay (two-phase change) and the data plane is re-wired.
+// overlay (two-phase change) and the event loop re-wires the data plane
+// when the ViewChanged event arrives.
 func (c *Cluster) ChangeView(id model.ViewerID, view model.View) error {
-	if _, err := c.ctrl.ChangeView(id, view); err != nil {
+	prev := c.appliedFor(id)
+	if _, err := c.ctrl.ChangeView(context.Background(), id, view); err != nil && !errors.Is(err, session.ErrRejected) {
 		return fmt.Errorf("emu change %s: %w", id, err)
 	}
-	return c.reconcile()
+	return c.waitApplied(id, prev)
 }
 
 // reconcile aligns every live viewer's subscriptions with the control
@@ -269,8 +364,12 @@ func (c *Cluster) Viewer(id model.ViewerID) (*ViewerNode, bool) {
 	return v, ok
 }
 
-// Close tears the whole cluster down: viewers first, then the CDN edge.
+// Close tears the whole cluster down: the event loop first (so nothing
+// re-wires mid-teardown), then viewers, then the CDN edge.
 func (c *Cluster) Close() {
+	c.sub.Close()
+	<-c.loopDone
+	c.ctrl.Close()
 	c.mu.Lock()
 	viewers := make([]*ViewerNode, 0, len(c.viewers))
 	for _, v := range c.viewers {

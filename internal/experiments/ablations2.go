@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"telecast/internal/cdn"
 	"telecast/internal/model"
 	"telecast/internal/overlay"
 	"telecast/internal/session"
@@ -123,31 +126,33 @@ func RunAblationViewChange(setup Setup) (AblationViewChangeRow, error) {
 		if err != nil {
 			return row, err
 		}
-		cfg := session.DefaultConfig(producers, lat)
-		cfg.CutoffDF = setup.CutoffDF
-		cfg.CDN.OutboundCapacityMbps = 1 // effectively no CDN headroom
+		cdnCfg := cdn.DefaultConfig()
+		cdnCfg.OutboundCapacityMbps = 1 // effectively no CDN headroom
 		if !plain {
-			cfg.CDN.OutboundCapacityMbps = 6000
+			cdnCfg.OutboundCapacityMbps = 6000
 		}
-		cfg.StrictFastPath = plain // strict + no headroom ⇒ never fast
-		ctrl, err := session.NewController(cfg)
+		ctrl, err := session.NewController(producers, lat,
+			session.WithCutoffDF(setup.CutoffDF),
+			session.WithCDN(cdnCfg),
+			session.WithStrictFastPath(plain)) // strict + no headroom ⇒ never fast
 		if err != nil {
 			return row, err
 		}
 		// With 1 Mbps of CDN the plain-mode audience must self-serve.
+		ctx := context.Background()
 		rng := rand.New(rand.NewSource(setup.Seed))
 		view0 := model.NewUniformView(producers, 0)
 		view1 := model.NewUniformView(producers, math.Pi/2)
 		n := setup.Audience / 2
 		for i := 0; i < n; i++ {
 			id := model.ViewerID(fmt.Sprintf("v%05d", i))
-			if _, err := ctrl.Join(id, setup.InboundMbps, 8+4*rng.Float64(), view0); err != nil {
+			if _, err := ctrl.Join(ctx, id, setup.InboundMbps, 8+4*rng.Float64(), view0); err != nil && !errors.Is(err, session.ErrRejected) {
 				return row, err
 			}
 		}
 		for i := 0; i < n/3; i++ {
 			id := model.ViewerID(fmt.Sprintf("v%05d", rng.Intn(n)))
-			if _, err := ctrl.ChangeView(id, view1); err != nil {
+			if _, err := ctrl.ChangeView(ctx, id, view1); err != nil && !errors.Is(err, session.ErrRejected) {
 				return row, err
 			}
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,9 +17,13 @@ import (
 // partitioned into a varying number of regions, i.e. a varying number of
 // concurrently-locked LSC shards.
 type ConcurrentJoinRow struct {
-	Regions     int
-	Viewers     int
+	Regions int
+	Viewers int
+	// Admitted and Rejected are counted from the control plane's event
+	// stream — the observation path an operator would use — and
+	// cross-checked against the per-request outcomes.
 	Admitted    int
+	Rejected    int
 	Elapsed     time.Duration
 	JoinsPerSec float64
 }
@@ -27,7 +33,12 @@ type ConcurrentJoinRow struct {
 // control-plane cost — overlay construction, tree insertion, subscription
 // propagation — rather than admission-control rejections. With a sharded
 // control plane, throughput should rise with the region count.
+//
+// Admission outcomes are tallied from Controller.Subscribe rather than by
+// polling stats, and verified against the JoinBatch outcomes, so the run
+// doubles as an end-to-end check that the event stream loses nothing.
 func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, error) {
+	ctx := context.Background()
 	rows := make([]ConcurrentJoinRow, 0, len(regionCounts))
 	for _, regions := range regionCounts {
 		if regions <= 0 {
@@ -59,17 +70,51 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 				View:         model.NewUniformView(producers, angle),
 			}
 		}
+
+		sub := ctrl.Subscribe()
+		type tally struct{ admitted, rejected int }
+		counted := make(chan tally, 1)
+		go func() {
+			var t tally
+			for ev := range sub.Events() {
+				switch ev.Kind {
+				case session.EventJoinAccepted:
+					t.admitted++
+				case session.EventJoinRejected:
+					t.rejected++
+				}
+				if t.admitted+t.rejected == len(reqs) {
+					break
+				}
+			}
+			counted <- t
+		}()
+
 		start := time.Now()
-		outs := ctrl.JoinBatch(reqs)
+		outs := ctrl.JoinBatch(ctx, reqs)
 		elapsed := time.Since(start)
 		admitted := 0
 		for _, out := range outs {
-			if out.Err != nil {
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
 				return nil, fmt.Errorf("concurrent join (%d regions): %w", regions, out.Err)
 			}
-			if out.Outcome.Result.Admitted {
+			if out.Outcome != nil && out.Outcome.Result.Admitted {
 				admitted++
 			}
+		}
+		var t tally
+		select {
+		case t = <-counted:
+		case <-time.After(10 * time.Second):
+			dropped := sub.Dropped()
+			sub.Close() // unblocks the tally goroutine and stops the pump
+			return nil, fmt.Errorf("concurrent join (%d regions): event stream delivered fewer than %d admission events (dropped=%d)",
+				regions, len(reqs), dropped)
+		}
+		sub.Close()
+		if t.admitted != admitted {
+			return nil, fmt.Errorf("concurrent join (%d regions): event stream counted %d admissions, outcomes say %d",
+				regions, t.admitted, admitted)
 		}
 		if err := ctrl.Validate(); err != nil {
 			return nil, fmt.Errorf("concurrent join (%d regions): invariants: %w", regions, err)
@@ -81,7 +126,8 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 		rows = append(rows, ConcurrentJoinRow{
 			Regions:     regions,
 			Viewers:     len(reqs),
-			Admitted:    admitted,
+			Admitted:    t.admitted,
+			Rejected:    t.rejected,
 			Elapsed:     elapsed,
 			JoinsPerSec: rate,
 		})

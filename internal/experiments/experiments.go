@@ -7,10 +7,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"telecast/internal/cdn"
 	"telecast/internal/model"
 	"telecast/internal/session"
 	"telecast/internal/trace"
@@ -133,24 +136,28 @@ func (s Setup) controllerWith(lat *trace.LatencyMatrix, cdnCapMbps float64) (*se
 	if err != nil {
 		return nil, err
 	}
-	cfg := session.DefaultConfig(producers, lat)
-	cfg.CutoffDF = s.CutoffDF
-	cfg.CDN.OutboundCapacityMbps = cdnCapMbps
-	return session.NewController(cfg)
+	cdnCfg := cdn.DefaultConfig()
+	cdnCfg.OutboundCapacityMbps = cdnCapMbps
+	return session.NewController(producers, lat,
+		session.WithCutoffDF(s.CutoffDF),
+		session.WithCDN(cdnCfg))
 }
 
 // populate joins n viewers with outbound capacities drawn from the spec and
 // views cycling through the setup's angles. In parallel mode the same
-// schedule is fanned out across LSC shards via JoinBatch.
+// schedule is fanned out across LSC shards via JoinBatch. Admission-control
+// rejections are part of the measurement (they feed the acceptance-ratio
+// figures), so they are tolerated; every other error aborts the run.
 func (s Setup) populate(c *session.Controller, producers *model.Session, n int, obw OutboundSpec, rng *rand.Rand) error {
 	if s.Parallel {
 		return s.populateParallel(c, producers, n, obw, rng)
 	}
+	ctx := context.Background()
 	for i := 0; i < n; i++ {
 		angle := s.ViewAngles[i%len(s.ViewAngles)]
 		view := model.NewUniformView(producers, angle)
 		id := model.ViewerID(fmt.Sprintf("v%05d", i))
-		if _, err := c.Join(id, s.InboundMbps, obw.Draw(rng), view); err != nil {
+		if _, err := c.Join(ctx, id, s.InboundMbps, obw.Draw(rng), view); err != nil && !errors.Is(err, session.ErrRejected) {
 			return fmt.Errorf("populate viewer %d: %w", i, err)
 		}
 	}
@@ -174,13 +181,14 @@ func (s Setup) populateParallel(c *session.Controller, producers *model.Session,
 			View:         model.NewUniformView(producers, angle),
 		}
 	}
+	ctx := context.Background()
 	for at := 0; at < n; at += batch {
 		end := at + batch
 		if end > n {
 			end = n
 		}
-		for i, out := range c.JoinBatch(reqs[at:end]) {
-			if out.Err != nil {
+		for i, out := range c.JoinBatch(ctx, reqs[at:end]) {
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
 				return fmt.Errorf("populate viewer %d: %w", at+i, out.Err)
 			}
 		}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"telecast/internal/metrics"
 	"telecast/internal/model"
+	"telecast/internal/session"
 )
 
 // Fig14aResult is the distribution of the maximum delay layer across each
@@ -126,7 +129,7 @@ func RunFig14c(setup Setup) (Fig14cResult, error) {
 		if i%2 == 1 {
 			angle = math.Pi
 		}
-		if _, err := c.ChangeView(id, model.NewUniformView(producers, angle)); err != nil {
+		if _, err := c.ChangeView(context.Background(), id, model.NewUniformView(producers, angle)); err != nil && !errors.Is(err, session.ErrRejected) {
 			return Fig14cResult{}, fmt.Errorf("fig14c change %d: %w", i, err)
 		}
 	}

@@ -25,6 +25,56 @@ var (
 	ErrRejected = errors.New("viewer request rejected")
 )
 
+// RejectReason names the admission-failure cause of a rejected request or a
+// dropped stream subscription, mirroring the resource bounds of §IV–§VI.
+type RejectReason uint8
+
+const (
+	// ReasonNone marks an admitted request.
+	ReasonNone RejectReason = iota
+	// ReasonCDNEgress: the Δ-bounded CDN egress budget C^cdn_obw is
+	// exhausted and no peer layer exists to absorb the stream.
+	ReasonCDNEgress
+	// ReasonDelayBound: every feasible position violates the viewer-side
+	// end-to-end delay bound d_max (delay-layer adaptation drop, §VI).
+	ReasonDelayBound
+	// ReasonDegreeExhausted: the peer layer has members but no free
+	// out-degree slot and no displaceable node, and the CDN cannot absorb
+	// the overflow.
+	ReasonDegreeExhausted
+	// ReasonInboundBound: the viewer's own inbound capacity C^u_ibw
+	// cannot cover the highest-priority stream of every requested site.
+	ReasonInboundBound
+)
+
+// String names the reason for logs and events.
+func (r RejectReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonCDNEgress:
+		return "cdn egress exhausted"
+	case ReasonDelayBound:
+		return "d_max delay bound violated"
+	case ReasonDegreeExhausted:
+		return "peer out-degree exhausted"
+	case ReasonInboundBound:
+		return "viewer inbound capacity insufficient"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// DropRecord is one stream subscription the overlay had to drop during an
+// operation: a delay-layer adaptation drop (§VI) or a victim the recovery
+// procedure could not re-home. Records accumulate only when Params.LogDrops
+// is set and are retrieved with Manager.DrainDrops.
+type DropRecord struct {
+	Viewer model.ViewerID
+	Stream model.StreamID
+	Reason RejectReason
+}
+
 func errDuplicateNode(viewer string) error {
 	return fmt.Errorf("tree invariant: duplicate node for viewer %s", viewer)
 }

@@ -43,6 +43,9 @@ type Manager struct {
 	// and that need a stream-subscription pass.
 	pendingSet map[model.ViewerID]bool
 	pendingQ   []model.ViewerID
+	// dropLog records dropped subscriptions when params.LogDrops is set;
+	// DrainDrops hands it to the session layer after each operation.
+	dropLog []DropRecord
 	// resubscribeBudget caps subscription-chain propagation per public
 	// operation as a defensive bound; the overlay property makes chains
 	// acyclic, so the cap should never bind in practice.
@@ -87,6 +90,9 @@ type JoinResult struct {
 	// Admitted is false when the request failed admission control: the
 	// highest-priority stream of some producer site could not be served.
 	Admitted bool
+	// Reason names the admission-failure cause when Admitted is false
+	// (ReasonNone otherwise).
+	Reason RejectReason
 	// Accepted lists the served streams in priority order.
 	Accepted []model.StreamID
 	// Dropped lists requested streams that were not served.
@@ -115,21 +121,11 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 
 	group := m.groupFor(req)
 	supply := func(id model.StreamID, bw float64) bool {
-		tree := group.Trees[id]
-		if tree != nil {
-			deg := 0
-			if bw > 0 {
-				deg = int(info.OutboundMbps / bw)
-			}
-			if tree.HasSupplyFor(deg, info.OutboundMbps) {
-				return true
-			}
-		}
-		return m.cdn.CanServe(bw)
+		return m.supplyFor(group, info, id, bw)
 	}
 	accepted := AllocateInbound(req, info.InboundMbps, supply)
 	if !CoversAllSites(req, accepted) {
-		return m.rejectViewer(info, req, group), nil
+		return m.rejectViewer(info, req, group, m.diagnoseReject(group, info, req)), nil
 	}
 	allocate := AllocateOutbound
 	if m.outboundPolicy != nil {
@@ -153,6 +149,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		node *Node
 	}
 	var resub []displacement
+	dropCause := make(map[model.StreamID]RejectReason)
 	for _, rs := range accepted {
 		id := rs.Stream.ID
 		bw := rs.Stream.BitrateMbps
@@ -167,7 +164,15 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		}
 		if !placed {
 			if err := m.cdn.Allocate(id, bw); err != nil {
-				continue // stream dropped: no P2P position, no CDN budget
+				// Stream dropped: no P2P position, no CDN budget. Blame
+				// the peer layer when it had members but no slot, the
+				// CDN fallback otherwise.
+				if tree.Size() > 0 {
+					dropCause[id] = ReasonDegreeExhausted
+				} else {
+					dropCause[id] = ReasonCDNEgress
+				}
+				continue
 			}
 			tree.AttachToCDN(node)
 		}
@@ -179,13 +184,19 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 	}
 
 	if !m.coverageHolds(v) {
+		reason := m.coverageLossReason(v, req, dropCause)
 		m.evict(v)
 		for _, d := range resub {
 			m.enqueueSubtree(d.node)
 		}
 		m.processPending()
 		m.viewersRejected++
-		res := &JoinResult{Viewer: v, Admitted: false, Dropped: req.StreamIDs()}
+		res := &JoinResult{
+			Viewer:   v,
+			Admitted: false,
+			Reason:   reason,
+			Dropped:  req.StreamIDs(),
+		}
 		v.Rejected = true
 		m.viewers[info.ID] = v // keep record for distribution metrics
 		return res, nil
@@ -211,12 +222,89 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 }
 
 // rejectViewer records an inadmissible request without mutating any tree.
-func (m *Manager) rejectViewer(info ViewerInfo, req model.ViewRequest, group *Group) *JoinResult {
+func (m *Manager) rejectViewer(info ViewerInfo, req model.ViewRequest, group *Group, reason RejectReason) *JoinResult {
 	v := &Viewer{Info: info, Request: req, Group: group, Rejected: true,
 		Nodes: map[model.StreamID]*Node{}}
 	m.viewers[info.ID] = v
 	m.viewersRejected++
-	return &JoinResult{Viewer: v, Admitted: false, Dropped: req.StreamIDs()}
+	return &JoinResult{Viewer: v, Admitted: false, Reason: reason, Dropped: req.StreamIDs()}
+}
+
+// supplyFor reports whether one more subscriber of the stream can currently
+// be served, by the group's peer layer or by the CDN (§IV-B1's supply test).
+func (m *Manager) supplyFor(group *Group, info ViewerInfo, id model.StreamID, bw float64) bool {
+	if tree := group.Trees[id]; tree != nil {
+		deg := 0
+		if bw > 0 {
+			deg = int(info.OutboundMbps / bw)
+		}
+		if tree.HasSupplyFor(deg, info.OutboundMbps) {
+			return true
+		}
+	}
+	return m.cdn.CanServe(bw)
+}
+
+// diagnoseReject replays the inbound allocation of a request that failed
+// site coverage and names the first binding constraint: the viewer's own
+// inbound capacity, the peer layer's out-degree supply, or the CDN egress
+// budget. Allocation cuts from the low-priority end, so the first violation
+// is what starved the uncovered site.
+func (m *Manager) diagnoseReject(group *Group, info ViewerInfo, req model.ViewRequest) RejectReason {
+	var used float64
+	for _, rs := range req.Streams {
+		bw := rs.Stream.BitrateMbps
+		if used+bw > info.InboundMbps+bwEpsilon {
+			return ReasonInboundBound
+		}
+		if !m.supplyFor(group, info, rs.Stream.ID, bw) {
+			if t := group.Trees[rs.Stream.ID]; t != nil && t.Size() > 0 {
+				return ReasonDegreeExhausted
+			}
+			return ReasonCDNEgress
+		}
+		used += bw
+	}
+	return ReasonCDNEgress
+}
+
+// coverageLossReason picks the rejection cause after topology formation: the
+// recorded drop cause of the highest-priority stream belonging to a site the
+// viewer failed to cover.
+func (m *Manager) coverageLossReason(v *Viewer, req model.ViewRequest, dropCause map[model.StreamID]RejectReason) RejectReason {
+	need := req.SitesCovered()
+	for id := range v.Nodes {
+		delete(need, id.Site)
+	}
+	for _, rs := range req.Streams {
+		id := rs.Stream.ID
+		if !need[id.Site] {
+			continue
+		}
+		if cause, ok := dropCause[id]; ok {
+			return cause
+		}
+	}
+	for _, cause := range dropCause {
+		return cause
+	}
+	return ReasonCDNEgress
+}
+
+// logDrop records a dropped subscription when drop logging is enabled.
+func (m *Manager) logDrop(viewer model.ViewerID, stream model.StreamID, reason RejectReason) {
+	if !m.params.LogDrops {
+		return
+	}
+	m.dropLog = append(m.dropLog, DropRecord{Viewer: viewer, Stream: stream, Reason: reason})
+}
+
+// DrainDrops returns and clears the log of subscriptions dropped since the
+// last call. Empty unless Params.LogDrops is set.
+func (m *Manager) DrainDrops() []DropRecord {
+	out := m.dropLog
+	m.dropLog = nil
+	return out
 }
 
 // coverageHolds re-checks the admission constraint N^u_accepted ≥ n after
@@ -335,6 +423,9 @@ func (m *Manager) recoverVictim(tree *Tree, victim *Node) {
 // cascadeDrop removes a victim's subscription entirely; its children become
 // victims recovered through the normal path.
 func (m *Manager) cascadeDrop(tree *Tree, victim *Node) {
+	// The victim reaches here only after both recovery paths failed:
+	// degree push-down found no position and the CDN had no egress left.
+	m.logDrop(victim.Viewer, tree.Stream.ID, ReasonCDNEgress)
 	group := m.groupOfTree(tree)
 	children := victim.Children
 	victim.Children = nil

@@ -29,6 +29,10 @@ type Shard interface {
 	CDNImplied() map[model.StreamID]float64
 	// Params returns the session-wide overlay constants.
 	Params() Params
+	// DrainDrops returns and clears the log of stream subscriptions the
+	// shard dropped since the last call (delay-layer adaptation, failed
+	// victim recovery). Always empty unless Params.LogDrops is set.
+	DrainDrops() []DropRecord
 	// DumpTrees renders the shard's dissemination trees for inspection.
 	DumpTrees() string
 }

@@ -85,6 +85,7 @@ func (m *Manager) resubscribeOne(v *Viewer) {
 			tree.MoveToCDN(node)
 			m.enqueueSubtree(node)
 		} else {
+			m.logDrop(v.Info.ID, id, ReasonDelayBound)
 			m.dropStream(v, id, true)
 		}
 		// Either way this viewer's layer picture changed; run a fresh

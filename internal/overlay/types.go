@@ -33,6 +33,11 @@ type Params struct {
 	// ablation contrasts against. The zero value means 1 so that
 	// existing configurations keep the paper's behaviour.
 	PushdownOffsetFrac *float64
+	// LogDrops makes the manager record every stream subscription it has
+	// to drop (delay-layer adaptation, failed victim recovery) so the
+	// session layer can drain them with DrainDrops and surface them as
+	// events. Off by default: direct Manager users pay nothing.
+	LogDrops bool
 }
 
 // offsetFrac resolves the configured push-down offset (default 1).

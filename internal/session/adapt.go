@@ -30,8 +30,15 @@ func (c *Controller) AdaptDelays() int {
 }
 
 // AttachMonitor installs the GSC monitoring component so that subscription
-// points can be computed against live producer metadata.
-func (c *Controller) AttachMonitor(m *Monitor) { c.monitor.Store(m) }
+// points can be computed against live producer metadata. Every LSC receives
+// its own shard-local reader, so status queries from different regions never
+// contend on shared state.
+func (c *Controller) AttachMonitor(m *Monitor) {
+	c.monitor.Store(m)
+	for _, lsc := range c.lscs {
+		lsc.mon.Store(m.Reader())
+	}
+}
 
 // Monitor returns the attached monitoring component, if any.
 func (c *Controller) Monitor() *Monitor { return c.monitor.Load() }
@@ -57,13 +64,13 @@ type SubscriptionPoint struct {
 // ℜ = τr offset positions the viewer at the top of the layer so push-downs
 // fade out in subsequent children (§V-B3).
 func (c *Controller) SubscriptionPoints(id model.ViewerID) ([]SubscriptionPoint, error) {
-	mon := c.Monitor()
-	if mon == nil {
-		return nil, fmt.Errorf("subscription points %s: no monitor attached", id)
-	}
 	lsc := c.lookupRoute(id)
 	if lsc == nil {
-		return nil, fmt.Errorf("subscription points %s: unknown viewer", id)
+		return nil, fmt.Errorf("subscription points %s: %w", id, ErrUnknownViewer)
+	}
+	mon := lsc.mon.Load()
+	if mon == nil {
+		return nil, fmt.Errorf("subscription points %s: %w", id, ErrNoMonitor)
 	}
 	points, err := lsc.subscriptionPoints(id, mon, c.cfg.Producers, c.cfg.Proc)
 	if err != nil {
@@ -74,7 +81,8 @@ func (c *Controller) SubscriptionPoints(id model.ViewerID) ([]SubscriptionPoint,
 
 // subscriptionPoints computes a viewer's Eq. 2 positions on its owning
 // shard, holding the shard lock so tree positions cannot move mid-read.
-func (l *LSC) subscriptionPoints(id model.ViewerID, mon *Monitor, producers *model.Session, proc time.Duration) ([]SubscriptionPoint, error) {
+// Producer metadata comes through the shard-local monitor reader.
+func (l *LSC) subscriptionPoints(id model.ViewerID, mon *MonitorReader, producers *model.Session, proc time.Duration) ([]SubscriptionPoint, error) {
 	st, ok := l.state(id)
 	if !ok {
 		return nil, fmt.Errorf("not registered")

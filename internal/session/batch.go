@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,8 +17,11 @@ type JoinRequest struct {
 }
 
 // BatchOutcome is the per-request result of a batch operation, in input
-// order. Exactly one of Outcome and Err is meaningful for joins; departures
-// set only Err.
+// order. For joins, Outcome is set whenever the shard processed the request
+// — including admission-control rejections, where Err is the matching
+// *RejectionError; a nil Outcome means the request never reached a shard
+// (duplicate ID, exhausted matrix, cancelled batch) and Err says why.
+// Departures set only Err.
 type BatchOutcome struct {
 	ID      model.ViewerID
 	Outcome *JoinOutcome
@@ -29,7 +33,13 @@ type BatchOutcome struct {
 // LSC, and each shard's group is admitted in input order on its own
 // goroutine — so a batch spanning R regions runs R admissions wide with no
 // lock contention between shards. Results are returned in input order.
-func (c *Controller) JoinBatch(reqs []JoinRequest) []BatchOutcome {
+//
+// Cancelling the context stops dispatching: requests not yet admitted are
+// unwound completely (route claim, registry entry, latency node) and report
+// the context error, while already-admitted viewers stay joined and report
+// normally. CDN egress is only ever held inside a single shard admission,
+// so a cancelled batch can never leak Δ-bounded reservations.
+func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchOutcome {
 	out := make([]BatchOutcome, len(reqs))
 	type routed struct {
 		idx int
@@ -38,6 +48,10 @@ func (c *Controller) JoinBatch(reqs []JoinRequest) []BatchOutcome {
 	perShard := make(map[*LSC][]routed, len(c.lscs))
 	for i, req := range reqs {
 		out[i].ID = req.ID
+		if err := ctx.Err(); err != nil {
+			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
+			continue
+		}
 		p, err := c.prepare(req.ID, req.InboundMbps, req.OutboundMbps, req.View)
 		if err != nil {
 			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
@@ -51,6 +65,11 @@ func (c *Controller) JoinBatch(reqs []JoinRequest) []BatchOutcome {
 		go func(group []routed) {
 			defer wg.Done()
 			for _, r := range group {
+				if err := ctx.Err(); err != nil {
+					c.abandon(r.p)
+					out[r.idx].Err = fmt.Errorf("session join %s: %w", r.p.st.info.ID, err)
+					continue
+				}
 				out[r.idx].Outcome, out[r.idx].Err = c.admit(r.p)
 			}
 		}(group)
@@ -61,14 +80,20 @@ func (c *Controller) JoinBatch(reqs []JoinRequest) []BatchOutcome {
 
 // DepartBatch removes many viewers at once, grouped by owning shard and
 // processed in parallel across shards. Results are returned in input order.
-func (c *Controller) DepartBatch(ids []model.ViewerID) []BatchOutcome {
+// Cancelling the context stops dispatching; viewers not yet departed keep
+// their session and report the context error.
+func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []BatchOutcome {
 	out := make([]BatchOutcome, len(ids))
 	perShard := make(map[*LSC][]int, len(c.lscs))
 	for i, id := range ids {
 		out[i].ID = id
+		if err := ctx.Err(); err != nil {
+			out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
+			continue
+		}
 		lsc := c.takeRoute(id)
 		if lsc == nil {
-			out[i].Err = fmt.Errorf("session leave %s: unknown viewer", id)
+			out[i].Err = fmt.Errorf("session leave %s: %w", id, ErrUnknownViewer)
 			continue
 		}
 		perShard[lsc] = append(perShard[lsc], i)
@@ -80,6 +105,12 @@ func (c *Controller) DepartBatch(ids []model.ViewerID) []BatchOutcome {
 			defer wg.Done()
 			for _, i := range idxs {
 				id := out[i].ID
+				if err := ctx.Err(); err != nil {
+					// Undo the route claim so the viewer stays leavable.
+					c.bindRoute(id, lsc)
+					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
+					continue
+				}
 				nodeIdx, err := lsc.leave(id)
 				c.dropRoute(id)
 				if err != nil {

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -24,7 +25,7 @@ func TestConcurrentJoinsAcrossRegions(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				id := model.ViewerID(fmt.Sprintf("w%d-%04d", w, i))
-				if _, err := c.Join(id, 12, float64(i%13), view); err != nil {
+				if _, err := c.Join(testCtx, id, 12, float64(i%13), view); err != nil {
 					t.Errorf("join %s: %v", id, err)
 					return
 				}
@@ -55,7 +56,7 @@ func TestConcurrentMixedOpsKeepInvariants(t *testing.T) {
 		view := model.NewUniformView(c.cfg.Producers, angles[w%3])
 		for i := 0; i < perWorker; i++ {
 			id := model.ViewerID(fmt.Sprintf("w%d-%04d", w, i))
-			if _, err := c.Join(id, 12, float64(i%13), view); err != nil {
+			if _, err := c.Join(testCtx, id, 12, float64(i%13), view); err != nil && !errors.Is(err, ErrRejected) {
 				t.Fatal(err)
 			}
 		}
@@ -69,18 +70,18 @@ func TestConcurrentMixedOpsKeepInvariants(t *testing.T) {
 				id := model.ViewerID(fmt.Sprintf("w%d-%04d", w, i))
 				switch i % 3 {
 				case 0: // churn: leave and rejoin
-					if err := c.Leave(id); err != nil {
+					if err := c.Leave(testCtx, id); err != nil {
 						t.Errorf("leave %s: %v", id, err)
 						return
 					}
 					view := model.NewUniformView(c.cfg.Producers, angles[(w+i)%3])
-					if _, err := c.Join(id, 12, float64(i%13), view); err != nil {
+					if _, err := c.Join(testCtx, id, 12, float64(i%13), view); err != nil && !errors.Is(err, ErrRejected) {
 						t.Errorf("rejoin %s: %v", id, err)
 						return
 					}
 				case 1: // view change
 					view := model.NewUniformView(c.cfg.Producers, angles[(w+i+1)%3])
-					if _, err := c.ChangeView(id, view); err != nil {
+					if _, err := c.ChangeView(testCtx, id, view); err != nil && !errors.Is(err, ErrRejected) {
 						t.Errorf("view change %s: %v", id, err)
 						return
 					}
@@ -111,11 +112,14 @@ func TestConcurrentJoinsNeverOversubscribeCDN(t *testing.T) {
 		// Zero outbound: every admitted stream must come from the CDN.
 		reqs[i] = JoinRequest{ID: vid(i), InboundMbps: 12, OutboundMbps: 0, View: view}
 	}
-	outs := c.JoinBatch(reqs)
+	outs := c.JoinBatch(testCtx, reqs)
 	admitted := 0
 	for _, o := range outs {
-		if o.Err != nil {
+		if o.Err != nil && !errors.Is(o.Err, ErrRejected) {
 			t.Fatalf("join %s: %v", o.ID, o.Err)
+		}
+		if o.Outcome == nil {
+			t.Fatalf("join %s: no outcome (err %v)", o.ID, o.Err)
 		}
 		if o.Outcome.Result.Admitted {
 			admitted++
@@ -144,7 +148,7 @@ func TestJoinBatchAndDepartBatch(t *testing.T) {
 	for i := range reqs {
 		reqs[i] = JoinRequest{ID: vid(i), InboundMbps: 12, OutboundMbps: float64(i % 13), View: view}
 	}
-	outs := c.JoinBatch(reqs)
+	outs := c.JoinBatch(testCtx, reqs)
 	if len(outs) != n {
 		t.Fatalf("outcomes = %d, want %d", len(outs), n)
 	}
@@ -169,12 +173,12 @@ func TestJoinBatchAndDepartBatch(t *testing.T) {
 	}
 
 	// Duplicate joins fail per-request without poisoning the batch.
-	dup := c.JoinBatch([]JoinRequest{
+	dup := c.JoinBatch(testCtx, []JoinRequest{
 		{ID: vid(0), InboundMbps: 12, View: view},
 		{ID: vid(n), InboundMbps: 12, View: view},
 	})
-	if dup[0].Err == nil {
-		t.Error("duplicate join accepted")
+	if !errors.Is(dup[0].Err, ErrViewerExists) {
+		t.Errorf("duplicate join: err = %v, want ErrViewerExists", dup[0].Err)
 	}
 	if dup[1].Err != nil {
 		t.Errorf("fresh join in mixed batch failed: %v", dup[1].Err)
@@ -186,14 +190,14 @@ func TestJoinBatchAndDepartBatch(t *testing.T) {
 		ids = append(ids, vid(i))
 	}
 	ids = append(ids, "ghost")
-	douts := c.DepartBatch(ids)
+	douts := c.DepartBatch(testCtx, ids)
 	for i := 0; i <= n; i++ {
 		if douts[i].Err != nil {
 			t.Fatalf("depart %s: %v", douts[i].ID, douts[i].Err)
 		}
 	}
-	if douts[n+1].Err == nil {
-		t.Error("unknown depart accepted")
+	if !errors.Is(douts[n+1].Err, ErrUnknownViewer) {
+		t.Errorf("unknown depart: err = %v, want ErrUnknownViewer", douts[n+1].Err)
 	}
 	if st := c.Stats(); st.Overlay.Viewers != 0 {
 		t.Fatalf("viewers after depart = %d, want 0", st.Overlay.Viewers)

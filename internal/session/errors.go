@@ -1,0 +1,60 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"telecast/internal/model"
+	"telecast/internal/overlay"
+)
+
+// Sentinel errors of the control-plane API. Callers match them with
+// errors.Is through any wrapping the protocol layers add.
+var (
+	// ErrViewerExists is returned when a join reuses a live viewer ID.
+	ErrViewerExists = errors.New("session: viewer already exists")
+	// ErrUnknownViewer is returned for operations on viewer IDs the GSC
+	// has no route for (never joined, departed, or still mid-join).
+	ErrUnknownViewer = errors.New("session: unknown viewer")
+	// ErrMatrixExhausted is returned when the latency substrate has no
+	// node slot left for a joining viewer.
+	ErrMatrixExhausted = errors.New("session: latency matrix exhausted")
+	// ErrNoMonitor is returned by SubscriptionPoints before a Monitor has
+	// been attached.
+	ErrNoMonitor = errors.New("session: no monitor attached")
+	// ErrRejected matches every admission-control rejection; use
+	// errors.As with *RejectionError for the cause. It is the overlay's
+	// sentinel so both layers agree.
+	ErrRejected = overlay.ErrRejected
+)
+
+// RejectReason re-exports the overlay's admission-failure vocabulary so
+// session callers never import internal/overlay.
+type RejectReason = overlay.RejectReason
+
+// The admission-failure causes of §IV–§VI.
+const (
+	ReasonNone            = overlay.ReasonNone
+	ReasonCDNEgress       = overlay.ReasonCDNEgress
+	ReasonDelayBound      = overlay.ReasonDelayBound
+	ReasonDegreeExhausted = overlay.ReasonDegreeExhausted
+	ReasonInboundBound    = overlay.ReasonInboundBound
+)
+
+// RejectionError reports an admission-control rejection (§II-D: the
+// highest-priority stream of some producer site could not be served) with
+// its cause. Join and ChangeView return it alongside the outcome, so callers
+// both observe the rejection with errors.Is(err, ErrRejected) / errors.As
+// and still read the result for metrics.
+type RejectionError struct {
+	Viewer model.ViewerID
+	Reason RejectReason
+}
+
+// Error names the viewer and the binding constraint.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("session: viewer %s rejected: %s", e.Viewer, e.Reason)
+}
+
+// Is matches the ErrRejected sentinel.
+func (e *RejectionError) Is(target error) bool { return target == ErrRejected }

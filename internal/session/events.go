@@ -1,0 +1,376 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+// This file implements the control plane's observation stream. The paper's
+// GSC is a monitoring component (§III) and the §VI adaptation machinery is
+// event-driven — joins, departures, and view changes are the stimuli. The
+// stream makes those stimuli programmable: Subscribe returns a channel of
+// typed events without giving observers any way to serialize the sharded
+// hot path. Each LSC publishes into its own fixed-capacity ring under a
+// shard-local mutex; a single pump goroutine drains the rings and fans the
+// events out to subscriber channels. When nobody subscribes, publishing is
+// one atomic load.
+
+// EventKind discriminates control-plane events.
+type EventKind uint8
+
+const (
+	// EventJoinAccepted: a viewer passed admission control.
+	EventJoinAccepted EventKind = iota + 1
+	// EventJoinRejected: admission control refused a join or a view
+	// change re-admission; Reason carries the cause.
+	EventJoinRejected
+	// EventDeparted: a viewer left and its victims were recovered.
+	EventDeparted
+	// EventViewChanged: a viewer was re-admitted with a new view.
+	EventViewChanged
+	// EventStreamDropped: the overlay dropped one stream subscription
+	// (delay-layer adaptation past d_max, or a victim recovery that found
+	// neither a peer slot nor CDN egress); Stream and Reason are set.
+	EventStreamDropped
+	// EventCDNHighWater: the CDN egress high-water mark rose by at least
+	// one reporting step; PeakMbps carries the new peak.
+	EventCDNHighWater
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoinAccepted:
+		return "join-accepted"
+	case EventJoinRejected:
+		return "join-rejected"
+	case EventDeparted:
+		return "departed"
+	case EventViewChanged:
+		return "view-changed"
+	case EventStreamDropped:
+		return "stream-dropped"
+	case EventCDNHighWater:
+		return "cdn-high-water"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one control-plane observation. Events of one region are ordered
+// exactly as the shard processed them (Seq is strictly increasing per
+// region); events of different regions are interleaved arbitrarily, the
+// price of never synchronizing shards against each other.
+type Event struct {
+	Kind   EventKind
+	Region trace.Region
+	// Seq is the per-region publication sequence number, starting at 1.
+	Seq uint64
+	// Viewer is the subject (empty for CDN events).
+	Viewer model.ViewerID
+	// Streams is the accepted stream count of a join or view change.
+	Streams int
+	// Stream is the dropped subscription of an EventStreamDropped.
+	Stream model.StreamID
+	// Reason is the admission-failure or drop cause.
+	Reason RejectReason
+	// PeakMbps is the CDN egress high-water mark of an EventCDNHighWater.
+	PeakMbps float64
+}
+
+// eventRing is one shard's fixed-capacity publication buffer. Its mutex is
+// shard-local, so publications from different regions never contend; when
+// the ring is full the oldest event is overwritten and counted.
+type eventRing struct {
+	region trace.Region
+
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+func (r *eventRing) publish(ev Event) {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	ev.Region = r.region
+	if r.n == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.n--
+		r.dropped++
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// drain appends the buffered events to dst in publication order and clears
+// the ring, also returning how many events overflowed (were overwritten)
+// since the previous drain so the pump can credit subscriber drop counters.
+func (r *eventRing) drain(dst []Event) ([]Event, uint64) {
+	r.mu.Lock()
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.buf[(r.start+i)%len(r.buf)])
+	}
+	r.start, r.n = 0, 0
+	overflowed := r.dropped
+	r.dropped = 0
+	r.mu.Unlock()
+	return dst, overflowed
+}
+
+// Subscription is one observer of the control plane. Read Events until it
+// is closed; call Close when done. The channel is buffered; if the consumer
+// falls behind the buffer, events addressed to this subscription are counted
+// in Dropped rather than blocking the pump.
+type Subscription struct {
+	bus      *eventBus
+	ch       chan Event
+	dropped  atomic.Uint64
+	closed   bool // guarded by bus.mu
+	chClosed bool // guarded by bus.mu
+}
+
+// Events is the subscription's delivery channel. It is closed after Close
+// (or after the controller shuts the stream down).
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped counts events this subscription missed — because its channel was
+// full when the pump tried to deliver them, or because a shard's ring
+// overflowed before the pump could drain it.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription. The Events channel is closed shortly
+// after (by the pump, or immediately when no pump is running).
+func (s *Subscription) Close() { s.bus.unsubscribe(s) }
+
+// eventBus owns the rings, the subscriber set, and the pump goroutine.
+type eventBus struct {
+	rings  []*eventRing
+	kick   chan struct{}
+	active atomic.Bool // true while at least one live subscriber exists
+
+	mu      sync.Mutex
+	subs    []*Subscription
+	running bool
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	buffer  int
+}
+
+func newEventBus(regions, buffer int) *eventBus {
+	b := &eventBus{
+		rings:  make([]*eventRing, regions),
+		kick:   make(chan struct{}, 1),
+		buffer: buffer,
+	}
+	for r := range b.rings {
+		b.rings[r] = &eventRing{region: trace.Region(r), buf: make([]Event, buffer)}
+	}
+	return b
+}
+
+// publish appends an event to a region's ring and nudges the pump. With no
+// live subscriber this is a single atomic load.
+func (b *eventBus) publish(region trace.Region, ev Event) {
+	if !b.active.Load() {
+		return
+	}
+	b.rings[int(region)].publish(ev)
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (b *eventBus) subscribe() *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &Subscription{bus: b, ch: make(chan Event, b.buffer)}
+	if b.closed {
+		close(s.ch)
+		s.closed, s.chClosed = true, true
+		return s
+	}
+	b.subs = append(b.subs, s)
+	if !b.running {
+		// Events published while nobody listened are stale; a fresh
+		// subscriber observes the stream from now on.
+		for _, r := range b.rings {
+			r.drain(nil)
+		}
+		b.stop = make(chan struct{})
+		b.running = true
+		b.active.Store(true)
+		b.wg.Add(1)
+		go b.pump(b.stop)
+	}
+	return s
+}
+
+func (b *eventBus) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	if s.closed {
+		b.mu.Unlock()
+		return
+	}
+	s.closed = true
+	live := 0
+	for _, x := range b.subs {
+		if !x.closed {
+			live++
+		}
+	}
+	if live == 0 {
+		b.active.Store(false)
+	}
+	if !b.running && !s.chClosed {
+		// No pump to finish the close; do it here.
+		close(s.ch)
+		s.chClosed = true
+	}
+	b.mu.Unlock()
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close shuts the stream down: the pump exits and every subscriber channel
+// is closed. Safe to call more than once.
+func (b *eventBus) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.active.Store(false)
+	if b.running {
+		stop := b.stop
+		b.mu.Unlock()
+		close(stop)
+		b.wg.Wait()
+		return
+	}
+	for _, s := range b.subs {
+		if !s.chClosed {
+			close(s.ch)
+			s.chClosed = true
+		}
+	}
+	b.subs = nil
+	b.mu.Unlock()
+}
+
+// pump is the single fan-out goroutine: it drains every ring in region
+// order and delivers to each live subscriber with a non-blocking send, so a
+// stalled consumer loses its own events instead of stalling everyone else.
+func (b *eventBus) pump(stop chan struct{}) {
+	defer b.wg.Done()
+	var batch []Event
+	for {
+		select {
+		case <-stop:
+			b.shutdownLocked()
+			return
+		case <-b.kick:
+		}
+		batch = batch[:0]
+		var overflowed uint64
+		for _, r := range b.rings {
+			var n uint64
+			batch, n = r.drain(batch)
+			overflowed += n
+		}
+		b.mu.Lock()
+		live := b.subs[:0]
+		for _, s := range b.subs {
+			if s.closed {
+				if !s.chClosed {
+					close(s.ch)
+					s.chClosed = true
+				}
+				continue
+			}
+			live = append(live, s)
+		}
+		b.subs = live
+		if len(live) == 0 {
+			b.running = false
+			b.active.Store(false)
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		for _, s := range live {
+			if overflowed > 0 {
+				s.dropped.Add(overflowed)
+			}
+		}
+		for _, ev := range batch {
+			for _, s := range live {
+				select {
+				case s.ch <- ev:
+				default:
+					s.dropped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// shutdownLocked finishes a bus close from inside the pump: drain what is
+// left, deliver it, and close every channel.
+func (b *eventBus) shutdownLocked() {
+	var batch []Event
+	var overflowed uint64
+	for _, r := range b.rings {
+		var n uint64
+		batch, n = r.drain(batch)
+		overflowed += n
+	}
+	b.mu.Lock()
+	subs := b.subs
+	b.subs = nil
+	// running stays true until the channels are closed below, so a
+	// concurrent unsubscribe never closes a channel this dispatch still
+	// sends on.
+	var live []*Subscription
+	for _, s := range subs {
+		if !s.closed {
+			live = append(live, s)
+		}
+	}
+	b.mu.Unlock()
+	for _, s := range live {
+		if overflowed > 0 {
+			s.dropped.Add(overflowed)
+		}
+	}
+	for _, ev := range batch {
+		for _, s := range live {
+			select {
+			case s.ch <- ev:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+	b.mu.Lock()
+	b.running = false
+	for _, s := range subs {
+		if !s.chClosed {
+			close(s.ch)
+			s.chClosed = true
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ type JoinOutcome struct {
 	// the GSC, LSC hand-off, overlay construction, and the stream
 	// subscription exchange with the farthest parent.
 	Delay time.Duration
-	// LSCRegion identifies the cluster that admitted the viewer.
+	// LSCRegion identifies the cluster that handled the viewer.
 	LSCRegion int
 }
 
@@ -39,7 +40,7 @@ func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float6
 	nodeIdx, ok := c.nodes.acquire()
 	if !ok {
 		c.dropRoute(id)
-		return nil, fmt.Errorf("latency matrix exhausted (%d nodes)", c.cfg.Latency.Nodes())
+		return nil, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
 	}
 	lsc := c.lscFor(nodeIdx)
 	st := &viewerState{
@@ -48,13 +49,25 @@ func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float6
 	}
 	lsc.register(st)
 	// The route stays a claim (nil) until the shard admits the viewer, so
-	// a racing Leave or ChangeView sees "unknown viewer" instead of
+	// a racing Leave or ChangeView sees ErrUnknownViewer instead of
 	// operating on a half-joined one.
 	return &preparedJoin{lsc: lsc, st: st, view: view}, nil
 }
 
+// abandon unwinds a prepared join that will never be admitted (cancelled
+// batch entries): the registry entry, the route claim, and the latency node
+// all return to their pools. No CDN egress was held yet — reservations only
+// happen inside the shard admission — so nothing can leak there.
+func (c *Controller) abandon(p *preparedJoin) {
+	p.lsc.unregister(p.st.info.ID)
+	c.dropRoute(p.st.info.ID)
+	c.nodes.release(p.st.nodeIdx)
+}
+
 // admit runs the shard half of the join protocol on the prepared viewer's
-// owning LSC and records the Fig. 14(c) protocol latency.
+// owning LSC and records the Fig. 14(c) protocol latency. An
+// admission-control rejection returns the outcome for metrics alongside a
+// *RejectionError carrying the cause.
 func (c *Controller) admit(p *preparedJoin) (*JoinOutcome, error) {
 	id := p.st.info.ID
 	res, worst, err := p.lsc.join(p.st, p.view)
@@ -67,16 +80,34 @@ func (c *Controller) admit(p *preparedJoin) (*JoinOutcome, error) {
 	c.bindRoute(id, p.lsc)
 	delay := c.joinProtocolDelay(p.st.nodeIdx, p.lsc.NodeIdx, worst)
 	c.recordJoinDelay(delay)
-	return &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(p.lsc.Region)}, nil
+	c.noteCDNPeak(p.lsc)
+	out := &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(p.lsc.Region)}
+	if !res.Admitted {
+		return out, &RejectionError{Viewer: id, Reason: res.Reason}
+	}
+	return out, nil
 }
 
 // Join runs the full viewer join protocol of Fig. 5. The viewer is assigned
 // the next latency-matrix node, routed to its region's LSC, and admitted
 // through the overlay construction pipeline; the protocol delay is recorded
 // for the overhead evaluation.
-func (c *Controller) Join(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*JoinOutcome, error) {
+//
+// Errors: ErrViewerExists for duplicate IDs, ErrMatrixExhausted when the
+// latency substrate is full, context errors on cancellation, and
+// *RejectionError (matching ErrRejected) when admission control refuses the
+// request — in that last case the outcome is still returned, with
+// Result.Admitted false, so callers keep their metrics.
+func (c *Controller) Join(ctx context.Context, id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*JoinOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("session join %s: %w", id, err)
+	}
 	p, err := c.prepare(id, inboundMbps, outboundMbps, view)
 	if err != nil {
+		return nil, fmt.Errorf("session join %s: %w", id, err)
+	}
+	if err := ctx.Err(); err != nil {
+		c.abandon(p)
 		return nil, fmt.Errorf("session join %s: %w", id, err)
 	}
 	return c.admit(p)
@@ -104,11 +135,15 @@ func (c *Controller) joinProtocolDelay(v, l int, worstParentRTT time.Duration) t
 }
 
 // Leave removes a viewer; departures trigger the same victim recovery as
-// view changes (§VI).
-func (c *Controller) Leave(id model.ViewerID) error {
+// view changes (§VI). It returns ErrUnknownViewer for IDs the GSC has no
+// route for.
+func (c *Controller) Leave(ctx context.Context, id model.ViewerID) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("session leave %s: %w", id, err)
+	}
 	lsc := c.takeRoute(id)
 	if lsc == nil {
-		return fmt.Errorf("session leave %s: unknown viewer", id)
+		return fmt.Errorf("session leave %s: %w", id, ErrUnknownViewer)
 	}
 	nodeIdx, err := lsc.leave(id)
 	c.dropRoute(id)
@@ -139,10 +174,17 @@ type ViewChangeOutcome struct {
 // streams of the new view are served from the CDN immediately while the
 // normal join (bandwidth allocation + overlay formation + subscription)
 // proceeds in the background; once done, the viewer switches to the overlay.
-func (c *Controller) ChangeView(id model.ViewerID, view model.View) (*ViewChangeOutcome, error) {
+//
+// Errors mirror Join: ErrUnknownViewer for unrouted IDs, context errors on
+// cancellation, and *RejectionError with the outcome when the re-admission
+// fails admission control.
+func (c *Controller) ChangeView(ctx context.Context, id model.ViewerID, view model.View) (*ViewChangeOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("session view change %s: %w", id, err)
+	}
 	lsc := c.lookupRoute(id)
 	if lsc == nil {
-		return nil, fmt.Errorf("session view change %s: unknown viewer", id)
+		return nil, fmt.Errorf("session view change %s: %w", id, ErrUnknownViewer)
 	}
 	// Fast path feasibility: the paper streams the new view from the CDN
 	// instantaneously; in strict mode the transient edge bandwidth is
@@ -173,12 +215,17 @@ func (c *Controller) ChangeView(id model.ViewerID, view model.View) (*ViewChange
 		switchDelay = background
 	}
 	c.recordViewChangeDelay(switchDelay)
-	return &ViewChangeOutcome{
+	c.noteCDNPeak(lsc)
+	out := &ViewChangeOutcome{
 		Result:          res,
 		SwitchDelay:     switchDelay,
 		BackgroundDelay: background,
 		FastPathUsed:    fast,
-	}, nil
+	}
+	if !res.Admitted {
+		return out, &RejectionError{Viewer: id, Reason: res.Reason}
+	}
+	return out, nil
 }
 
 // Stats aggregates the per-LSC overlay snapshots into session-wide totals.

@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"telecast/internal/model"
@@ -27,6 +28,11 @@ type LSC struct {
 	NodeIdx int
 
 	cfg *Config
+	bus *eventBus
+
+	// mon is this shard's local read path into the producer monitor,
+	// installed by AttachMonitor.
+	mon atomic.Pointer[MonitorReader]
 
 	mu    sync.Mutex
 	shard overlay.Shard
@@ -40,13 +46,43 @@ type viewerState struct {
 	info    overlay.ViewerInfo
 }
 
-func newLSC(region trace.Region, nodeIdx int, cfg *Config) *LSC {
+func newLSC(region trace.Region, nodeIdx int, cfg *Config, bus *eventBus) *LSC {
 	return &LSC{
 		Region:  region,
 		NodeIdx: nodeIdx,
 		cfg:     cfg,
+		bus:     bus,
 		viewers: make(map[model.ViewerID]*viewerState),
 	}
+}
+
+// emit publishes an event into this shard's ring. Events emitted while the
+// shard lock is held are sequenced exactly as the shard processed the
+// operations, which is the per-region ordering Subscribe guarantees.
+func (l *LSC) emit(ev Event) { l.bus.publish(l.Region, ev) }
+
+// emitDropsLocked drains the overlay's drop log and publishes one
+// EventStreamDropped per record. Callers must hold mu.
+func (l *LSC) emitDropsLocked() {
+	for _, d := range l.shard.DrainDrops() {
+		l.emit(Event{
+			Kind:   EventStreamDropped,
+			Viewer: d.Viewer,
+			Stream: d.Stream,
+			Reason: d.Reason,
+		})
+	}
+}
+
+// emitJoinLocked publishes the admission outcome of a join or view-change
+// re-admission. Callers must hold mu.
+func (l *LSC) emitJoinLocked(kind EventKind, id model.ViewerID, res *overlay.JoinResult) {
+	if res.Admitted {
+		l.emit(Event{Kind: kind, Viewer: id, Streams: len(res.Accepted)})
+	} else {
+		l.emit(Event{Kind: EventJoinRejected, Viewer: id, Reason: res.Reason})
+	}
+	l.emitDropsLocked()
 }
 
 // propFunc adapts the latency matrix to the overlay's viewer-pair delays
@@ -101,6 +137,7 @@ func (l *LSC) join(st *viewerState, view model.View) (*overlay.JoinResult, time.
 	if err != nil {
 		return nil, 0, err
 	}
+	l.emitJoinLocked(EventJoinAccepted, st.info.ID, res)
 	return res, l.worstParentRTTLocked(st, res), nil
 }
 
@@ -113,6 +150,8 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 	if err := l.shard.Leave(id); err != nil {
 		return 0, err
 	}
+	l.emit(Event{Kind: EventDeparted, Viewer: id})
+	l.emitDropsLocked()
 	l.vmu.Lock()
 	st, ok := l.viewers[id]
 	delete(l.viewers, id)
@@ -128,7 +167,7 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResult, time.Duration, int, error) {
 	st, ok := l.state(id)
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("unknown viewer")
+		return nil, 0, 0, ErrUnknownViewer
 	}
 	l.mu.Lock()
 	res, err := l.shard.ChangeView(id, view)
@@ -136,6 +175,7 @@ func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResul
 		l.mu.Unlock()
 		return nil, 0, 0, err
 	}
+	l.emitJoinLocked(EventViewChanged, id, res)
 	worst := l.worstParentRTTLocked(st, res)
 	l.mu.Unlock()
 	return res, worst, st.nodeIdx, nil
@@ -209,7 +249,9 @@ func (l *LSC) Snapshot() overlay.Snapshot {
 func (l *LSC) RefreshAll() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.shard.RefreshAll()
+	changed := l.shard.RefreshAll()
+	l.emitDropsLocked()
+	return changed
 }
 
 // Validate checks the shard's overlay invariants.

@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"telecast/internal/model"
@@ -14,9 +15,14 @@ import (
 // stream — and serves it to viewers on query. The stream-subscription
 // process needs the latest frame number n and the media rate r to evaluate
 // Eq. 2.
+//
+// The stream table is immutable after construction and the session clock is
+// an atomic, so status queries take no lock at all; on top of that, each LSC
+// gets its own Reader (installed by Controller.AttachMonitor) that caches
+// one tick's worth of answers shard-locally, so a shard resolving thousands
+// of subscription points per tick touches shared memory once per stream.
 type Monitor struct {
-	mu      sync.RWMutex
-	now     time.Duration
+	now     atomic.Int64 // session clock in nanoseconds
 	streams map[model.StreamID]*streamMeta
 }
 
@@ -64,29 +70,31 @@ func NewMonitor(producers *model.Session, traceCfg trace.TEEVEConfig, horizon ti
 // Advance moves the monitored session clock forward (driven by the
 // simulation engine or wall time). It never moves backwards.
 func (m *Monitor) Advance(now time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if now > m.now {
-		m.now = now
+	for {
+		cur := m.now.Load()
+		if int64(now) <= cur || m.now.CompareAndSwap(cur, int64(now)) {
+			return
+		}
 	}
 }
 
 // Now returns the monitored session clock.
 func (m *Monitor) Now() time.Duration {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.now
+	return time.Duration(m.now.Load())
 }
 
-// Status answers a viewer's metadata query for one stream.
+// Status answers a viewer's metadata query for one stream. It is lock-free:
+// the stream table is immutable and the clock is an atomic.
 func (m *Monitor) Status(id model.StreamID) (StreamStatus, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	return m.statusAt(id, m.Now())
+}
+
+func (m *Monitor) statusAt(id model.StreamID, now time.Duration) (StreamStatus, error) {
 	meta, ok := m.streams[id]
 	if !ok {
 		return StreamStatus{}, fmt.Errorf("monitor: unknown stream %v", id)
 	}
-	rec, ok := meta.trace.FrameAt(m.now)
+	rec, ok := meta.trace.FrameAt(now)
 	if !ok {
 		return StreamStatus{Stream: id, FrameRate: meta.frameRate, LatestFrame: -1}, nil
 	}
@@ -107,4 +115,44 @@ func (m *Monitor) All(producers *model.Session) []StreamStatus {
 		}
 	}
 	return out
+}
+
+// Reader returns a shard-local read path into the monitor. Each reader
+// memoizes the statuses it resolved at the current clock tick, so repeated
+// queries within one tick are served from shard-owned memory; the cache
+// invalidates itself whenever the clock advances.
+func (m *Monitor) Reader() *MonitorReader {
+	return &MonitorReader{mon: m, cache: make(map[model.StreamID]StreamStatus)}
+}
+
+// MonitorReader is one shard's view of the monitor. Safe for concurrent use,
+// but designed to be owned by a single LSC so its mutex never contends with
+// other shards — that is the point: status queries from different regions
+// share nothing but the monitor's atomic clock.
+type MonitorReader struct {
+	mon *Monitor
+
+	mu    sync.Mutex
+	at    time.Duration
+	cache map[model.StreamID]StreamStatus
+}
+
+// Status answers a metadata query through the shard-local cache.
+func (r *MonitorReader) Status(id model.StreamID) (StreamStatus, error) {
+	now := r.mon.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now != r.at {
+		clear(r.cache)
+		r.at = now
+	}
+	if st, ok := r.cache[id]; ok {
+		return st, nil
+	}
+	st, err := r.mon.statusAt(id, now)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	r.cache[id] = st
+	return st, nil
 }

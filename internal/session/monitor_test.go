@@ -89,10 +89,10 @@ func TestSubscriptionPoints(t *testing.T) {
 	c.AttachMonitor(mon)
 	mon.Advance(30 * time.Second)
 	view := model.NewUniformView(c.cfg.Producers, 0)
-	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 12, view); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Join(vid(2), 12, 0, view); err != nil {
+	if _, err := c.Join(testCtx, vid(2), 12, 0, view); err != nil {
 		t.Fatal(err)
 	}
 	points, err := c.SubscriptionPoints(vid(2))
@@ -130,7 +130,7 @@ func TestSubscriptionPoints(t *testing.T) {
 func TestSubscriptionPointsRequiresMonitor(t *testing.T) {
 	c := testController(t, 64, 6000)
 	view := model.NewUniformView(c.cfg.Producers, 0)
-	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 12, view); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.SubscriptionPoints(vid(1)); err == nil {
@@ -142,7 +142,7 @@ func TestAdaptDelaysStableNetworkIsQuiet(t *testing.T) {
 	c := testController(t, 256, 6000)
 	view := model.NewUniformView(c.cfg.Producers, 0)
 	for i := 0; i < 30; i++ {
-		if _, err := c.Join(vid(i), 12, float64(i%13), view); err != nil {
+		if _, err := c.Join(testCtx, vid(i), 12, float64(i%13), view); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -19,6 +19,7 @@ package session
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +60,14 @@ type Config struct {
 	// unconditionally (the reservation is transient and absorbed by the
 	// edge caches), which is the default here too.
 	StrictFastPath bool
+	// EventBuffer sizes the per-shard event rings and subscriber channels
+	// of the Subscribe stream; 0 means 4096.
+	EventBuffer int
 }
+
+// defaultEventBuffer is the ring/channel capacity when Config.EventBuffer
+// is zero.
+const defaultEventBuffer = 4096
 
 // DefaultConfig mirrors the paper's evaluation parameters for a given
 // producer session and latency matrix: Δ=60 s via cdn.DefaultConfig,
@@ -98,6 +106,12 @@ type Controller struct {
 
 	monitor atomic.Pointer[Monitor]
 
+	// bus fans control-plane events from per-shard rings out to
+	// subscribers; hwReported/hwStep drive the CDN high-water events.
+	bus        *eventBus
+	hwReported atomic.Uint64 // math.Float64bits of the last reported peak
+	hwStep     float64
+
 	// statsMu guards the protocol-latency distributions.
 	statsMu          sync.Mutex
 	joinDelays       metrics.CDF
@@ -135,14 +149,20 @@ func (a *nodeAllocator) release(idx int) {
 	a.mu.Unlock()
 }
 
-// NewController builds the control plane. The latency matrix must be large
-// enough for the GSC, one LSC per region, and every viewer that will join.
-func NewController(cfg Config) (*Controller, error) {
+// NewControllerFromConfig builds the control plane from an explicit Config.
+// It is the compatibility entry point behind NewController's functional
+// options; new code should prefer NewController. The latency matrix must be
+// large enough for the GSC, one LSC per region, and every viewer that will
+// join.
+func NewControllerFromConfig(cfg Config) (*Controller, error) {
 	if cfg.Producers == nil {
 		return nil, fmt.Errorf("session: producers required")
 	}
 	if cfg.Latency == nil {
 		return nil, fmt.Errorf("session: latency matrix required")
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = defaultEventBuffer
 	}
 	h, err := layering.NewHierarchy(cfg.CDN.Delta, cfg.Buff, cfg.DMax, cfg.Kappa)
 	if err != nil {
@@ -154,6 +174,14 @@ func NewController(cfg Config) (*Controller, error) {
 		lscs:    make(map[trace.Region]*LSC),
 		gscNode: 0,
 		routes:  make(map[model.ViewerID]*LSC),
+		bus:     newEventBus(cfg.Latency.NumRegions(), cfg.EventBuffer),
+	}
+	// CDN high-water events fire every 5% of a bounded egress budget, or
+	// every 500 Mbps of an unbounded one.
+	if cfg.CDN.OutboundCapacityMbps > 0 {
+		c.hwStep = cfg.CDN.OutboundCapacityMbps / 20
+	} else {
+		c.hwStep = 500
 	}
 	// Place one LSC at the first node of each region. Node indices
 	// 1..NumRegions are reserved; viewers start after them.
@@ -162,10 +190,10 @@ func NewController(cfg Config) (*Controller, error) {
 	if c.nodes.next > c.nodes.max {
 		return nil, fmt.Errorf("session: latency matrix too small for %d regions", cfg.Latency.NumRegions())
 	}
-	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF}
+	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {
 		region := trace.Region(r)
-		lsc := newLSC(region, 1+r, &c.cfg)
+		lsc := newLSC(region, 1+r, &c.cfg, c.bus)
 		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, lsc.propFunc(), params)
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
@@ -175,6 +203,21 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	return c, nil
 }
+
+// Subscribe attaches an observer to the control-plane event stream: every
+// join, rejection, departure, view change, adaptation drop, and CDN
+// high-water mark, in per-region order. Events flow through per-shard ring
+// buffers and a fan-out goroutine, so subscribing never serializes the
+// sharded hot path; a consumer that falls behind its channel buffer loses
+// events (counted in Subscription.Dropped) rather than slowing admissions.
+// Close the subscription when done.
+func (c *Controller) Subscribe() *Subscription { return c.bus.subscribe() }
+
+// Close shuts down the event stream: the fan-out goroutine exits and every
+// subscriber channel is closed. The controller itself remains usable for
+// joins and departures; further Subscribe calls return closed
+// subscriptions. Safe to call more than once.
+func (c *Controller) Close() { c.bus.close() }
 
 // CDN exposes the shared distribution substrate.
 func (c *Controller) CDN() *cdn.CDN { return c.cdn }
@@ -199,7 +242,7 @@ func (c *Controller) claimID(id model.ViewerID) error {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	if _, dup := c.routes[id]; dup {
-		return fmt.Errorf("viewer exists")
+		return ErrViewerExists
 	}
 	c.routes[id] = nil // claimed; bound to a shard once placed
 	return nil
@@ -251,4 +294,24 @@ func (c *Controller) recordViewChangeDelay(d time.Duration) {
 	c.statsMu.Lock()
 	c.viewChangeDelays.AddDuration(d)
 	c.statsMu.Unlock()
+}
+
+// noteCDNPeak emits an EventCDNHighWater through the given shard's ring when
+// the CDN egress high-water mark has risen by at least one reporting step
+// since the last report. With no subscriber it is a single atomic load.
+func (c *Controller) noteCDNPeak(l *LSC) {
+	if !c.bus.active.Load() {
+		return
+	}
+	peak := c.cdn.PeakMbps()
+	for {
+		lastBits := c.hwReported.Load()
+		if peak < math.Float64frombits(lastBits)+c.hwStep {
+			return
+		}
+		if c.hwReported.CompareAndSwap(lastBits, math.Float64bits(peak)) {
+			l.emit(Event{Kind: EventCDNHighWater, PeakMbps: peak})
+			return
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package session
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +13,11 @@ import (
 	"telecast/internal/trace"
 )
 
+// testCtx is the background context threaded through test operations.
+var testCtx = context.Background()
+
+// testController builds through the Config compatibility shim so that path
+// stays covered; options_test.go covers the functional-options constructor.
 func testController(t *testing.T, nodes int, cdnCapMbps float64, opts ...func(*Config)) *Controller {
 	t.Helper()
 	producers, err := model.NewSession(
@@ -29,25 +36,38 @@ func testController(t *testing.T, nodes int, cdnCapMbps float64, opts ...func(*C
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	c, err := NewController(cfg)
+	c, err := NewControllerFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return c
 }
 
+// joinTolerant joins a viewer, treating admission rejection as success for
+// tests that exercise capacity-bounded sessions.
+func joinTolerant(t *testing.T, c *Controller, id model.ViewerID, in, out float64, view model.View) *JoinOutcome {
+	t.Helper()
+	outcome, err := c.Join(testCtx, id, in, out, view)
+	if err != nil && !errors.Is(err, ErrRejected) {
+		t.Fatalf("join %s: %v", id, err)
+	}
+	return outcome
+}
+
 func vid(i int) model.ViewerID { return model.ViewerID(fmt.Sprintf("v%04d", i)) }
 
 func TestNewControllerValidation(t *testing.T) {
-	if _, err := NewController(Config{}); err == nil {
+	if _, err := NewControllerFromConfig(Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
 	producers, _ := model.NewSession(model.NewRingSite("A", 4, 2, 10))
+	if _, err := NewController(producers, nil); err == nil {
+		t.Error("nil latency matrix accepted")
+	}
 	lat, _ := trace.GenerateLatencyMatrix(trace.LatencyConfig{
 		Nodes: 4, Regions: 8, IntraMean: time.Millisecond, InterMean: time.Millisecond, Sigma: 0.1, Seed: 1,
 	})
-	cfg := DefaultConfig(producers, lat)
-	if _, err := NewController(cfg); err == nil {
+	if _, err := NewController(producers, lat); err == nil {
 		t.Error("matrix smaller than region count accepted")
 	}
 }
@@ -55,7 +75,7 @@ func TestNewControllerValidation(t *testing.T) {
 func TestJoinRecordsProtocolDelay(t *testing.T) {
 	c := testController(t, 64, 6000)
 	view := model.NewUniformView(c.cfg.Producers, 0)
-	out, err := c.Join(vid(1), 12, 8, view)
+	out, err := c.Join(testCtx, vid(1), 12, 8, view)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,14 +99,17 @@ func TestJoinRecordsProtocolDelay(t *testing.T) {
 func TestJoinDuplicateAndExhaustion(t *testing.T) {
 	c := testController(t, 12, 6000) // 8 regions + GSC → 3 viewer slots
 	view := model.NewUniformView(c.cfg.Producers, 0)
-	if _, err := c.Join(vid(1), 12, 0, view); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 0, view); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Join(vid(1), 12, 0, view); err == nil {
-		t.Error("duplicate join accepted")
+	if _, err := c.Join(testCtx, vid(1), 12, 0, view); !errors.Is(err, ErrViewerExists) {
+		t.Errorf("duplicate join: err = %v, want ErrViewerExists", err)
 	}
 	for i := 2; ; i++ {
-		if _, err := c.Join(vid(i), 12, 0, view); err != nil {
+		if _, err := c.Join(testCtx, vid(i), 12, 0, view); err != nil {
+			if !errors.Is(err, ErrMatrixExhausted) {
+				t.Fatalf("exhaustion err = %v, want ErrMatrixExhausted", err)
+			}
 			if i < 3 {
 				t.Fatalf("matrix exhausted too early at %d", i)
 			}
@@ -103,9 +126,20 @@ func TestJoinsAcrossLSCsShareCDNCapacity(t *testing.T) {
 	view := model.NewUniformView(c.cfg.Producers, 0)
 	admitted := 0
 	for i := 0; i < 6; i++ {
-		out, err := c.Join(vid(i), 12, 0, view)
+		out, err := c.Join(testCtx, vid(i), 12, 0, view)
 		if err != nil {
-			t.Fatal(err)
+			// Rejections carry the outcome and a typed cause.
+			var rej *RejectionError
+			if !errors.As(err, &rej) {
+				t.Fatal(err)
+			}
+			if rej.Reason == ReasonNone {
+				t.Errorf("rejection of %s has no reason", vid(i))
+			}
+			if out == nil || out.Result.Admitted {
+				t.Fatalf("rejected join %s: outcome %v", vid(i), out)
+			}
+			continue
 		}
 		if out.Result.Admitted {
 			admitted++
@@ -128,16 +162,16 @@ func TestJoinsAcrossLSCsShareCDNCapacity(t *testing.T) {
 func TestLeaveAndRejoin(t *testing.T) {
 	c := testController(t, 64, 6000)
 	view := model.NewUniformView(c.cfg.Producers, 0)
-	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 12, view); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Leave(vid(1)); err != nil {
+	if err := c.Leave(testCtx, vid(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Leave(vid(1)); err == nil {
-		t.Error("double leave accepted")
+	if err := c.Leave(testCtx, vid(1)); !errors.Is(err, ErrUnknownViewer) {
+		t.Errorf("double leave: err = %v, want ErrUnknownViewer", err)
 	}
-	if _, err := c.Join(vid(1), 12, 12, view); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 12, view); err != nil {
 		t.Fatalf("rejoin failed: %v", err)
 	}
 	if err := c.Validate(); err != nil {
@@ -149,10 +183,10 @@ func TestChangeViewFastPath(t *testing.T) {
 	c := testController(t, 64, 6000)
 	view0 := model.NewUniformView(c.cfg.Producers, 0)
 	view1 := model.NewUniformView(c.cfg.Producers, math.Pi/2)
-	if _, err := c.Join(vid(1), 12, 8, view0); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 8, view0); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.ChangeView(vid(1), view1)
+	out, err := c.ChangeView(testCtx, vid(1), view1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +209,10 @@ func TestChangeViewWithoutCDNBudgetFallsBack(t *testing.T) {
 	c := testController(t, 64, 12, func(cfg *Config) { cfg.StrictFastPath = true })
 	view0 := model.NewUniformView(c.cfg.Producers, 0)
 	view1 := model.NewUniformView(c.cfg.Producers, math.Pi/2)
-	if _, err := c.Join(vid(1), 12, 12, view0); err != nil {
+	if _, err := c.Join(testCtx, vid(1), 12, 12, view0); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.ChangeView(vid(1), view1)
+	out, err := c.ChangeView(testCtx, vid(1), view1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,8 +226,8 @@ func TestChangeViewWithoutCDNBudgetFallsBack(t *testing.T) {
 
 func TestChangeViewUnknownViewer(t *testing.T) {
 	c := testController(t, 64, 6000)
-	if _, err := c.ChangeView("ghost", model.NewUniformView(c.cfg.Producers, 0)); err == nil {
-		t.Error("unknown viewer accepted")
+	if _, err := c.ChangeView(testCtx, "ghost", model.NewUniformView(c.cfg.Producers, 0)); !errors.Is(err, ErrUnknownViewer) {
+		t.Errorf("ghost view change: err = %v, want ErrUnknownViewer", err)
 	}
 }
 
@@ -202,7 +236,7 @@ func TestStatsAggregateAcrossLSCs(t *testing.T) {
 	view := model.NewUniformView(c.cfg.Producers, 0)
 	n := 40
 	for i := 0; i < n; i++ {
-		if _, err := c.Join(vid(i), 12, 8, view); err != nil {
+		if _, err := c.Join(testCtx, vid(i), 12, 8, view); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -234,21 +268,21 @@ func TestSessionChurnKeepsGlobalInvariants(t *testing.T) {
 		switch op := rng.Intn(10); {
 		case op < 6 || len(live) == 0:
 			view := model.NewUniformView(c.cfg.Producers, angles[rng.Intn(3)])
-			if _, err := c.Join(vid(next), 12, float64(rng.Intn(15)), view); err != nil {
+			if _, err := c.Join(testCtx, vid(next), 12, float64(rng.Intn(15)), view); err != nil && !errors.Is(err, ErrRejected) {
 				t.Fatalf("step %d: %v", step, err)
 			}
 			live = append(live, next)
 			next++
 		case op < 8:
 			i := rng.Intn(len(live))
-			if err := c.Leave(vid(live[i])); err != nil {
+			if err := c.Leave(testCtx, vid(live[i])); err != nil {
 				t.Fatalf("step %d: %v", step, err)
 			}
 			live = append(live[:i], live[i+1:]...)
 		default:
 			i := rng.Intn(len(live))
 			view := model.NewUniformView(c.cfg.Producers, angles[rng.Intn(3)])
-			if _, err := c.ChangeView(vid(live[i]), view); err != nil {
+			if _, err := c.ChangeView(testCtx, vid(live[i]), view); err != nil && !errors.Is(err, ErrRejected) {
 				t.Fatalf("step %d: %v", step, err)
 			}
 		}

@@ -7,6 +7,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -196,7 +198,10 @@ func Execute(ctrl *session.Controller, producers *model.Session, events []Event,
 			switch ev.Kind {
 			case EventJoin:
 				view := model.NewUniformView(producers, ev.ViewAngle)
-				if _, err := ctrl.Join(ev.Viewer, cfg.InboundMbps, ev.OutboundMbps, view); err != nil {
+				// Admission rejections keep the viewer routed (it can
+				// retry or depart) and feed the acceptance metrics;
+				// only protocol errors abort the run.
+				if _, err := ctrl.Join(context.Background(), ev.Viewer, cfg.InboundMbps, ev.OutboundMbps, view); err != nil && !errors.Is(err, session.ErrRejected) {
 					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
@@ -209,7 +214,7 @@ func Execute(ctrl *session.Controller, producers *model.Session, events []Event,
 				if !live[ev.Viewer] {
 					return
 				}
-				if err := ctrl.Leave(ev.Viewer); err != nil {
+				if err := ctrl.Leave(context.Background(), ev.Viewer); err != nil {
 					fail(fmt.Errorf("leave %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
@@ -220,7 +225,7 @@ func Execute(ctrl *session.Controller, producers *model.Session, events []Event,
 					return
 				}
 				view := model.NewUniformView(producers, ev.ViewAngle)
-				if _, err := ctrl.ChangeView(ev.Viewer, view); err != nil {
+				if _, err := ctrl.ChangeView(context.Background(), ev.Viewer, view); err != nil && !errors.Is(err, session.ErrRejected) {
 					fail(fmt.Errorf("view change %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}

@@ -114,8 +114,7 @@ func TestExecuteChurnScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sessCfg := session.DefaultConfig(producers, lat)
-	ctrl, err := session.NewController(sessCfg)
+	ctrl, err := session.NewController(producers, lat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +173,7 @@ func TestExecuteSkipsActionsOnDepartedViewers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := session.NewController(session.DefaultConfig(producers, lat))
+	ctrl, err := session.NewController(producers, lat)
 	if err != nil {
 		t.Fatal(err)
 	}

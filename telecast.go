@@ -26,9 +26,15 @@
 //	    telecast.NewRingSite("B", 8, 2.0, 10),
 //	)
 //	lat, _ := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(1100, 42))
-//	ctrl, _ := telecast.NewController(telecast.DefaultConfig(producers, lat))
-//	out, _ := ctrl.Join("viewer-1", 12, 8, telecast.NewUniformView(producers, 0))
+//	ctrl, _ := telecast.NewController(producers, lat)
+//	out, _ := ctrl.Join(ctx, "viewer-1", 12, 8, telecast.NewUniformView(producers, 0))
 //	fmt.Println(out.Result.Accepted)
+//
+// The control plane is context-aware (batch admissions stop dispatching on
+// cancellation), reports failures through typed errors (ErrRejected,
+// ErrViewerExists, …, matched with errors.Is/As), and is observable through
+// Controller.Subscribe, a stream of typed events fed from per-shard ring
+// buffers so observation never serializes the sharded hot path.
 package telecast
 
 import (
@@ -68,11 +74,14 @@ type (
 // Control plane (§III–§VI).
 type (
 	// Controller is the GSC plus its LSC fleet: joins, departures, view
-	// changes, statistics, and invariant checking.
+	// changes, statistics, events, and invariant checking.
 	Controller = session.Controller
 	// Config assembles a session: producers, CDN bounds, delay-layer
-	// geometry, latency substrate, protocol processing times.
+	// geometry, latency substrate, protocol processing times. Most code
+	// should use NewController with options instead.
 	Config = session.Config
+	// Option customizes NewController (WithCDN, WithHierarchy, …).
+	Option = session.Option
 	// JoinOutcome reports an admission attempt and its protocol latency.
 	JoinOutcome = session.JoinOutcome
 	// JoinRequest is one admission request of a JoinBatch fan-out.
@@ -88,6 +97,53 @@ type (
 	CDNConfig = cdn.Config
 	// Hierarchy is the delay-layer geometry (Δ, d_buff, κ, d_max).
 	Hierarchy = layering.Hierarchy
+)
+
+// Control-plane errors. Match with errors.Is/As through any wrapping.
+var (
+	// ErrRejected matches every admission-control rejection.
+	ErrRejected = session.ErrRejected
+	// ErrViewerExists is returned when a join reuses a live viewer ID.
+	ErrViewerExists = session.ErrViewerExists
+	// ErrUnknownViewer is returned for operations on unrouted viewer IDs.
+	ErrUnknownViewer = session.ErrUnknownViewer
+	// ErrMatrixExhausted is returned when the latency substrate is full.
+	ErrMatrixExhausted = session.ErrMatrixExhausted
+)
+
+// RejectionError carries the admission-failure cause of a rejected request;
+// retrieve it with errors.As.
+type RejectionError = session.RejectionError
+
+// RejectReason names an admission-failure cause.
+type RejectReason = session.RejectReason
+
+// The admission-failure causes of §IV–§VI.
+const (
+	ReasonCDNEgress       = session.ReasonCDNEgress
+	ReasonDelayBound      = session.ReasonDelayBound
+	ReasonDegreeExhausted = session.ReasonDegreeExhausted
+	ReasonInboundBound    = session.ReasonInboundBound
+)
+
+// Control-plane event stream (Controller.Subscribe).
+type (
+	// Event is one typed control-plane observation.
+	Event = session.Event
+	// EventKind discriminates events.
+	EventKind = session.EventKind
+	// Subscription is one observer of the control plane.
+	Subscription = session.Subscription
+)
+
+// Event kinds delivered by Controller.Subscribe.
+const (
+	EventJoinAccepted  = session.EventJoinAccepted
+	EventJoinRejected  = session.EventJoinRejected
+	EventDeparted      = session.EventDeparted
+	EventViewChanged   = session.EventViewChanged
+	EventStreamDropped = session.EventStreamDropped
+	EventCDNHighWater  = session.EventCDNHighWater
 )
 
 // Workload substrates (§VII).
@@ -129,14 +185,34 @@ var (
 
 // Control-plane constructors.
 var (
-	// NewController builds the GSC/LSC control plane.
+	// NewController builds the GSC/LSC control plane for a producer
+	// session over a latency substrate, refined by functional options.
 	NewController = session.NewController
+	// NewControllerFromConfig builds from an explicit Config (the
+	// compatibility path behind the options).
+	NewControllerFromConfig = session.NewControllerFromConfig
 	// DefaultConfig mirrors the paper's evaluation parameters.
 	DefaultConfig = session.DefaultConfig
 	// NewHierarchy validates a delay-layer geometry.
 	NewHierarchy = layering.NewHierarchy
 	// DefaultCDNConfig is the paper's CDN: Δ=60 s, 6000 Mbps egress.
 	DefaultCDNConfig = cdn.DefaultConfig
+)
+
+// Functional options for NewController.
+var (
+	// WithCDN bounds the shared distribution substrate.
+	WithCDN = session.WithCDN
+	// WithHierarchy sets d_buff, κ, and d_max.
+	WithHierarchy = session.WithHierarchy
+	// WithProcessing sets per-hop and controller processing delays.
+	WithProcessing = session.WithProcessing
+	// WithStrictFastPath bounds the view-change fast path by CDN egress.
+	WithStrictFastPath = session.WithStrictFastPath
+	// WithCutoffDF sets the view-composition df threshold.
+	WithCutoffDF = session.WithCutoffDF
+	// WithEventBuffer sizes the event rings and subscriber channels.
+	WithEventBuffer = session.WithEventBuffer
 )
 
 // Substrate constructors.
