@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke vet lint
+# The bench targets pipe go test into benchjson; without pipefail a bench
+# process that dies mid-run (without printing a FAIL line) would let the
+# pipeline report benchjson's success instead.
+SHELL := bash
+.SHELLFLAGS := -o pipefail -c
+
+# The hot control-plane paths whose numbers the perf trajectory
+# (BENCH_control_plane.json) tracks.
+HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$
+
+.PHONY: build test test-race bench bench-json bench-smoke vet lint
 
 build:
 	$(GO) build ./...
@@ -22,5 +32,15 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# bench-json runs the hot-path microbenchmarks at full precision and writes
+# the machine-readable trajectory file the repo checks in.
+bench-json:
+	$(GO) test -bench='$(HOT_BENCH)' -benchmem -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_control_plane.json
+
+# bench-smoke is the CI gate: one iteration of every hot-path benchmark with
+# allocation accounting, parsed into JSON so a build error, a FAIL line, or
+# unparseable output all fail loudly. The JSON is uploaded as an artifact.
 bench-smoke:
-	$(GO) test -bench=BenchmarkConcurrentJoin -benchtime=1x -run='^$$' .
+	$(GO) test -bench='$(HOT_BENCH)' -benchtime=1x -benchmem -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json

@@ -1,0 +1,147 @@
+// Command benchjson turns `go test -bench` output into the machine-readable
+// perf-trajectory files (BENCH_*.json) the repository checks in: one record
+// per benchmark with iterations, ns/op, B/op, allocs/op, and every custom
+// metric (joins/s, …). Pipe the benchmark run through it:
+//
+//	go test -bench='BenchmarkJoin$' -benchmem -run='^$' . \
+//	    | go run ./cmd/benchjson -out BENCH_control_plane.json
+//
+// `make bench-json` wires the hot control-plane benchmarks through exactly
+// that pipeline. The benchmark output is echoed to stdout so the run stays
+// readable in terminals and CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the run used -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// OpsPerSec is derived from ns/op for trajectory comparisons.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Metrics carries custom b.ReportMetric units (e.g. "joins/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of a BENCH_*.json.
+type Report struct {
+	Suite       string   `json:"suite"`
+	GeneratedAt string   `json:"generated_at"`
+	Goos        string   `json:"goos,omitempty"`
+	Goarch      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout only)")
+	suite := flag.String("suite", "control_plane", "suite name recorded in the report")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin), *suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parse consumes `go test -bench` output, echoing every line, and collects
+// the benchmark results and platform header lines.
+func parse(sc *bufio.Scanner, suite string) (*Report, error) {
+	report := &Report{
+		Suite:       suite,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if ok {
+				report.Benchmarks = append(report.Benchmarks, res)
+			}
+		case strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "--- FAIL"):
+			return nil, fmt.Errorf("benchmark run failed: %s", line)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine parses one result line of the standard benchmark format:
+//
+//	BenchmarkJoin  60835  40313 ns/op  24806 joins/s  3275 B/op  29 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = value
+			if value > 0 {
+				res.OpsPerSec = 1e9 / value
+			}
+		case "B/op":
+			v := value
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := value
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = value
+		}
+	}
+	return res, res.NsPerOp > 0
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: telecast
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkJoin 	   60835	     40313 ns/op	     24806 joins/s	    3275 B/op	      29 allocs/op
+BenchmarkViewChange 	   71282	     33474 ns/op	    5074 B/op	      39 allocs/op
+BenchmarkConcurrentJoin/regions=16 	      12	  95944021 ns/op	    333354 joins/s
+PASS
+ok  	telecast	3.047s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)), "control_plane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Fatalf("platform = %s/%s", report.Goos, report.Goarch)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	join := report.Benchmarks[0]
+	if join.Name != "BenchmarkJoin" || join.Iterations != 60835 || join.NsPerOp != 40313 {
+		t.Fatalf("join = %+v", join)
+	}
+	if join.Metrics["joins/s"] != 24806 {
+		t.Fatalf("joins/s = %v", join.Metrics["joins/s"])
+	}
+	if join.BytesPerOp == nil || *join.BytesPerOp != 3275 {
+		t.Fatalf("B/op = %v", join.BytesPerOp)
+	}
+	if join.AllocsPerOp == nil || *join.AllocsPerOp != 29 {
+		t.Fatalf("allocs/op = %v", join.AllocsPerOp)
+	}
+	if got := report.Benchmarks[2].Name; got != "BenchmarkConcurrentJoin/regions=16" {
+		t.Fatalf("sub-benchmark name = %s", got)
+	}
+	if report.Benchmarks[1].Metrics != nil {
+		t.Fatalf("view change should have no custom metrics: %v", report.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseFailsOnFailedRun(t *testing.T) {
+	in := "BenchmarkJoin 	 10 	 100 ns/op\n--- FAIL: TestSomething\nFAIL\n"
+	if _, err := parse(bufio.NewScanner(strings.NewReader(in)), "s"); err == nil {
+		t.Fatal("FAIL line not surfaced as an error")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken abc 1 ns/op",
+		"BenchmarkBroken 10 xyz ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

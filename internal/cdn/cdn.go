@@ -149,17 +149,27 @@ func (c *CDN) Reserve(bwMbps float64) (*Reservation, error) {
 		return nil, fmt.Errorf("cdn reserve: negative bandwidth %v", bwMbps)
 	}
 	units := toUnits(bwMbps)
+	if !c.reserveUnits(units) {
+		return nil, fmt.Errorf("cdn reserve %v Mbps: %w", bwMbps, ErrCapacity)
+	}
+	return &Reservation{cdn: c, units: units}, nil
+}
+
+// reserveUnits is the one copy of the Δ-bounded egress check-and-hold: a
+// CAS loop against the shared total, plus the peak update on success. Both
+// Reserve and the fused Allocate go through it so the capacity protocol
+// can never fork between the two paths.
+func (c *CDN) reserveUnits(units int64) bool {
 	for {
 		cur := c.outTotal.Load()
 		if c.capOut > 0 && cur+units > c.capOut {
-			return nil, fmt.Errorf("cdn reserve %v Mbps: %w", bwMbps, ErrCapacity)
+			return false
 		}
 		if c.outTotal.CompareAndSwap(cur, cur+units) {
-			break
+			c.raisePeak()
+			return true
 		}
 	}
-	c.raisePeak()
-	return &Reservation{cdn: c, units: units}, nil
 }
 
 // Commit attributes the reserved egress to one direct child of the given
@@ -210,11 +220,16 @@ func (c *CDN) Allocate(id model.StreamID, bwMbps float64) error {
 	if bwMbps < 0 {
 		return fmt.Errorf("cdn allocate %v: negative bandwidth %v", id, bwMbps)
 	}
-	r, err := c.Reserve(bwMbps)
-	if err != nil {
+	// Reserve + Commit fused: the admission path calls this for every CDN
+	// attach, and the short-lived Reservation object was pure garbage
+	// there.
+	units := toUnits(bwMbps)
+	if !c.reserveUnits(units) {
 		return fmt.Errorf("cdn allocate %v: %w", id, ErrCapacity)
 	}
-	r.Commit(id)
+	c.mu.Lock()
+	c.outPerStream[id] += units
+	c.mu.Unlock()
 	return nil
 }
 

@@ -56,6 +56,10 @@ type RankedStream struct {
 type ViewRequest struct {
 	View    View
 	Streams []RankedStream
+	// key caches the canonical group identity; ComposeView fills it so
+	// per-join Key calls stop re-serializing the stream set. Requests
+	// built by hand fall back to computing it on demand.
+	key ViewKey
 }
 
 // ComposeView translates a view into a concrete stream request. For each
@@ -93,7 +97,33 @@ func ComposeView(session *Session, view View, cutoff float64) ViewRequest {
 		}
 		return ranked[i].Stream.ID.Less(ranked[j].Stream.ID)
 	})
-	return ViewRequest{View: view, Streams: ranked}
+	req := ViewRequest{View: view, Streams: ranked}
+	req.key = req.computeKey()
+	return req
+}
+
+// Clone returns a deep copy of the view with its own orientation map, for
+// holders that must not observe later in-place mutations by the caller.
+func (v View) Clone() View {
+	orients := make(map[SiteID]Vec3, len(v.Orientations))
+	for site, dir := range v.Orientations {
+		orients[site] = dir
+	}
+	return View{Orientations: orients}
+}
+
+// Equal reports whether two views request the same orientation from every
+// site.
+func (v View) Equal(o View) bool {
+	if len(v.Orientations) != len(o.Orientations) {
+		return false
+	}
+	for site, dir := range v.Orientations {
+		if od, ok := o.Orientations[site]; !ok || od != dir {
+			return false
+		}
+	}
+	return true
 }
 
 // StreamIDs returns the requested stream IDs in global priority order.
@@ -135,6 +165,13 @@ type ViewKey string
 
 // Key derives the canonical group key from the requested stream set.
 func (r ViewRequest) Key() ViewKey {
+	if r.key != "" {
+		return r.key
+	}
+	return r.computeKey()
+}
+
+func (r ViewRequest) computeKey() ViewKey {
 	ids := r.StreamIDs()
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	parts := make([]string, len(ids))

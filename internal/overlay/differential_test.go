@@ -1,0 +1,183 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// The differential suite pins the indexed admission to the paper-literal
+// reference: across seeded random trees, findPosition (level-index walk)
+// must elect exactly the node findPositionScan (BFS + per-level sort with
+// virtual slots) elects, and the O(1) supply check must agree with a full
+// recount. Any divergence would mean the optimisation silently changed
+// Algorithm 1's placement semantics.
+
+// hasSupplyScan is the pre-index reference supply test: a full walk of the
+// viewer map, exactly what HasSupplyFor used to do.
+func (t *Tree) hasSupplyScan(outDeg int, outCap float64) bool {
+	total := 0
+	for _, n := range t.nodes {
+		total += n.FreeSlots()
+	}
+	if total > 0 {
+		return true
+	}
+	for _, z := range t.nodes {
+		if beats(outDeg, outDeg, outCap, z) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAgainstReference probes one candidate joiner against both position
+// searches and both supply checks.
+func checkAgainstReference(t *testing.T, tree *Tree, u *Node) {
+	t.Helper()
+	iVictim, iParent := tree.findPosition(u)
+	sVictim, sParent := tree.findPositionScan(u)
+	if iVictim != sVictim || iParent != sParent {
+		t.Fatalf("probe deg=%d cap=%v: indexed (victim=%v parent=%v) != scan (victim=%v parent=%v)\n%s",
+			u.OutDeg, u.OutCap, name(iVictim), name(iParent), name(sVictim), name(sParent), dumpLevels(tree))
+	}
+	if got, want := tree.HasSupplyFor(u.OutDeg, u.OutCap), tree.hasSupplyScan(u.OutDeg, u.OutCap); got != want {
+		t.Fatalf("probe deg=%d cap=%v: HasSupplyFor=%v, recount says %v", u.OutDeg, u.OutCap, got, want)
+	}
+}
+
+func name(n *Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return string(n.Viewer)
+}
+
+func dumpLevels(tree *Tree) string {
+	out := ""
+	tree.Walk(func(n *Node) {
+		out += fmt.Sprintf("  %s deg=%d cap=%v depth=%d free=%d\n",
+			n.Viewer, n.OutDeg, n.OutCap, n.depth, n.FreeSlots())
+	})
+	return out
+}
+
+// TestFindPositionMatchesReferenceScan grows seeded random trees through
+// the full mutation surface — push-down inserts, CDN attaches, departures
+// with victim recovery, CDN re-rooting, layer pushes — and after every
+// mutation probes a spread of hypothetical joiners against the reference.
+func TestFindPositionMatchesReferenceScan(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tree := newTestTree(t, func(a, b model.ViewerID) time.Duration {
+				// Deterministic, id-dependent asymmetric delays.
+				return time.Duration(10+3*len(a)+7*len(b)) * time.Millisecond
+			})
+			probe := func() {
+				t.Helper()
+				for deg := 0; deg <= 7; deg++ {
+					u := &Node{
+						Viewer: "probe",
+						OutDeg: deg,
+						OutCap: float64(rng.Intn(16)),
+					}
+					checkAgainstReference(t, tree, u)
+				}
+			}
+			next := 0
+			var live []*Node
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 6 || len(live) == 0: // join
+					deg := rng.Intn(7)
+					n := &Node{
+						Viewer: model.ViewerID(fmt.Sprintf("d%04d", next)),
+						OutDeg: deg,
+						OutCap: float64(deg) + float64(rng.Intn(5)),
+					}
+					next++
+					if placed, _ := tree.Insert(n); !placed {
+						tree.AttachToCDN(n)
+					}
+					live = append(live, n)
+				case op < 8: // leave + victim recovery
+					i := rng.Intn(len(live))
+					n := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					victims := tree.Detach(n)
+					for _, v := range victims {
+						if placed, _ := tree.Reattach(v); !placed {
+							tree.AttachToCDN(v)
+						}
+					}
+				case op < 9: // delay-layer adaptation re-roots a subtree
+					tree.MoveToCDN(live[rng.Intn(len(live))])
+				default: // subscription pass pushes a layer down
+					tree.SetLayer(live[rng.Intn(len(live))], rng.Intn(6))
+				}
+				if err := tree.validate(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				probe()
+			}
+		})
+	}
+}
+
+// TestInsertSequenceMatchesReference replays identical adversarial insert
+// sequences through two trees — one placing via the index, one via the
+// reference scan — and requires byte-identical structures at every step.
+func TestInsertSequenceMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prop := func(a, b model.ViewerID) time.Duration {
+			return time.Duration(5+2*len(a)+3*len(b)) * time.Millisecond
+		}
+		indexed := newTestTree(t, prop)
+		scanned := newTestTree(t, prop)
+		for i := 0; i < 250; i++ {
+			deg := rng.Intn(7)
+			cap := float64(deg) + float64(rng.Intn(4))
+			id := model.ViewerID(fmt.Sprintf("n%04d", i))
+
+			a := &Node{Viewer: id, OutDeg: deg, OutCap: cap}
+			if placed, _ := indexed.Insert(a); !placed {
+				indexed.AttachToCDN(a)
+			}
+
+			b := &Node{Viewer: id, OutDeg: deg, OutCap: cap}
+			victim, parent := scanned.findPositionScan(b)
+			switch {
+			case victim != nil:
+				scanned.displace(victim, b)
+			case parent != nil:
+				scanned.attachUnder(parent, b)
+			default:
+				scanned.AttachToCDN(b)
+			}
+
+			if got, want := treeShape(indexed), treeShape(scanned); got != want {
+				t.Fatalf("seed %d, insert %d: shapes diverged\nindexed:\n%s\nscan:\n%s", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// treeShape serializes parent links, depths, and delay state, so equality
+// means equality of every placement decision made so far.
+func treeShape(t *Tree) string {
+	out := ""
+	t.Walk(func(n *Node) {
+		parent := "CDN"
+		if n.Parent != nil {
+			parent = string(n.Parent.Viewer)
+		}
+		out += fmt.Sprintf("%s->%s@%d layer=%d eff=%v\n", n.Viewer, parent, n.depth, n.Layer, n.EffE2E)
+	})
+	return out
+}

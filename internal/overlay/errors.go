@@ -91,6 +91,22 @@ func errOrphanNodes(n int) error {
 	return fmt.Errorf("tree invariant: %d nodes unreachable from roots", n)
 }
 
+func errCounterDrift(what string, counter, recount int) error {
+	return fmt.Errorf("index invariant: %s counter %d, recount %d", what, counter, recount)
+}
+
+func errIndexDrift(viewer, what string) error {
+	return fmt.Errorf("index invariant: viewer %s %s", viewer, what)
+}
+
+func errDelayOrder(viewer, what string) error {
+	return fmt.Errorf("delay invariant: viewer %s %s", viewer, what)
+}
+
+func errRootBookkeeping(viewer, what string) error {
+	return fmt.Errorf("root invariant: viewer %s %s", viewer, what)
+}
+
 func errDelayBound(viewer string, layer, maxLayer int) error {
 	return fmt.Errorf("delay invariant: viewer %s at layer %d beyond max %d", viewer, layer, maxLayer)
 }

@@ -1,0 +1,147 @@
+package overlay
+
+// The admission index: every attached node is filed, by depth, into
+// per-level out-degree buckets (intrusive doubly-linked lists hanging off
+// the Node itself, so membership changes never allocate). The index exists
+// to answer the two questions Algorithm 1 asks at every BFS level —
+// "what is the weakest candidate here?" and "who has a free slot here?" —
+// without sorting or even visiting the level. findPosition walks levels
+// instead of nodes; only the single bucket that can contain the answer is
+// scanned, and the common "some parent at this level has a free slot" case
+// short-circuits on a counter.
+//
+// The index is maintained incrementally by the attach/detach primitives in
+// tree.go (linkChild, unlinkChild, indexSubtree, unindexSubtree). OutDeg
+// and OutCap are immutable per node, so bucket membership only changes when
+// a node attaches, detaches, or changes depth; free-slot membership only
+// changes when a child count changes. EffE2E — a tie-breaker — is read live
+// during bucket scans and needs no maintenance at all.
+
+// levelIndex holds the attached nodes of one tree depth (0 = CDN children).
+type levelIndex struct {
+	// count is the number of attached nodes at this level.
+	count int
+	// free is the number of those with at least one free child slot.
+	free int
+	// heads are the bucket list heads, indexed by OutDeg.
+	heads []*Node
+	// freeByDeg counts the free-slot nodes per bucket, so the minimum
+	// degree with supply is found without touching any node.
+	freeByDeg []int
+}
+
+// lessCandidate is the total order of Algorithm 1's candidate sort:
+// ascending out-degree, then out capacity, then descending effective delay
+// (prefer displacing high-delay nodes), then viewer ID. Viewer IDs are
+// unique, so the order is total and every argmin below is deterministic
+// regardless of bucket iteration order.
+func lessCandidate(a, b *Node) bool {
+	if a.OutDeg != b.OutDeg {
+		return a.OutDeg < b.OutDeg
+	}
+	if a.OutCap != b.OutCap {
+		return a.OutCap < b.OutCap
+	}
+	if a.EffE2E != b.EffE2E {
+		return a.EffE2E > b.EffE2E
+	}
+	return a.Viewer < b.Viewer
+}
+
+// add files an attached node into its out-degree bucket.
+func (li *levelIndex) add(n *Node) {
+	deg := n.OutDeg
+	for len(li.heads) <= deg {
+		li.heads = append(li.heads, nil)
+		li.freeByDeg = append(li.freeByDeg, 0)
+	}
+	n.idxPrev = nil
+	n.idxNext = li.heads[deg]
+	if n.idxNext != nil {
+		n.idxNext.idxPrev = n
+	}
+	li.heads[deg] = n
+	li.count++
+	if n.FreeSlots() > 0 {
+		li.free++
+		li.freeByDeg[deg]++
+	}
+}
+
+// remove unfiles a node. The caller must not have changed the node's child
+// count since the last add/slotFreed/slotTaken, so the free counters stay
+// in step.
+func (li *levelIndex) remove(n *Node) {
+	if n.idxPrev != nil {
+		n.idxPrev.idxNext = n.idxNext
+	} else {
+		li.heads[n.OutDeg] = n.idxNext
+	}
+	if n.idxNext != nil {
+		n.idxNext.idxPrev = n.idxPrev
+	}
+	n.idxPrev, n.idxNext = nil, nil
+	li.count--
+	if n.FreeSlots() > 0 {
+		li.free--
+		li.freeByDeg[n.OutDeg]--
+	}
+}
+
+// adjustFree moves a bucket's free-slot census by ±1 when an indexed node
+// crosses the free/full boundary.
+func (li *levelIndex) adjustFree(deg, delta int) {
+	li.free += delta
+	li.freeByDeg[deg] += delta
+}
+
+// weakest returns the level's global candidate minimum under lessCandidate
+// when a joiner with the given degree and capacity beats it, nil otherwise.
+// The minimum lives in the lowest non-empty bucket; buckets beyond deg can
+// never be beaten, so the scan is bounded and only one bucket is visited.
+func (li *levelIndex) weakest(deg int, cap float64) *Node {
+	max := deg
+	if max > len(li.heads)-1 {
+		max = len(li.heads) - 1
+	}
+	for d := 0; d <= max; d++ {
+		head := li.heads[d]
+		if head == nil {
+			continue
+		}
+		best := head
+		for n := head.idxNext; n != nil; n = n.idxNext {
+			if lessCandidate(n, best) {
+				best = n
+			}
+		}
+		if d < deg || best.OutCap < cap {
+			return best
+		}
+		return nil // equal degree, no weaker capacity: nothing beatable here
+	}
+	return nil
+}
+
+// bestFree returns the minimum free-slot node of the level under
+// lessCandidate — the parent Algorithm 1's virtual empty slots would elect —
+// or nil when the level has no free slot. Only the lowest bucket with
+// supply is scanned.
+func (li *levelIndex) bestFree() *Node {
+	for d := 0; d < len(li.freeByDeg); d++ {
+		if li.freeByDeg[d] == 0 {
+			continue
+		}
+		var best *Node
+		for n := li.heads[d]; n != nil; n = n.idxNext {
+			if n.FreeSlots() == 0 {
+				continue
+			}
+			if best == nil || lessCandidate(n, best) {
+				best = n
+			}
+		}
+		return best
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package overlay
+
+// The tree-invariant checker. validate() is called by tests after every
+// mutation (and transitively by Manager.Validate after bulk operations); it
+// re-derives from first principles everything the incremental admission
+// indexes claim to know and fails loudly on the first drift. The checks:
+//
+//   - structure: unique nodes, parent/child symmetry, per-node degree
+//     bounds, no nodes unreachable from the roots;
+//   - root bookkeeping: roots have no parent and appear exactly once;
+//   - delay monotonicity: EffE2E ≥ MinE2E everywhere, a child's minimum
+//     delay never undercuts its parent's effective delay, and no layer
+//     sits below the minimum its path implies;
+//   - counters: the O(1) free-slot counter equals a full recount, the
+//     degree census equals a recount of attached nodes;
+//   - level index: every attached node is filed exactly once, at its true
+//     depth, in the bucket of its out-degree, and every per-level count
+//     (nodes, free slots, free-by-degree) equals a recount.
+
+// validate checks every tree invariant; tests call it after mutations.
+func (t *Tree) validate() error {
+	seen := make(map[viewerID]bool, len(t.nodes))
+	depths := make(map[*Node]int, len(t.nodes))
+	var rec func(n *Node, depth int) error
+	rec = func(n *Node, depth int) error {
+		if seen[n.Viewer] {
+			return errDuplicateNode(string(n.Viewer))
+		}
+		seen[n.Viewer] = true
+		depths[n] = depth
+		if len(n.Children) > n.OutDeg {
+			return errOverDegree(string(n.Viewer), len(n.Children), n.OutDeg)
+		}
+		if n.EffE2E < n.MinE2E {
+			return errDelayOrder(string(n.Viewer), "EffE2E below MinE2E")
+		}
+		if n.Layer < t.params.Hierarchy.LayerOf(n.MinE2E) {
+			return errDelayOrder(string(n.Viewer), "layer below path minimum")
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return errBadParentLink(string(c.Viewer))
+			}
+			if c.MinE2E < n.EffE2E {
+				return errDelayOrder(string(c.Viewer), "MinE2E below parent EffE2E")
+			}
+			if err := rec(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rootSeen := make(map[*Node]bool, len(t.roots))
+	for _, r := range t.roots {
+		if r.Parent != nil {
+			return errBadParentLink(string(r.Viewer))
+		}
+		if rootSeen[r] {
+			return errRootBookkeeping(string(r.Viewer), "listed twice")
+		}
+		rootSeen[r] = true
+		if t.nodes[r.Viewer] != r {
+			return errRootBookkeeping(string(r.Viewer), "not tracked")
+		}
+		if err := rec(r, 0); err != nil {
+			return err
+		}
+	}
+	if len(seen) != len(t.nodes) {
+		return errOrphanNodes(len(t.nodes) - len(seen))
+	}
+	return t.validateIndexes(depths)
+}
+
+// validateIndexes recounts every incremental index against the attached
+// nodes in depths (node → true depth).
+func (t *Tree) validateIndexes(depths map[*Node]int) error {
+	// O(1) free-slot counter vs. a recount over the viewer map.
+	free := 0
+	for _, n := range t.nodes {
+		free += n.FreeSlots()
+	}
+	if free != t.free {
+		return errCounterDrift("free slots", t.free, free)
+	}
+	// Degree census vs. a recount over attached nodes.
+	census := make([]int, len(t.degTotals))
+	for n := range depths {
+		if n.OutDeg >= len(census) {
+			return errIndexDrift(string(n.Viewer), "degree beyond census")
+		}
+		census[n.OutDeg]++
+	}
+	for d, want := range census {
+		if t.degTotals[d] != want {
+			return errCounterDrift("degree census", t.degTotals[d], want)
+		}
+	}
+	// Level index: membership, depth, and per-level counters.
+	filed := make(map[*Node]int, len(depths))
+	for depth, li := range t.levels {
+		count, freeCount := 0, 0
+		for deg, head := range li.heads {
+			bucketFree := 0
+			for n := head; n != nil; n = n.idxNext {
+				if _, dup := filed[n]; dup {
+					return errIndexDrift(string(n.Viewer), "filed twice")
+				}
+				filed[n] = depth
+				if n.OutDeg != deg {
+					return errIndexDrift(string(n.Viewer), "wrong degree bucket")
+				}
+				if !n.indexed || n.depth != depth {
+					return errIndexDrift(string(n.Viewer), "stale depth")
+				}
+				count++
+				if n.FreeSlots() > 0 {
+					freeCount++
+					bucketFree++
+				}
+			}
+			if li.freeByDeg[deg] != bucketFree {
+				return errCounterDrift("level free-by-degree", li.freeByDeg[deg], bucketFree)
+			}
+		}
+		if li.count != count {
+			return errCounterDrift("level count", li.count, count)
+		}
+		if li.free != freeCount {
+			return errCounterDrift("level free", li.free, freeCount)
+		}
+	}
+	if len(filed) != len(depths) {
+		return errCounterDrift("indexed nodes", len(filed), len(depths))
+	}
+	for n, depth := range depths {
+		if filedDepth, ok := filed[n]; !ok || filedDepth != depth {
+			return errIndexDrift(string(n.Viewer), "missing or misfiled")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+)
+
+// Randomized churn through the whole mutation surface, with the full
+// invariant checker (structure, root bookkeeping, delay monotonicity,
+// counter == recount, level-index consistency) run after every single
+// mutation — the first drift names the primitive that caused it.
+
+func requireInvariants(t *testing.T, tree *Tree, step int, op string) {
+	t.Helper()
+	if err := tree.validate(); err != nil {
+		t.Fatalf("step %d after %s: %v", step, op, err)
+	}
+}
+
+func TestTreeChurnInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tree := newTestTree(t, func(a, b model.ViewerID) time.Duration {
+				return time.Duration(10+len(a)+2*len(b)) * time.Millisecond
+			})
+			next := 0
+			var live []*Node
+			for step := 0; step < 600; step++ {
+				switch op := rng.Intn(12); {
+				case op < 6 || len(live) == 0:
+					deg := rng.Intn(7)
+					n := &Node{
+						Viewer: model.ViewerID(fmt.Sprintf("c%05d", next)),
+						OutDeg: deg,
+						OutCap: float64(deg*2) + float64(rng.Intn(3)),
+					}
+					next++
+					if placed, _ := tree.Insert(n); !placed {
+						tree.AttachToCDN(n)
+					}
+					live = append(live, n)
+					requireInvariants(t, tree, step, "insert")
+				case op < 9:
+					i := rng.Intn(len(live))
+					n := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					victims := tree.Detach(n)
+					// Mid-recovery states (victims detached but still
+					// known) are not quiescent; check after each victim
+					// lands instead.
+					for len(victims) > 0 {
+						v := victims[0]
+						victims = victims[1:]
+						switch {
+						case rng.Intn(4) == 0:
+							// Cascade-drop the victim outright; its
+							// children join the worklist and the victim
+							// leaves the live census.
+							victims = append(victims, tree.Orphan(v)...)
+							for j, l := range live {
+								if l == v {
+									live[j] = live[len(live)-1]
+									live = live[:len(live)-1]
+									break
+								}
+							}
+						default:
+							if placed, _ := tree.Reattach(v); !placed {
+								tree.AttachToCDN(v)
+							}
+						}
+					}
+					requireInvariants(t, tree, step, "detach+recover")
+				case op < 10:
+					tree.MoveToCDN(live[rng.Intn(len(live))])
+					requireInvariants(t, tree, step, "move-to-cdn")
+				case op < 11:
+					tree.SetLayer(live[rng.Intn(len(live))], rng.Intn(8))
+					requireInvariants(t, tree, step, "set-layer")
+				default:
+					n := &Node{
+						Viewer: model.ViewerID(fmt.Sprintf("f%05d", next)),
+						OutDeg: rng.Intn(4),
+						OutCap: float64(rng.Intn(8)),
+					}
+					next++
+					if tree.InsertFIFO(n) {
+						live = append(live, n)
+					}
+					requireInvariants(t, tree, step, "insert-fifo")
+				}
+			}
+			if tree.Size() != len(live) {
+				t.Fatalf("tree size %d, live census %d", tree.Size(), len(live))
+			}
+		})
+	}
+}
+
+// TestManagerChurnInvariants drives the full §IV/§VI pipeline — joins,
+// departures, view changes, delay adaptation — against a capacity-bounded
+// CDN and, after every operation, runs the full tree-invariant checker on
+// every live tree plus the CDN egress accounting.
+//
+// It deliberately does not assert the per-viewer κ spread: the subscription
+// worklist can oscillate when two viewers are each other's parents in
+// different trees (the acyclicity argument only covers one tree), and when
+// the resubscribe budget then binds, the cleared queue can leave a spread
+// violation behind. That behaviour predates the indexed admission — the
+// seed's scan-based code fails the same sequence — and is tracked as a
+// ROADMAP open item rather than pinned here.
+func TestManagerChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := newTestManager(t, 120) // tight CDN: exercises rejections and drops
+	var live []ViewerInfo
+	next := 0
+	angles := []float64{0, 1.5, 3}
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0:
+			info := viewerN(next, 12, float64(next%13))
+			next++
+			if _, err := m.Join(info, model.NewUniformView(m.session, angles[rng.Intn(len(angles))])); err != nil {
+				t.Fatalf("step %d join: %v", step, err)
+			}
+			live = append(live, info)
+		case op < 8:
+			i := rng.Intn(len(live))
+			id := live[i].ID
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := m.Leave(id); err != nil {
+				t.Fatalf("step %d leave: %v", step, err)
+			}
+		case op < 9:
+			id := live[rng.Intn(len(live))].ID
+			if _, err := m.ChangeView(id, model.NewUniformView(m.session, angles[rng.Intn(len(angles))])); err != nil {
+				t.Fatalf("step %d change view: %v", step, err)
+			}
+		default:
+			m.RefreshAll()
+		}
+		for _, g := range m.Groups() {
+			for id, tree := range g.Trees {
+				if err := tree.validate(); err != nil {
+					t.Fatalf("step %d, tree %s: %v", step, id, err)
+				}
+			}
+		}
+		implied := m.CDNImplied()
+		usage := m.CDN().Snapshot()
+		for id, want := range implied {
+			if got := usage.PerStreamMbps[id]; got < want-1e-6 {
+				t.Fatalf("step %d: stream %s accounts %v Mbps, trees imply %v", step, id, got, want)
+			}
+		}
+	}
+}

@@ -46,10 +46,29 @@ type Manager struct {
 	// dropLog records dropped subscriptions when params.LogDrops is set;
 	// DrainDrops hands it to the session layer after each operation.
 	dropLog []DropRecord
+	// resub is the reusable displacement worklist of joinRequest.
+	resub []displacement
+	// composeMemo short-circuits view composition for the common case of
+	// many viewers requesting the same view (flash crowds, benchmarks):
+	// the session and cutoff are immutable per manager, so an equal view
+	// always composes to the same request. The memoized request is shared
+	// read-only, exactly like a Group's Request already is.
+	composeMemo struct {
+		valid bool
+		view  model.View
+		req   model.ViewRequest
+	}
 	// resubscribeBudget caps subscription-chain propagation per public
 	// operation as a defensive bound; the overlay property makes chains
 	// acyclic, so the cap should never bind in practice.
 	resubscribeBudget int
+}
+
+// displacement is one degree push-down of a join: the pushed-down node and
+// the tree it moved in, queued for a stream-subscription pass.
+type displacement struct {
+	tree *Tree
+	node *Node
 }
 
 // NewManager builds an overlay manager over the given session, CDN, and
@@ -110,8 +129,23 @@ func (m *Manager) Join(info ViewerInfo, view model.View) (*JoinResult, error) {
 	if info.InboundMbps < 0 || info.OutboundMbps < 0 {
 		return nil, fmt.Errorf("join %s: negative capacity", info.ID)
 	}
+	return m.joinRequest(info, m.composeView(view))
+}
+
+// composeView translates a view into a stream request through the one-entry
+// memo.
+func (m *Manager) composeView(view model.View) model.ViewRequest {
+	if m.composeMemo.valid && view.Equal(m.composeMemo.view) {
+		return m.composeMemo.req
+	}
 	req := model.ComposeView(m.session, view, m.params.CutoffDF)
-	return m.joinRequest(info, req)
+	m.composeMemo.valid = true
+	// Snapshot the view: memoizing the caller's map by reference would
+	// make an in-place orientation mutation compare the map against
+	// itself and serve a stale composition.
+	m.composeMemo.view = view.Clone()
+	m.composeMemo.req = req
+	return req
 }
 
 // joinRequest is the shared admission path for Join and ChangeView.
@@ -144,12 +178,8 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 	group.Members[info.ID] = v
 	m.viewers[info.ID] = v
 
-	type displacement struct {
-		tree *Tree
-		node *Node
-	}
-	var resub []displacement
-	dropCause := make(map[model.StreamID]RejectReason)
+	resub := m.resub[:0]
+	var dropCause map[model.StreamID]RejectReason
 	for _, rs := range accepted {
 		id := rs.Stream.ID
 		bw := rs.Stream.BitrateMbps
@@ -167,6 +197,9 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 				// Stream dropped: no P2P position, no CDN budget. Blame
 				// the peer layer when it had members but no slot, the
 				// CDN fallback otherwise.
+				if dropCause == nil {
+					dropCause = make(map[model.StreamID]RejectReason)
+				}
 				if tree.Size() > 0 {
 					dropCause[id] = ReasonDegreeExhausted
 				} else {
@@ -189,6 +222,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		for _, d := range resub {
 			m.enqueueSubtree(d.node)
 		}
+		m.resub = resub[:0] // displacements drained into the worklist
 		m.processPending()
 		m.viewersRejected++
 		res := &JoinResult{
@@ -208,6 +242,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		// subtree; every viewer in it needs a subscription pass.
 		m.enqueueSubtree(d.node)
 	}
+	m.resub = resub[:0] // displacements drained into the worklist
 	m.processPending()
 
 	m.viewersAdmitted++
@@ -308,13 +343,23 @@ func (m *Manager) DrainDrops() []DropRecord {
 }
 
 // coverageHolds re-checks the admission constraint N^u_accepted ≥ n after
-// topology formation: at least one stream from every requested site.
+// topology formation: at least one stream from every requested site. The
+// site and node sets are small, so the quadratic scan beats building the
+// set difference on every join.
 func (m *Manager) coverageHolds(v *Viewer) bool {
-	need := v.Request.SitesCovered()
-	for id := range v.Nodes {
-		delete(need, id.Site)
+	for _, site := range v.Group.Sites {
+		covered := false
+		for id := range v.Nodes {
+			if id.Site == site {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
 	}
-	return len(need) == 0
+	return true
 }
 
 // Leave removes a viewer from the session, recovering the victims its
@@ -356,8 +401,7 @@ func (m *Manager) ChangeView(id model.ViewerID, view model.View) (*JoinResult, e
 	// A previously rejected viewer re-requesting is a fresh admission;
 	// nothing else to undo.
 	_ = wasRejected
-	req := model.ComposeView(m.session, view, m.params.CutoffDF)
-	return m.joinRequest(info, req)
+	return m.joinRequest(info, m.composeView(view))
 }
 
 // evict removes all of a viewer's tree nodes (recovering victims) and
@@ -427,12 +471,7 @@ func (m *Manager) cascadeDrop(tree *Tree, victim *Node) {
 	// degree push-down found no position and the CDN had no egress left.
 	m.logDrop(victim.Viewer, tree.Stream.ID, ReasonCDNEgress)
 	group := m.groupOfTree(tree)
-	children := victim.Children
-	victim.Children = nil
-	for _, c := range children {
-		c.Parent = nil
-	}
-	tree.forget(victim)
+	children := tree.Orphan(victim)
 	if group != nil {
 		if vv, ok := group.Members[victim.Viewer]; ok {
 			delete(vv.Nodes, tree.Stream.ID)
@@ -469,6 +508,9 @@ func (m *Manager) groupFor(req model.ViewRequest) *Group {
 		Request: req,
 		Trees:   make(map[model.StreamID]*Tree),
 		Members: make(map[model.ViewerID]*Viewer),
+	}
+	for site := range req.SitesCovered() {
+		g.Sites = append(g.Sites, site)
 	}
 	m.groups[key] = g
 	return g

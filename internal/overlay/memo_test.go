@@ -1,0 +1,28 @@
+package overlay
+
+import (
+	"testing"
+
+	"telecast/internal/model"
+)
+
+// A caller that mutates its View's orientation map in place must not be
+// served the stale memoized composition (the memo snapshots the view).
+func TestComposeMemoSurvivesInPlaceViewMutation(t *testing.T) {
+	m := newTestManager(t, 6000)
+	view := model.NewUniformView(m.session, 0)
+	res := mustJoin(t, m, viewerN(0, 12, 8), 0)
+	if !res.Admitted {
+		t.Fatal("seed rejected")
+	}
+	before := m.composeView(view).Key()
+	rotated := model.NewUniformView(m.session, 3)
+	for site, dir := range rotated.Orientations {
+		view.Orientations[site] = dir // in-place mutation, same map
+	}
+	after := m.composeView(view).Key()
+	want := model.ComposeView(m.session, rotated, m.params.CutoffDF).Key()
+	if after != want {
+		t.Fatalf("memo served stale composition: got %s, want %s (before %s)", after, want, before)
+	}
+}

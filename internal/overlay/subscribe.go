@@ -65,39 +65,47 @@ func (m *Manager) processPending() {
 // (Eq. 1), bound the spread by κ via layer push-down (Layer Property 2),
 // apply delay-layer adaptation to streams beyond d_max, and enqueue every
 // viewer whose node state changed as a consequence.
+//
+// The pass inlines Hierarchy.Subscribe over the viewer's nodes — drop
+// anything whose minimum layer exceeds the d_max layer, pin the rest at the
+// highest minimum, lift stragglers to pin−κ — because building Subscribe's
+// intermediate maps on a path this hot dominated the allocation profile.
+// layering.Hierarchy.Subscribe remains the semantic reference.
 func (m *Manager) resubscribeOne(v *Viewer) {
 	h := m.params.Hierarchy
+	maxLayer := h.MaxLayer()
 
-	minLayers := make(map[model.StreamID]int, len(v.Nodes))
+	pin := 0
 	for id, node := range v.Nodes {
-		minLayers[id] = h.LayerOf(node.MinE2E)
-	}
-	sub := h.Subscribe(minLayers)
-
-	// Delay layer adaptation (§VI): streams whose minimum layer already
-	// violates d_max are re-provisioned from the CDN when their parent is
-	// a viewer; when the parent is the CDN nothing faster exists and the
-	// subscription is dropped.
-	for _, id := range sub.Dropped {
-		node := v.Nodes[id]
-		tree := v.Group.Trees[id]
-		if node.Parent != nil && m.cdn.Allocate(id, tree.Stream.BitrateMbps) == nil {
-			tree.MoveToCDN(node)
-			m.enqueueSubtree(node)
-		} else {
-			m.logDrop(v.Info.ID, id, ReasonDelayBound)
-			m.dropStream(v, id, true)
+		l := h.LayerOf(node.MinE2E)
+		if l > maxLayer {
+			// Delay layer adaptation (§VI): a stream whose minimum
+			// layer already violates d_max is re-provisioned from the
+			// CDN when its parent is a viewer; when the parent is the
+			// CDN nothing faster exists and the subscription drops.
+			tree := v.Group.Trees[id]
+			if node.Parent != nil && m.cdn.Allocate(id, tree.Stream.BitrateMbps) == nil {
+				tree.MoveToCDN(node)
+				m.enqueueSubtree(node)
+			} else {
+				m.logDrop(v.Info.ID, id, ReasonDelayBound)
+				m.dropStream(v, id, true)
+			}
+			// The viewer's layer picture changed; run a fresh pass for
+			// it rather than applying the stale subscription.
+			m.enqueueResub(v.Info.ID)
+			return
 		}
-		// Either way this viewer's layer picture changed; run a fresh
-		// pass for it rather than applying the stale subscription.
-		m.enqueueResub(v.Info.ID)
-		return
+		if l > pin {
+			pin = l
+		}
 	}
 
-	for id, layer := range sub.Layers {
-		node := v.Nodes[id]
-		if node == nil {
-			continue
+	floor := pin - h.Kappa
+	for id, node := range v.Nodes {
+		layer := h.LayerOf(node.MinE2E)
+		if layer < floor {
+			layer = floor // layer push-down: κ-bounded spread
 		}
 		tree := v.Group.Trees[id]
 		changed := tree.SetLayer(node, layer)

@@ -8,12 +8,37 @@ import (
 // Tree is the dissemination tree of one stream within one view group. The
 // (virtual) root is the CDN: every node with a nil parent receives the
 // stream directly from a CDN edge server at delay Δ.
+//
+// The tree keeps three incrementally-maintained indexes so the admission
+// path (Algorithm 1) never scans or sorts the whole structure:
+//
+//   - free: the total unused out-degree across all known nodes, making
+//     FreeSlots an O(1) read;
+//   - degTotals: the out-degree census of the attached nodes, bounding
+//     HasSupplyFor's displacement check;
+//   - levels: per-depth out-degree buckets (index.go) that findPosition
+//     walks instead of BFS-sorting every level.
 type Tree struct {
 	Stream treeStream
 	roots  []*Node
-	nodes  map[string]*Node // keyed by string(ViewerID)
+	nodes  map[viewerID]*Node
 	prop   PropFunc
 	params Params
+
+	// free is Σ FreeSlots over nodes — attached ones and victims whose
+	// recovery is in flight — exactly the set the map walk used to visit.
+	free int
+	// degTotals counts attached nodes per out-degree.
+	degTotals []int
+	// levels indexes attached nodes by depth; trailing entries may be
+	// empty after the tree shrinks.
+	levels []*levelIndex
+
+	// changed is the reusable scratch behind refreshDelays; its returned
+	// slices are valid until the next delay refresh.
+	changed []*Node
+	// fifoQ is the reusable BFS queue of InsertFIFO.
+	fifoQ []*Node
 }
 
 // treeStream is the slice of stream metadata the tree needs.
@@ -29,7 +54,7 @@ type streamID = modelStreamID
 func newTree(id streamID, bitrate, frameRate float64, prop PropFunc, params Params) *Tree {
 	return &Tree{
 		Stream: treeStream{ID: id, BitrateMbps: bitrate, FrameRate: frameRate},
-		nodes:  make(map[string]*Node),
+		nodes:  make(map[viewerID]*Node),
 		prop:   prop,
 		params: params,
 	}
@@ -43,32 +68,46 @@ func (t *Tree) Roots() []*Node { return t.roots }
 
 // Node returns the tree node of a viewer, if present.
 func (t *Tree) Node(v viewerID) (*Node, bool) {
-	n, ok := t.nodes[string(v)]
+	n, ok := t.nodes[v]
 	return n, ok
 }
 
-// FreeSlots counts unused out-degree across all attached nodes: the P2P
-// supply available without displacing anyone.
-func (t *Tree) FreeSlots() int {
-	total := 0
-	for _, n := range t.nodes {
-		total += n.FreeSlots()
-	}
-	return total
-}
+// FreeSlots returns the unused out-degree across all nodes: the P2P supply
+// available without displacing anyone. O(1) — the counter is maintained by
+// every attach, detach, and displacement.
+func (t *Tree) FreeSlots() int { return t.free }
 
 // HasSupplyFor reports whether the P2P layer can serve one more child:
 // either a free slot exists, or a joining viewer with the given out-degree
 // and capacity could displace an attached node (degree push-down always
-// nets one extra position in that case).
+// nets one extra position in that case). The free-slot case is an O(1)
+// counter read; the displacement case consults the degree census and only
+// scans real nodes on an exact-degree capacity tie.
 func (t *Tree) HasSupplyFor(outDeg int, outCap float64) bool {
-	if t.FreeSlots() > 0 {
+	if t.free > 0 {
 		return true
 	}
-	for _, z := range t.nodes {
-		// A fresh joiner has all outDeg slots free.
-		if beats(outDeg, outDeg, outCap, z) {
+	if outDeg < 1 {
+		return false // no slot left to adopt a displaced node
+	}
+	for d := 0; d < outDeg && d < len(t.degTotals); d++ {
+		if t.degTotals[d] > 0 {
 			return true
+		}
+	}
+	if outDeg < len(t.degTotals) && t.degTotals[outDeg] > 0 {
+		for _, li := range t.levels {
+			if li.count == 0 {
+				break
+			}
+			if outDeg >= len(li.heads) {
+				continue
+			}
+			for n := li.heads[outDeg]; n != nil; n = n.idxNext {
+				if n.OutCap < outCap {
+					return true
+				}
+			}
 		}
 	}
 	return false
@@ -92,7 +131,7 @@ func beats(outDeg, freeSlots int, outCap float64, z *Node) bool {
 }
 
 // Insert runs Algorithm 1 (degree push down) to place u in the tree. It
-// scans the tree level by level; at each level candidates are visited in
+// looks level by level for a position; at each level candidates rank in
 // ascending out-degree order, with empty child slots acting as virtual nodes
 // of out-degree −1. The first candidate u beats is replaced: u takes its
 // position and the displaced node becomes u's child (keeping its own
@@ -101,38 +140,79 @@ func beats(outDeg, freeSlots int, outCap float64, z *Node) bool {
 // (§IV-B2). displaced is the real node pushed down, if any; its subtree's
 // delays were recomputed and its viewers need a stream-subscription pass.
 func (t *Tree) Insert(u *Node) (placed bool, displaced *Node) {
-	if _, dup := t.nodes[string(u.Viewer)]; dup {
+	if _, dup := t.nodes[u.Viewer]; dup {
 		return false, nil
 	}
-	z := t.findPosition(u)
-	if z == nil {
-		return false, nil
-	}
-	return true, t.placeAt(z, u)
+	return t.place(u)
 }
 
 // Reattach re-runs degree push down for a node that is already known to the
-// tree but currently detached (a victim keeping its subtree). The BFS only
-// reaches attached nodes, so the victim's own subtree is never a candidate.
+// tree but currently detached (a victim keeping its subtree). The position
+// search only reaches attached nodes, so the victim's own subtree is never
+// a candidate.
 func (t *Tree) Reattach(u *Node) (placed bool, displaced *Node) {
-	z := t.findPosition(u)
-	if z == nil {
-		return false, nil
-	}
-	return true, t.placeAt(z, u)
+	return t.place(u)
 }
 
-// findPosition walks the tree level by level looking for the first
-// candidate u beats. Virtual empty slots (out-degree −1) sort ahead of real
-// nodes, so free capacity at a level is preferred over displacement there.
-func (t *Tree) findPosition(u *Node) *Node {
+// place resolves a position for u and applies it.
+func (t *Tree) place(u *Node) (placed bool, displaced *Node) {
+	victim, parent := t.findPosition(u)
+	switch {
+	case victim != nil:
+		t.displace(victim, u)
+		return true, victim
+	case parent != nil:
+		t.attachUnder(parent, u)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// findPosition walks the level index looking for the first position u can
+// take, in exactly the order the paper's BFS visits candidates: at each
+// level, first the weakest real node (displacement), then — via the next
+// level's virtual empty slots — the best free slot of the level. Levels
+// whose index rules out both are skipped without visiting a single node.
+//
+// It returns the real node to displace, or the parent with the free slot to
+// attach under (victim == nil), or neither when u beats no candidate.
+func (t *Tree) findPosition(u *Node) (victim, parent *Node) {
+	canDisplace := u.FreeSlots() > 0
+	for _, li := range t.levels {
+		if li.count == 0 {
+			break // levels are contiguous: an empty one ends the tree
+		}
+		if canDisplace {
+			if z := li.weakest(u.OutDeg, u.OutCap); z != nil {
+				return z, nil
+			}
+		}
+		if li.free > 0 {
+			if p := li.bestFree(); p != nil {
+				return nil, p
+			}
+		}
+	}
+	return nil, nil
+}
+
+// findPositionScan is the paper-literal reference implementation of the
+// position search: BFS level by level, sorting each level with virtual
+// empty slots of out-degree −1, returning the first candidate u beats. It
+// is retained verbatim (allocations and all) as the oracle the differential
+// tests compare findPosition against; production code never calls it.
+func (t *Tree) findPositionScan(u *Node) (victim, parent *Node) {
 	level := make([]*Node, len(t.roots))
 	copy(level, t.roots)
 	for len(level) > 0 {
 		sortCandidates(level)
 		for _, z := range level {
 			if beats(u.OutDeg, u.FreeSlots(), u.OutCap, z) {
-				return z
+				if z.OutDeg == -1 {
+					return nil, z.Parent
+				}
+				return z, nil
 			}
 		}
 		var next []*Node
@@ -146,12 +226,12 @@ func (t *Tree) findPosition(u *Node) *Node {
 		}
 		level = next
 	}
-	return nil
+	return nil, nil
 }
 
 // sortCandidates orders a level ascending by out-degree, then by out
 // capacity, then by effective delay (prefer displacing high-delay nodes),
-// then by viewer ID for determinism.
+// then by viewer ID for determinism. Only the reference scan still sorts.
 func sortCandidates(level []*Node) {
 	sort.SliceStable(level, func(i, j int) bool {
 		a, b := level[i], level[j]
@@ -168,38 +248,40 @@ func sortCandidates(level []*Node) {
 	})
 }
 
-// placeAt puts u in z's position. A virtual empty slot (out-degree −1)
-// simply attaches u under its parent; a real node is displaced and becomes
-// u's child together with its subtree. The displaced real node (nil for
-// empty slots) is returned.
-func (t *Tree) placeAt(z, u *Node) (displaced *Node) {
-	if z.OutDeg == -1 { // virtual empty slot: plain attach
-		u.Parent = z.Parent
-		z.Parent.Children = append(z.Parent.Children, u)
-	} else {
-		u.Parent = z.Parent
-		if z.Parent == nil {
-			for i, r := range t.roots {
-				if r == z {
-					t.roots[i] = u
-					break
-				}
-			}
-		} else {
-			for i, c := range z.Parent.Children {
-				if c == z {
-					z.Parent.Children[i] = u
-					break
-				}
+// attachUnder puts u into one of parent's free child slots.
+func (t *Tree) attachUnder(parent, u *Node) {
+	t.trackNode(u)
+	t.linkChild(parent, u)
+	t.indexSubtree(u, parent.depth+1)
+	t.refreshDelays(u)
+}
+
+// displace puts u in z's position: z and its subtree move one level down as
+// u's child.
+func (t *Tree) displace(z, u *Node) {
+	depth := z.depth
+	t.unindexSubtree(z)
+	u.Parent = z.Parent
+	if z.Parent == nil {
+		for i, r := range t.roots {
+			if r == z {
+				t.roots[i] = u
+				break
 			}
 		}
-		z.Parent = u
-		u.Children = append(u.Children, z)
-		displaced = z
+	} else {
+		for i, c := range z.Parent.Children {
+			if c == z {
+				z.Parent.Children[i] = u
+				break
+			}
+		}
 	}
-	t.nodes[string(u.Viewer)] = u
+	z.Parent = nil
+	t.trackNode(u)
+	t.linkChild(u, z)
+	t.indexSubtree(u, depth)
 	t.refreshDelays(u)
-	return displaced
 }
 
 // AttachToCDN places u as a direct child of the CDN (a tree root). The
@@ -208,7 +290,8 @@ func (t *Tree) placeAt(z, u *Node) (displaced *Node) {
 func (t *Tree) AttachToCDN(u *Node) {
 	u.Parent = nil
 	t.roots = append(t.roots, u)
-	t.nodes[string(u.Viewer)] = u
+	t.trackNode(u)
+	t.indexSubtree(u, 0)
 	t.refreshDelays(u)
 }
 
@@ -217,41 +300,26 @@ func (t *Tree) AttachToCDN(u *Node) {
 // If n was already a root this only refreshes delays.
 func (t *Tree) MoveToCDN(n *Node) {
 	if n.Parent != nil {
-		p := n.Parent
-		for i, c := range p.Children {
-			if c == n {
-				p.Children = append(p.Children[:i], p.Children[i+1:]...)
-				break
-			}
-		}
-		n.Parent = nil
+		t.unindexSubtree(n)
+		t.unlinkChild(n)
 		t.roots = append(t.roots, n)
+		t.indexSubtree(n, 0)
 	}
 	t.refreshDelays(n)
 }
 
 // Detach removes u from the tree and returns its children as victims, each
 // detached with its own subtree intact. The caller re-attaches victims
-// (victim recovery, §VI) or drops them.
+// (victim recovery, §VI) or drops them. The victims slice is u's own child
+// slice, handed over to the caller.
 func (t *Tree) Detach(u *Node) []*Node {
-	delete(t.nodes, string(u.Viewer))
+	t.unindexSubtree(u)
 	if u.Parent == nil {
-		for i, r := range t.roots {
-			if r == u {
-				t.roots = append(t.roots[:i], t.roots[i+1:]...)
-				break
-			}
-		}
+		t.removeRoot(u)
 	} else {
-		p := u.Parent
-		for i, c := range p.Children {
-			if c == u {
-				p.Children = append(p.Children[:i], p.Children[i+1:]...)
-				break
-			}
-		}
-		u.Parent = nil
+		t.unlinkChild(u)
 	}
+	t.untrackNode(u)
 	victims := u.Children
 	u.Children = nil
 	for _, v := range victims {
@@ -260,50 +328,170 @@ func (t *Tree) Detach(u *Node) []*Node {
 	return victims
 }
 
+// Orphan drops a detached victim from the tree's bookkeeping entirely,
+// detaching and returning its children (each keeping its own subtree) for
+// recovery. It is the cascade-drop primitive: the victim must already be
+// unlinked from any parent.
+func (t *Tree) Orphan(victim *Node) []*Node {
+	children := victim.Children
+	victim.Children = nil
+	if _, tracked := t.nodes[victim.Viewer]; tracked {
+		t.free += len(children) // the victim's slots all came free…
+	}
+	t.untrackNode(victim) // …and leave the census with it
+	for _, c := range children {
+		c.Parent = nil
+	}
+	return children
+}
+
+// trackNode enters a node into the viewer map and the free-slot counter.
+// Re-tracking a victim that never left the map is a no-op.
+func (t *Tree) trackNode(n *Node) {
+	if _, ok := t.nodes[n.Viewer]; ok {
+		return
+	}
+	t.nodes[n.Viewer] = n
+	t.free += n.FreeSlots()
+}
+
+// untrackNode removes a node from the viewer map and the free-slot counter.
+func (t *Tree) untrackNode(n *Node) {
+	if _, ok := t.nodes[n.Viewer]; !ok {
+		return
+	}
+	delete(t.nodes, n.Viewer)
+	t.free -= n.FreeSlots()
+}
+
+// linkChild appends u to p's children. p must be tracked and have a free
+// slot; u's own slot census is unaffected.
+func (t *Tree) linkChild(p, u *Node) {
+	p.Children = append(p.Children, u)
+	u.Parent = p
+	t.free--
+	if p.indexed && p.FreeSlots() == 0 {
+		t.levels[p.depth].adjustFree(p.OutDeg, -1)
+	}
+}
+
+// unlinkChild removes u from its parent's child list by swap-delete — O(1)
+// instead of the former O(children) shift — and returns the freed slot to
+// the census.
+func (t *Tree) unlinkChild(u *Node) {
+	p := u.Parent
+	cs := p.Children
+	for i, c := range cs {
+		if c == u {
+			last := len(cs) - 1
+			cs[i] = cs[last]
+			cs[last] = nil
+			p.Children = cs[:last]
+			break
+		}
+	}
+	u.Parent = nil
+	t.free++
+	if p.indexed && p.FreeSlots() == 1 {
+		t.levels[p.depth].adjustFree(p.OutDeg, +1)
+	}
+}
+
+// removeRoot drops u from the root list by swap-delete.
+func (t *Tree) removeRoot(u *Node) {
+	rs := t.roots
+	for i, r := range rs {
+		if r == u {
+			last := len(rs) - 1
+			rs[i] = rs[last]
+			rs[last] = nil
+			t.roots = rs[:last]
+			return
+		}
+	}
+}
+
+// levelFor returns (growing if needed) the index of one depth.
+func (t *Tree) levelFor(depth int) *levelIndex {
+	for len(t.levels) <= depth {
+		t.levels = append(t.levels, &levelIndex{})
+	}
+	return t.levels[depth]
+}
+
+// indexSubtree files n and its subtree into the level index from the given
+// depth and updates the degree census.
+func (t *Tree) indexSubtree(n *Node, depth int) {
+	n.depth = depth
+	n.indexed = true
+	t.levelFor(depth).add(n)
+	for len(t.degTotals) <= n.OutDeg {
+		t.degTotals = append(t.degTotals, 0)
+	}
+	t.degTotals[n.OutDeg]++
+	for _, c := range n.Children {
+		t.indexSubtree(c, depth+1)
+	}
+}
+
+// unindexSubtree removes n and its subtree from the level index and the
+// degree census.
+func (t *Tree) unindexSubtree(n *Node) {
+	t.levels[n.depth].remove(n)
+	n.indexed = false
+	t.degTotals[n.OutDeg]--
+	for _, c := range n.Children {
+		t.unindexSubtree(c)
+	}
+}
+
 // refreshDelays recomputes MinE2E, Layer, and EffE2E for n and its subtree.
 // The assigned layer never drops below the minimum implied by the path, and
 // a node already pushed down (Layer > minimum) keeps its deeper layer: the
 // stream-subscription pass decides moves, not the tree. It returns every
 // node whose delay state changed so that the manager can re-run stream
 // subscription for the affected viewers — silently updated descendants are
-// exactly how κ-bound violations would otherwise slip through.
+// exactly how κ-bound violations would otherwise slip through. The returned
+// slice is scratch owned by the tree, valid until the next refresh.
 func (t *Tree) refreshDelays(n *Node) (changed []*Node) {
+	t.changed = t.changed[:0]
+	t.refreshNode(n)
+	return t.changed
+}
+
+func (t *Tree) refreshNode(n *Node) {
 	h := t.params.Hierarchy
-	var rec func(*Node)
-	rec = func(n *Node) {
-		oldMin, oldLayer, oldEff := n.MinE2E, n.Layer, n.EffE2E
-		if n.Parent == nil {
-			n.MinE2E = h.Delta
-		} else {
-			n.MinE2E = n.Parent.EffE2E + t.prop(n.Parent.Viewer, n.Viewer) + t.params.Proc
-		}
-		minLayer := h.LayerOf(n.MinE2E)
-		if n.Layer < minLayer {
-			n.Layer = minLayer
-		}
-		n.EffE2E = n.MinE2E
-		// A pushed-down viewer receives at its position inside the
-		// layer: ℜ=τr (offset 1) pins it to the top edge, smaller
-		// offsets sit deeper in the layer.
-		pos := h.LayerDelayLow(n.Layer) +
-			time.Duration((1-t.params.offsetFrac())*float64(h.Tau()))
-		if n.EffE2E < pos {
-			n.EffE2E = pos
-		}
-		if n.MinE2E != oldMin || n.Layer != oldLayer || n.EffE2E != oldEff {
-			changed = append(changed, n)
-		}
-		for _, c := range n.Children {
-			rec(c)
-		}
+	oldMin, oldLayer, oldEff := n.MinE2E, n.Layer, n.EffE2E
+	if n.Parent == nil {
+		n.MinE2E = h.Delta
+	} else {
+		n.MinE2E = n.Parent.EffE2E + t.prop(n.Parent.Viewer, n.Viewer) + t.params.Proc
 	}
-	rec(n)
-	return changed
+	minLayer := h.LayerOf(n.MinE2E)
+	if n.Layer < minLayer {
+		n.Layer = minLayer
+	}
+	n.EffE2E = n.MinE2E
+	// A pushed-down viewer receives at its position inside the
+	// layer: ℜ=τr (offset 1) pins it to the top edge, smaller
+	// offsets sit deeper in the layer.
+	pos := h.LayerDelayLow(n.Layer) +
+		time.Duration((1-t.params.offsetFrac())*float64(h.Tau()))
+	if n.EffE2E < pos {
+		n.EffE2E = pos
+	}
+	if n.MinE2E != oldMin || n.Layer != oldLayer || n.EffE2E != oldEff {
+		t.changed = append(t.changed, n)
+	}
+	for _, c := range n.Children {
+		t.refreshNode(c)
+	}
 }
 
 // SetLayer assigns the node's delay layer (from stream subscription) and
 // propagates the resulting effective-delay change through the subtree,
-// returning the nodes whose delay state changed.
+// returning the nodes whose delay state changed (tree-owned scratch, valid
+// until the next refresh).
 func (t *Tree) SetLayer(n *Node, layer int) []*Node {
 	min := t.params.Hierarchy.LayerOf(n.MinE2E)
 	if layer < min {
@@ -311,13 +499,6 @@ func (t *Tree) SetLayer(n *Node, layer int) []*Node {
 	}
 	n.Layer = layer
 	return t.refreshDelays(n)
-}
-
-// forget removes a detached node from the tree's bookkeeping. It must only
-// be called on nodes with no parent and no children (cascadeDrop detaches
-// both sides first).
-func (t *Tree) forget(n *Node) {
-	delete(t.nodes, string(n.Viewer))
 }
 
 // Walk visits every attached node (preorder from each root).
@@ -335,61 +516,14 @@ func (t *Tree) Walk(fn func(*Node)) {
 }
 
 // Depth returns the maximum node depth (roots are depth 1); 0 for empty.
+// The level index makes it a counter walk.
 func (t *Tree) Depth() int {
-	var rec func(n *Node, d int) int
-	rec = func(n *Node, d int) int {
-		deepest := d
-		for _, c := range n.Children {
-			if cd := rec(c, d+1); cd > deepest {
-				deepest = cd
-			}
-		}
-		return deepest
-	}
-	deepest := 0
-	for _, r := range t.roots {
-		if d := rec(r, 1); d > deepest {
-			deepest = d
+	for i, li := range t.levels {
+		if li.count == 0 {
+			return i
 		}
 	}
-	return deepest
-}
-
-// validate checks structural invariants; tests call it after mutations.
-func (t *Tree) validate() error {
-	seen := make(map[string]bool, len(t.nodes))
-	var rec func(n *Node) error
-	rec = func(n *Node) error {
-		key := string(n.Viewer)
-		if seen[key] {
-			return errDuplicateNode(key)
-		}
-		seen[key] = true
-		if len(n.Children) > n.OutDeg {
-			return errOverDegree(key, len(n.Children), n.OutDeg)
-		}
-		for _, c := range n.Children {
-			if c.Parent != n {
-				return errBadParentLink(string(c.Viewer))
-			}
-			if err := rec(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, r := range t.roots {
-		if r.Parent != nil {
-			return errBadParentLink(string(r.Viewer))
-		}
-		if err := rec(r); err != nil {
-			return err
-		}
-	}
-	if len(seen) != len(t.nodes) {
-		return errOrphanNodes(len(t.nodes) - len(seen))
-	}
-	return nil
+	return len(t.levels)
 }
 
 // viewerID aliases keep tree.go readable without importing model twice.
@@ -399,24 +533,20 @@ type viewerID = modelViewerID
 // any displacement — the no-push-down strawman the ablations compare
 // against. Returns false when the tree has no free slot.
 func (t *Tree) InsertFIFO(u *Node) bool {
-	if _, dup := t.nodes[string(u.Viewer)]; dup {
+	if _, dup := t.nodes[u.Viewer]; dup {
 		return false
 	}
-	level := make([]*Node, len(t.roots))
-	copy(level, t.roots)
-	for len(level) > 0 {
-		var next []*Node
-		for _, z := range level {
-			if z.FreeSlots() > 0 {
-				u.Parent = z
-				z.Children = append(z.Children, u)
-				t.nodes[string(u.Viewer)] = u
-				t.refreshDelays(u)
-				return true
-			}
-			next = append(next, z.Children...)
+	q := t.fifoQ[:0]
+	q = append(q, t.roots...)
+	for head := 0; head < len(q); head++ {
+		z := q[head]
+		if z.FreeSlots() > 0 {
+			t.fifoQ = q[:0]
+			t.attachUnder(z, u)
+			return true
 		}
-		level = next
+		q = append(q, z.Children...)
 	}
+	t.fifoQ = q[:0]
 	return false
 }

@@ -84,6 +84,15 @@ type Node struct {
 	// which frames are actually received after delayed receive. Children
 	// inherit their MinE2E from this value (Layer Property 1).
 	EffE2E time.Duration
+
+	// Admission-index bookkeeping (index.go), maintained by the owning
+	// tree: the node's depth among attached nodes (0 = CDN child), its
+	// intrusive links in the per-level out-degree bucket, and whether it
+	// is currently filed. A node belongs to exactly one tree, so the
+	// links live on the node and bucket membership never allocates.
+	depth            int
+	idxPrev, idxNext *Node
+	indexed          bool
 }
 
 // FreeSlots returns the node's unused out-degree.
@@ -148,4 +157,7 @@ type Group struct {
 	Request model.ViewRequest
 	Trees   map[model.StreamID]*Tree
 	Members map[model.ViewerID]*Viewer
+	// Sites are the distinct producer sites of the request, derived once
+	// so per-join coverage checks allocate nothing.
+	Sites []model.SiteID
 }

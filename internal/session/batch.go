@@ -43,7 +43,7 @@ func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchO
 	out := make([]BatchOutcome, len(reqs))
 	type routed struct {
 		idx int
-		p   *preparedJoin
+		p   preparedJoin
 	}
 	perShard := make(map[*LSC][]routed, len(c.lscs))
 	for i, req := range reqs {

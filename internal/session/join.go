@@ -23,7 +23,9 @@ type JoinOutcome struct {
 }
 
 // preparedJoin is a routed-but-not-yet-admitted viewer: ID claimed, node
-// placed, shard chosen, registry entry installed.
+// placed, shard chosen, registry entry installed. It is passed by value —
+// one lives per in-flight join, and keeping it off the heap matters on the
+// admission fast path.
 type preparedJoin struct {
 	lsc  *LSC
 	st   *viewerState
@@ -33,14 +35,14 @@ type preparedJoin struct {
 // prepare runs the GSC half of the join protocol: duplicate check, node
 // placement, geo-routing to the owning shard, and registry insertion. It is
 // cheap and thread-safe; the expensive admission runs on the shard.
-func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*preparedJoin, error) {
+func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (preparedJoin, error) {
 	if err := c.claimID(id); err != nil {
-		return nil, err
+		return preparedJoin{}, err
 	}
 	nodeIdx, ok := c.nodes.acquire()
 	if !ok {
 		c.dropRoute(id)
-		return nil, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
+		return preparedJoin{}, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
 	}
 	lsc := c.lscFor(nodeIdx)
 	st := &viewerState{
@@ -51,14 +53,14 @@ func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float6
 	// The route stays a claim (nil) until the shard admits the viewer, so
 	// a racing Leave or ChangeView sees ErrUnknownViewer instead of
 	// operating on a half-joined one.
-	return &preparedJoin{lsc: lsc, st: st, view: view}, nil
+	return preparedJoin{lsc: lsc, st: st, view: view}, nil
 }
 
 // abandon unwinds a prepared join that will never be admitted (cancelled
 // batch entries): the registry entry, the route claim, and the latency node
 // all return to their pools. No CDN egress was held yet — reservations only
 // happen inside the shard admission — so nothing can leak there.
-func (c *Controller) abandon(p *preparedJoin) {
+func (c *Controller) abandon(p preparedJoin) {
 	p.lsc.unregister(p.st.info.ID)
 	c.dropRoute(p.st.info.ID)
 	c.nodes.release(p.st.nodeIdx)
@@ -68,7 +70,7 @@ func (c *Controller) abandon(p *preparedJoin) {
 // owning LSC and records the Fig. 14(c) protocol latency. An
 // admission-control rejection returns the outcome for metrics alongside a
 // *RejectionError carrying the cause.
-func (c *Controller) admit(p *preparedJoin) (*JoinOutcome, error) {
+func (c *Controller) admit(p preparedJoin) (*JoinOutcome, error) {
 	id := p.st.info.ID
 	res, worst, err := p.lsc.join(p.st, p.view)
 	if err != nil {
