@@ -10,9 +10,11 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"telecast"
 	"telecast/internal/experiments"
+	"telecast/internal/workload"
 )
 
 // benchSetup uses the paper's full 1000-viewer scale.
@@ -344,6 +346,60 @@ func benchConcurrentJoin(b *testing.B, regions int, subscribe bool) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(joined)/b.Elapsed().Seconds(), "joins/s")
+}
+
+// BenchmarkWorkloadParallel measures the wall-clock scenario executor: a
+// regional-hotspot schedule replayed through JoinBatch/DepartBatch fan-outs
+// across the LSC shards. The joins/s metric is the achieved admission
+// throughput of the full workload loop (binning, batching, tallying), the
+// number the scenario experiment reports — tracked in the perf trajectory
+// alongside the raw batch benchmarks.
+func BenchmarkWorkloadParallel(b *testing.B) {
+	const seed = 42
+	sc, err := workload.FromCatalog("regional-hotspot", workload.Knobs{
+		Seed: seed, Audience: 1000, Duration: 30 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := workload.Collect(sc, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	joins := 0
+	for _, ev := range events {
+		if ev.Kind == workload.EventJoin {
+			joins++
+		}
+	}
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var admissions int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lat, err := telecast.GenerateLatencyMatrix(telecast.DefaultLatencyConfig(joins+16, seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := telecast.NewController(producers, lat, telecast.WithCDN(unboundedCDN()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := workload.NewParallelRunner().Run(ctx, ctrl, producers,
+			workload.Schedule("regional-hotspot", events), workload.WithSeed(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		admissions += res.Joins + res.Rejected
+	}
+	b.ReportMetric(float64(admissions)/b.Elapsed().Seconds(), "joins/s")
 }
 
 // BenchmarkChurn runs the dynamic scenario: flash crowd, Poisson churn,

@@ -10,6 +10,10 @@
 //	telecast-sim -exp fig15b -seed 7 -audience 500
 //	telecast-sim -exp concurrent    # join throughput vs LSC shard count
 //	telecast-sim -exp fig14c -parallel   # admissions fan out across shards
+//	telecast-sim -exp scenario -scenario diurnal          # catalog scenario,
+//	                                                      # wall-clock executor
+//	telecast-sim -exp scenario -scenario view-sweep -sim  # discrete-event replay
+//	telecast-sim -exp scenario -scenario mass-departure -samples out.csv
 package main
 
 import (
@@ -23,24 +27,28 @@ import (
 	"time"
 
 	"telecast/internal/experiments"
+	"telecast/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig13a|fig13b|fig13c|fig14a|fig14b|fig14c|fig15a|fig15b|ablations|churn|concurrent|all")
+	exp := flag.String("exp", "all", "experiment: fig13a|fig13b|fig13c|fig14a|fig14b|fig14c|fig15a|fig15b|ablations|churn|concurrent|scenario|all")
 	seed := flag.Int64("seed", 42, "random seed for traces and capacity draws")
 	audience := flag.Int("audience", 1000, "viewer count for fixed-size experiments")
 	parallel := flag.Bool("parallel", false, "drive joins through the sharded JoinBatch fan-out (concurrent per-region LSC admission)")
+	scenario := flag.String("scenario", "flash-churn", "catalog scenario for -exp scenario: "+strings.Join(workload.CatalogNames(), "|"))
+	samples := flag.String("samples", "", "write the scenario's per-second time series to this file (.json for JSON Lines, CSV otherwise)")
+	simMode := flag.Bool("sim", false, "replay -exp scenario on the deterministic discrete-event engine instead of the wall-clock parallel executor")
 	flag.Parse()
 
 	setup := experiments.DefaultSetup(*seed)
 	setup.Audience = *audience
 	setup.Parallel = *parallel
-	if err := run(*exp, setup); err != nil {
+	if err := run(*exp, setup, *scenario, *samples, *simMode); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp string, setup experiments.Setup) error {
+func run(exp string, setup experiments.Setup, scenario, samplesPath string, simMode bool) error {
 	runners := map[string]func(experiments.Setup) error{
 		"fig13a":     runFig13a,
 		"fig13b":     runFig13b,
@@ -53,9 +61,12 @@ func run(exp string, setup experiments.Setup) error {
 		"ablations":  runAblations,
 		"churn":      runChurn,
 		"concurrent": runConcurrent,
+		"scenario": func(s experiments.Setup) error {
+			return runScenario(s, scenario, samplesPath, simMode)
+		},
 	}
 	if exp == "all" {
-		order := []string{"fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "ablations", "churn", "concurrent"}
+		order := []string{"fig13a", "fig13b", "fig13c", "fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "ablations", "churn", "concurrent", "scenario"}
 		for _, name := range order {
 			if err := runners[name](setup); err != nil {
 				return err
@@ -300,6 +311,53 @@ func runConcurrent(setup experiments.Setup) error {
 	return nil
 }
 
+func runScenario(setup experiments.Setup, name, samplesPath string, simMode bool) error {
+	mode := "wall-clock parallel executor"
+	if simMode {
+		mode = "discrete-event replay"
+	}
+	header(fmt.Sprintf("Scenario %q (%s)", name, mode))
+	// Validate the name before touching the samples file, so a typo'd
+	// scenario never truncates a previous run's output.
+	if _, err := workload.FromCatalog(name, workload.Knobs{}); err != nil {
+		return err
+	}
+	opts := experiments.ScenarioOptions{Wallclock: !simMode}
+	var out *os.File
+	if samplesPath != "" {
+		f, err := os.Create(samplesPath)
+		if err != nil {
+			return err
+		}
+		out = f
+		defer out.Close()
+		if strings.HasSuffix(samplesPath, ".json") {
+			opts.Sinks = append(opts.Sinks, workload.NewJSONSink(f))
+		} else {
+			opts.Sinks = append(opts.Sinks, workload.NewCSVSink(f))
+		}
+	}
+	res, err := experiments.RunScenario(setup, name, opts)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "events\tjoins\trejected\tleaves\tview changes\tpeak\tregions\telapsed\tjoins/s")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\t%.0f\n",
+		res.Events, res.Joins, res.Rejected, res.Leaves, res.ViewChanges,
+		res.PeakViewers, res.Regions, res.Elapsed.Round(time.Millisecond), res.JoinsPerSec)
+	w.Flush()
+	fmt.Printf("acceptance: final %.3f, minimum %.3f; event stream: %d accepted / %d rejected (dropped %d)\n",
+		res.FinalAcceptance, res.MinAcceptance, res.StreamAccepted, res.StreamRejected, res.EventsDropped)
+	if samplesPath != "" {
+		fmt.Printf("samples written to %s\n", samplesPath)
+	}
+	if !simMode {
+		fmt.Printf("(achieved joins/s from the wall-clock executor: %d-region JoinBatch/DepartBatch fan-outs)\n", res.Regions)
+	}
+	return nil
+}
+
 func runChurn(setup experiments.Setup) error {
 	header("Churn: flash crowd + Poisson churn + view changes (60 s)")
 	res, err := experiments.RunChurn(setup)
@@ -316,8 +374,8 @@ func runChurn(setup experiments.Setup) error {
 			s.At.Seconds(), s.Viewers, s.LiveStreams, s.Acceptance, s.CDNMbps, s.CDNFraction)
 	}
 	w.Flush()
-	fmt.Printf("events: %d joins, %d leaves, %d view changes; peak audience %d\n",
-		res.Joins, res.Leaves, res.ViewChanges, res.PeakViewers)
+	fmt.Printf("events: %d joins (%d rejected), %d leaves, %d view changes; peak audience %d\n",
+		res.Joins, res.Rejected, res.Leaves, res.ViewChanges, res.PeakViewers)
 	fmt.Printf("acceptance: final %.3f, minimum over run %.3f (invariants validated every second)\n",
 		res.FinalAcceptance, res.MinAcceptance)
 	return nil

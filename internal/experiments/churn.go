@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,16 +15,20 @@ import (
 // and view changes in aggregate — but exercises the complete adaptation
 // machinery under load and proves the invariants hold throughout.
 type ChurnResult struct {
-	Samples                    []workload.Sample
-	Joins, Leaves, ViewChanges int
-	PeakViewers                int
+	Samples []workload.Sample
+	// Joins counts admitted joins; Rejected the admission-control refusals,
+	// kept apart so the acceptance arithmetic matches the overlay's.
+	Joins, Rejected, Leaves, ViewChanges int
+	PeakViewers                          int
 	// FinalAcceptance is ρ over the whole run, including churn.
 	FinalAcceptance float64
 	// MinAcceptance is the worst ρ observed at any sample point.
 	MinAcceptance float64
 }
 
-// RunChurn executes the default churn scenario sized by the setup.
+// RunChurn executes the default churn scenario sized by the setup, on the
+// deterministic discrete-event runner with invariant validation at every
+// sample.
 func RunChurn(setup Setup) (ChurnResult, error) {
 	producers, err := setup.producers()
 	if err != nil {
@@ -33,6 +38,8 @@ func RunChurn(setup Setup) (ChurnResult, error) {
 	cfg.FlashCrowd = setup.Audience / 2
 	cfg.ViewAngles = []float64{0, 1.5707963267948966, 3.141592653589793}
 	cfg.InboundMbps = setup.InboundMbps
+	// Materialize the schedule first so the latency matrix can be sized
+	// for every join it contains.
 	events, err := workload.Generate(cfg)
 	if err != nil {
 		return ChurnResult{}, fmt.Errorf("churn: %w", err)
@@ -51,23 +58,25 @@ func RunChurn(setup Setup) (ChurnResult, error) {
 	if err != nil {
 		return ChurnResult{}, err
 	}
-	res, err := workload.Execute(ctrl, producers, events, cfg, time.Second, true)
+	res, err := workload.NewSimRunner().Run(context.Background(), ctrl, producers,
+		workload.Schedule("flash-churn", events),
+		workload.WithSeed(cfg.Seed),
+		workload.WithInbound(cfg.InboundMbps),
+		workload.WithHorizon(cfg.Duration),
+		workload.WithSampleEvery(time.Second),
+		workload.WithValidation(true),
+	)
 	if err != nil {
 		return ChurnResult{}, fmt.Errorf("churn: %w", err)
 	}
-	out := ChurnResult{
-		Samples:     res.Samples,
-		Joins:       res.Joins,
-		Leaves:      res.Leaves,
-		ViewChanges: res.ViewChanges,
-		PeakViewers: res.PeakViewers,
-	}
-	out.MinAcceptance = 1
-	for _, s := range res.Samples {
-		if s.Acceptance < out.MinAcceptance {
-			out.MinAcceptance = s.Acceptance
-		}
-		out.FinalAcceptance = s.Acceptance
-	}
-	return out, nil
+	return ChurnResult{
+		Samples:         res.Samples,
+		Joins:           res.Joins,
+		Rejected:        res.Rejected,
+		Leaves:          res.Leaves,
+		ViewChanges:     res.ViewChanges,
+		PeakViewers:     res.PeakViewers,
+		FinalAcceptance: res.FinalAcceptance,
+		MinAcceptance:   res.MinAcceptance,
+	}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"telecast/internal/model"
 	"telecast/internal/session"
 	"telecast/internal/trace"
+	"telecast/internal/workload"
 )
 
 // ConcurrentJoinRow is one point of the control-plane scaling measurement:
@@ -71,24 +72,7 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 			}
 		}
 
-		sub := ctrl.Subscribe()
-		type tally struct{ admitted, rejected int }
-		counted := make(chan tally, 1)
-		go func() {
-			var t tally
-			for ev := range sub.Events() {
-				switch ev.Kind {
-				case session.EventJoinAccepted:
-					t.admitted++
-				case session.EventJoinRejected:
-					t.rejected++
-				}
-				if t.admitted+t.rejected == len(reqs) {
-					break
-				}
-			}
-			counted <- t
-		}()
+		tracker := workload.TrackAcceptance(ctrl)
 
 		start := time.Now()
 		outs := ctrl.JoinBatch(ctx, reqs)
@@ -102,19 +86,14 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 				admitted++
 			}
 		}
-		var t tally
-		select {
-		case t = <-counted:
-		case <-time.After(10 * time.Second):
-			dropped := sub.Dropped()
-			sub.Close() // unblocks the tally goroutine and stops the pump
-			return nil, fmt.Errorf("concurrent join (%d regions): event stream delivered fewer than %d admission events (dropped=%d)",
-				regions, len(reqs), dropped)
+		totals := tracker.Stop()
+		if totals.EventsDropped > 0 {
+			return nil, fmt.Errorf("concurrent join (%d regions): event stream dropped %d events",
+				regions, totals.EventsDropped)
 		}
-		sub.Close()
-		if t.admitted != admitted {
+		if totals.Accepted != admitted {
 			return nil, fmt.Errorf("concurrent join (%d regions): event stream counted %d admissions, outcomes say %d",
-				regions, t.admitted, admitted)
+				regions, totals.Accepted, admitted)
 		}
 		if err := ctrl.Validate(); err != nil {
 			return nil, fmt.Errorf("concurrent join (%d regions): invariants: %w", regions, err)
@@ -126,8 +105,8 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 		rows = append(rows, ConcurrentJoinRow{
 			Regions:     regions,
 			Viewers:     len(reqs),
-			Admitted:    t.admitted,
-			Rejected:    t.rejected,
+			Admitted:    totals.Accepted,
+			Rejected:    totals.Rejected,
 			Elapsed:     elapsed,
 			JoinsPerSec: rate,
 		})

@@ -366,3 +366,27 @@ func TestChurnExperiment(t *testing.T) {
 		t.Fatal("no samples")
 	}
 }
+
+func TestScenarioExperimentWallclock(t *testing.T) {
+	s := testSetup()
+	s.Audience = 200
+	res, err := RunScenario(s, "regional-hotspot", ScenarioOptions{Wallclock: true, Duration: 10e9, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins == 0 || res.Regions < 2 {
+		t.Fatalf("degenerate wall-clock run: %+v", res)
+	}
+	if res.JoinsPerSec <= 0 {
+		t.Error("no achieved throughput reported")
+	}
+	if res.EventsDropped == 0 && res.StreamAccepted != res.Joins {
+		t.Errorf("stream counted %d admissions, runner %d", res.StreamAccepted, res.Joins)
+	}
+}
+
+func TestScenarioExperimentUnknownName(t *testing.T) {
+	if _, err := RunScenario(testSetup(), "no-such-scenario", ScenarioOptions{}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -6,14 +6,35 @@ import (
 	"sync"
 
 	"telecast/internal/model"
+	"telecast/internal/trace"
 )
 
-// JoinRequest is one admission request of a batch.
+// RegionHint optionally steers a join's placement toward a specific LSC
+// region. The zero value leaves placement to the latency substrate (the
+// paper's geo-location step). Hints are best-effort: when the hinted region
+// has no free latency node the join falls back to the default placement —
+// regional load is a preference, not an admission constraint.
+type RegionHint struct {
+	set    bool
+	region trace.Region
+}
+
+// InRegion returns a hint placing the viewer in region r.
+func InRegion(r trace.Region) RegionHint { return RegionHint{set: true, region: r} }
+
+// Region reports the hinted region; ok is false for the zero (no-preference)
+// hint.
+func (h RegionHint) Region() (trace.Region, bool) { return h.region, h.set }
+
+// JoinRequest is one admission request, used by Admit and JoinBatch.
 type JoinRequest struct {
 	ID           model.ViewerID
 	InboundMbps  float64
 	OutboundMbps float64
 	View         model.View
+	// Region optionally pins the viewer to an LSC region; the zero value
+	// keeps the default latency-substrate placement.
+	Region RegionHint
 }
 
 // BatchOutcome is the per-request result of a batch operation, in input
@@ -52,7 +73,7 @@ func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchO
 			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
 			continue
 		}
-		p, err := c.prepare(req.ID, req.InboundMbps, req.OutboundMbps, req.View)
+		p, err := c.prepare(req)
 		if err != nil {
 			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
 			continue

@@ -150,26 +150,41 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // after (by the pump, or immediately when no pump is running).
 func (s *Subscription) Close() { s.bus.unsubscribe(s) }
 
+// Flush blocks until every event published before the call has been
+// delivered to the subscriber channels (or counted as dropped). Call it
+// after the last control-plane operation and before Close when the consumer
+// needs a complete tally — otherwise closing can race the pump's final
+// drain and discard ring events that were never fanned out.
+func (s *Subscription) Flush() { s.bus.flush() }
+
 // eventBus owns the rings, the subscriber set, and the pump goroutine.
 type eventBus struct {
-	rings  []*eventRing
-	kick   chan struct{}
-	active atomic.Bool // true while at least one live subscriber exists
+	rings []*eventRing
+	kick  chan struct{}
+	// barrier carries flush requests: the pump runs one drain-and-deliver
+	// cycle and closes the ack channel it received.
+	barrier chan chan struct{}
+	active  atomic.Bool // true while at least one live subscriber exists
 
 	mu      sync.Mutex
 	subs    []*Subscription
 	running bool
 	closed  bool
 	stop    chan struct{}
-	wg      sync.WaitGroup
-	buffer  int
+	// exited is closed by the pump generation on its way out, so a flush
+	// that raced the pump's zero-subscriber exit unblocks instead of
+	// waiting on a barrier nobody will serve.
+	exited chan struct{}
+	wg     sync.WaitGroup
+	buffer int
 }
 
 func newEventBus(regions, buffer int) *eventBus {
 	b := &eventBus{
-		rings:  make([]*eventRing, regions),
-		kick:   make(chan struct{}, 1),
-		buffer: buffer,
+		rings:   make([]*eventRing, regions),
+		kick:    make(chan struct{}, 1),
+		barrier: make(chan chan struct{}),
+		buffer:  buffer,
 	}
 	for r := range b.rings {
 		b.rings[r] = &eventRing{region: trace.Region(r), buf: make([]Event, buffer)}
@@ -207,10 +222,11 @@ func (b *eventBus) subscribe() *Subscription {
 			r.drain(nil)
 		}
 		b.stop = make(chan struct{})
+		b.exited = make(chan struct{})
 		b.running = true
 		b.active.Store(true)
 		b.wg.Add(1)
-		go b.pump(b.stop)
+		go b.pump(b.stop, b.exited)
 	}
 	return s
 }
@@ -270,18 +286,45 @@ func (b *eventBus) close() {
 	b.mu.Unlock()
 }
 
+// flush runs one synchronous drain-and-deliver cycle through the pump, so
+// events published before the call are in subscriber channels (or counted
+// dropped) when it returns. Without a running pump there is nothing to
+// race: rings were drained on shutdown or will be on the next subscribe.
+func (b *eventBus) flush() {
+	b.mu.Lock()
+	if !b.running || b.closed {
+		b.mu.Unlock()
+		return
+	}
+	stop, exited := b.stop, b.exited
+	b.mu.Unlock()
+	ack := make(chan struct{})
+	select {
+	case b.barrier <- ack:
+		<-ack
+	case <-stop:
+		// A concurrent Close wins: shutdownLocked delivers everything.
+	case <-exited:
+		// The pump quit with zero live subscribers; nothing left to wait
+		// for — undelivered ring events have no one to go to.
+	}
+}
+
 // pump is the single fan-out goroutine: it drains every ring in region
 // order and delivers to each live subscriber with a non-blocking send, so a
 // stalled consumer loses its own events instead of stalling everyone else.
-func (b *eventBus) pump(stop chan struct{}) {
+func (b *eventBus) pump(stop, exited chan struct{}) {
 	defer b.wg.Done()
+	defer close(exited)
 	var batch []Event
 	for {
+		var ack chan struct{}
 		select {
 		case <-stop:
 			b.shutdownLocked()
 			return
 		case <-b.kick:
+		case ack = <-b.barrier:
 		}
 		batch = batch[:0]
 		var overflowed uint64
@@ -307,6 +350,9 @@ func (b *eventBus) pump(stop chan struct{}) {
 			b.running = false
 			b.active.Store(false)
 			b.mu.Unlock()
+			if ack != nil {
+				close(ack)
+			}
 			return
 		}
 		b.mu.Unlock()
@@ -323,6 +369,9 @@ func (b *eventBus) pump(stop chan struct{}) {
 					s.dropped.Add(1)
 				}
 			}
+		}
+		if ack != nil {
+			close(ack)
 		}
 	}
 }

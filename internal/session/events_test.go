@@ -463,3 +463,49 @@ func TestMonitorReaderShardLocalCache(t *testing.T) {
 		t.Fatalf("after advance: latest = %d, want 200 (cache not invalidated)", st.LatestFrame)
 	}
 }
+
+// TestSubscriptionFlushDeliversBeforeClose pins the Flush barrier: a
+// subscriber that flushes after its last operation and then closes must see
+// every event, even though it never waited on the channel while publishing.
+func TestSubscriptionFlushDeliversBeforeClose(t *testing.T) {
+	const n = 200
+	c := testController16(t, n, 0)
+	sub := c.Subscribe()
+
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	reqs := make([]JoinRequest, n)
+	for i := range reqs {
+		reqs[i] = JoinRequest{ID: vid(i), InboundMbps: 12, OutboundMbps: float64(i % 13), View: view}
+	}
+	for _, out := range c.JoinBatch(testCtx, reqs) {
+		if out.Err != nil && !errors.Is(out.Err, ErrRejected) {
+			t.Fatalf("join %s: %v", out.ID, out.Err)
+		}
+	}
+	// Without Flush, Close here races the pump's final drain and can
+	// discard ring events; with it, every admission event must be in the
+	// channel buffer before the close.
+	sub.Flush()
+	sub.Close()
+	got := 0
+	for ev := range sub.Events() {
+		if ev.Kind == EventJoinAccepted || ev.Kind == EventJoinRejected {
+			got++
+		}
+	}
+	if dropped := sub.Dropped(); dropped > 0 {
+		t.Fatalf("flush-then-close dropped %d events", dropped)
+	}
+	if got != n {
+		t.Fatalf("received %d admission events, want %d", got, n)
+	}
+}
+
+// TestSubscriptionFlushAfterBusClose must not hang or panic.
+func TestSubscriptionFlushAfterBusClose(t *testing.T) {
+	c := testController16(t, 8, 0)
+	sub := c.Subscribe()
+	c.Close()
+	sub.Flush()
+	sub.Close()
+}

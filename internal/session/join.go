@@ -33,13 +33,15 @@ type preparedJoin struct {
 }
 
 // prepare runs the GSC half of the join protocol: duplicate check, node
-// placement, geo-routing to the owning shard, and registry insertion. It is
-// cheap and thread-safe; the expensive admission runs on the shard.
-func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (preparedJoin, error) {
+// placement (honoring the request's region hint), geo-routing to the owning
+// shard, and registry insertion. It is cheap and thread-safe; the expensive
+// admission runs on the shard.
+func (c *Controller) prepare(req JoinRequest) (preparedJoin, error) {
+	id := req.ID
 	if err := c.claimID(id); err != nil {
 		return preparedJoin{}, err
 	}
-	nodeIdx, ok := c.nodes.acquire()
+	nodeIdx, ok := c.nodes.acquireIn(req.Region)
 	if !ok {
 		c.dropRoute(id)
 		return preparedJoin{}, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
@@ -47,13 +49,13 @@ func (c *Controller) prepare(id model.ViewerID, inboundMbps, outboundMbps float6
 	lsc := c.lscFor(nodeIdx)
 	st := &viewerState{
 		nodeIdx: nodeIdx,
-		info:    overlay.ViewerInfo{ID: id, InboundMbps: inboundMbps, OutboundMbps: outboundMbps},
+		info:    overlay.ViewerInfo{ID: id, InboundMbps: req.InboundMbps, OutboundMbps: req.OutboundMbps},
 	}
 	lsc.register(st)
 	// The route stays a claim (nil) until the shard admits the viewer, so
 	// a racing Leave or ChangeView sees ErrUnknownViewer instead of
 	// operating on a half-joined one.
-	return preparedJoin{lsc: lsc, st: st, view: view}, nil
+	return preparedJoin{lsc: lsc, st: st, view: req.View}, nil
 }
 
 // abandon unwinds a prepared join that will never be admitted (cancelled
@@ -101,16 +103,23 @@ func (c *Controller) admit(p preparedJoin) (*JoinOutcome, error) {
 // request — in that last case the outcome is still returned, with
 // Result.Admitted false, so callers keep their metrics.
 func (c *Controller) Join(ctx context.Context, id model.ViewerID, inboundMbps, outboundMbps float64, view model.View) (*JoinOutcome, error) {
+	return c.Admit(ctx, JoinRequest{ID: id, InboundMbps: inboundMbps, OutboundMbps: outboundMbps, View: view})
+}
+
+// Admit is the request-struct form of Join: it runs the same protocol but
+// honors every JoinRequest field, including the optional region hint that
+// steers placement to a specific LSC. Errors are identical to Join's.
+func (c *Controller) Admit(ctx context.Context, req JoinRequest) (*JoinOutcome, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("session join %s: %w", id, err)
+		return nil, fmt.Errorf("session join %s: %w", req.ID, err)
 	}
-	p, err := c.prepare(id, inboundMbps, outboundMbps, view)
+	p, err := c.prepare(req)
 	if err != nil {
-		return nil, fmt.Errorf("session join %s: %w", id, err)
+		return nil, fmt.Errorf("session join %s: %w", req.ID, err)
 	}
 	if err := ctx.Err(); err != nil {
 		c.abandon(p)
-		return nil, fmt.Errorf("session join %s: %w", id, err)
+		return nil, fmt.Errorf("session join %s: %w", req.ID, err)
 	}
 	return c.admit(p)
 }

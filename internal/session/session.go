@@ -119,33 +119,108 @@ type Controller struct {
 }
 
 // nodeAllocator hands out latency-matrix node indices to joining viewers and
-// recycles the slots of departed ones.
+// recycles the slots of departed ones. Alongside the default order (free-list
+// reuse, then a sequential cursor) it can satisfy a region preference:
+// per-region pools index the free nodes of every region, and the taken bitmap
+// lazily invalidates pool entries consumed through the other path, so a node
+// is never handed out twice no matter which pool it was pulled from.
 type nodeAllocator struct {
-	mu   sync.Mutex
-	next int
-	max  int
-	free []int
+	mu    sync.Mutex
+	next  int
+	max   int
+	free  []int
+	taken []bool
+	// regionOf labels node indices; nil disables region-aware allocation.
+	regionOf func(int) trace.Region
+	// regionSeq holds each region's never-allocated indices in ascending
+	// order; regionFree its released ones, most recent first.
+	regionSeq  map[trace.Region][]int
+	regionFree map[trace.Region][]int
+}
+
+// initRegions indexes the allocatable node range by region. Must run after
+// next/max are set and before the first acquire.
+func (a *nodeAllocator) initRegions(lat *trace.LatencyMatrix) {
+	a.taken = make([]bool, a.max)
+	a.regionOf = lat.RegionOf
+	a.regionSeq = make(map[trace.Region][]int, lat.NumRegions())
+	a.regionFree = make(map[trace.Region][]int, lat.NumRegions())
+	for idx := a.next; idx < a.max; idx++ {
+		r := lat.RegionOf(idx)
+		a.regionSeq[r] = append(a.regionSeq[r], idx)
+	}
 }
 
 func (a *nodeAllocator) acquire() (int, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if n := len(a.free); n > 0 {
+	return a.acquireLocked()
+}
+
+func (a *nodeAllocator) acquireLocked() (int, bool) {
+	for n := len(a.free); n > 0; n = len(a.free) {
 		idx := a.free[n-1]
 		a.free = a.free[:n-1]
-		return idx, true
+		if !a.taken[idx] {
+			a.taken[idx] = true
+			return idx, true
+		}
 	}
-	if a.next >= a.max {
-		return 0, false
+	for a.next < a.max {
+		idx := a.next
+		a.next++
+		if !a.taken[idx] {
+			a.taken[idx] = true
+			return idx, true
+		}
 	}
-	idx := a.next
-	a.next++
-	return idx, true
+	return 0, false
+}
+
+// acquireIn prefers a node of the hinted region, falling back to the default
+// placement when the hint is unset or the region has no free node left.
+func (a *nodeAllocator) acquireIn(hint RegionHint) (int, bool) {
+	r, ok := hint.Region()
+	if !ok || a.regionOf == nil {
+		return a.acquire()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pool := a.regionFree[r]
+	for n := len(pool); n > 0; n = len(pool) {
+		idx := pool[n-1]
+		pool = pool[:n-1]
+		if !a.taken[idx] {
+			a.taken[idx] = true
+			a.regionFree[r] = pool
+			return idx, true
+		}
+	}
+	a.regionFree[r] = pool
+	seq := a.regionSeq[r]
+	for len(seq) > 0 {
+		idx := seq[0]
+		seq = seq[1:]
+		if !a.taken[idx] {
+			a.taken[idx] = true
+			a.regionSeq[r] = seq
+			return idx, true
+		}
+	}
+	a.regionSeq[r] = seq
+	return a.acquireLocked()
 }
 
 func (a *nodeAllocator) release(idx int) {
 	a.mu.Lock()
+	if a.taken != nil {
+		a.taken[idx] = false
+	}
 	a.free = append(a.free, idx)
+	if a.regionOf != nil {
+		r := a.regionOf(idx)
+		a.regionFree[r] = append(a.regionFree[r], idx)
+	}
 	a.mu.Unlock()
 }
 
@@ -190,6 +265,7 @@ func NewControllerFromConfig(cfg Config) (*Controller, error) {
 	if c.nodes.next > c.nodes.max {
 		return nil, fmt.Errorf("session: latency matrix too small for %d regions", cfg.Latency.NumRegions())
 	}
+	c.nodes.initRegions(cfg.Latency)
 	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {
 		region := trace.Region(r)

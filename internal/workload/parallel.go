@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+)
+
+// parallelRunner is the wall-clock executor: it streams the scenario in time
+// order, bins due events into windows of BatchWindow simulated time, and
+// dispatches each window as JoinBatch/DepartBatch fan-outs (and a bounded
+// view-change worker pool) across the LSC shards. Bins execute sequentially
+// and a viewer's events never reorder — within a bin, consecutive events of
+// one kind form a run, and runs execute in schedule order — so causality
+// holds while every fan-out runs R regions wide. This is the deployment
+// shape the paper's GSC/LSC split describes: many simultaneous arrivals hit
+// region shards concurrently, and the Result reports the achieved joins/s.
+type parallelRunner struct{}
+
+func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, producers *model.Session, sc Scenario, opts ...Option) (Result, error) {
+	o := buildOptions(opts)
+	rng := rand.New(rand.NewSource(o.Seed))
+	stats := NewStatsSink()
+	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
+	t := newTally(sc.Name())
+	ex := &parallelExec{ctx: ctx, ctrl: ctrl, producers: producers, o: o, t: t}
+
+	start := time.Now()
+	var (
+		bin        []Event
+		binStart   time.Duration
+		lastAt     time.Duration
+		nextSample = o.SampleEvery
+		horizon    time.Duration
+	)
+	sampleUpTo := func(limit time.Duration, inclusive bool) error {
+		for nextSample < limit || (inclusive && nextSample == limit) {
+			if mon := ctrl.Monitor(); mon != nil {
+				mon.Advance(nextSample)
+			}
+			sinks.Record(t.sample(nextSample, ctrl.Stats()))
+			if o.Validate {
+				if err := ctrl.Validate(); err != nil {
+					return fmt.Errorf("invariants at %v: %w", nextSample, err)
+				}
+			}
+			nextSample += o.SampleEvery
+		}
+		return nil
+	}
+	for {
+		ev, ok := sc.Next(rng)
+		if !ok {
+			break
+		}
+		// Mirror the discrete-event engine's horizon: events past it never
+		// execute (events exactly at the horizon still do).
+		if o.Horizon > 0 && ev.At > o.Horizon {
+			break
+		}
+		if ev.At < lastAt {
+			return Result{}, fmt.Errorf("workload: scenario %s emitted %v at %v after %v: out of order",
+				sc.Name(), ev.Kind, ev.At, lastAt)
+		}
+		lastAt = ev.At
+		if len(bin) == 0 {
+			binStart = ev.At
+		} else if ev.At >= binStart+o.BatchWindow {
+			if err := ex.flush(bin); err != nil {
+				return Result{}, err
+			}
+			bin = bin[:0]
+			// Every event before ev has executed, so sample points up to
+			// (exclusively) ev.At see a settled, quiescent control plane.
+			if err := sampleUpTo(ev.At, false); err != nil {
+				return Result{}, err
+			}
+			binStart = ev.At
+		}
+		bin = append(bin, ev)
+	}
+	if err := ex.flush(bin); err != nil {
+		return Result{}, err
+	}
+	horizon = o.Horizon
+	if horizon <= 0 {
+		horizon = lastAt
+	}
+	if err := sampleUpTo(horizon, true); err != nil {
+		return Result{}, err
+	}
+	t.res.Elapsed = time.Since(start)
+	if secs := t.res.Elapsed.Seconds(); secs > 0 {
+		t.res.JoinsPerSec = float64(t.res.Joins+t.res.Rejected) / secs
+	}
+	return t.finish(stats, sinks)
+}
+
+// parallelExec executes one bin at a time on behalf of the runner.
+type parallelExec struct {
+	ctx       context.Context
+	ctrl      *session.Controller
+	producers *model.Session
+	o         Options
+	t         *tally
+}
+
+// flush executes one bin: schedule-order runs of consecutive same-kind
+// events, each fanned out across shards.
+func (ex *parallelExec) flush(bin []Event) error {
+	for start := 0; start < len(bin); {
+		end := start + 1
+		for end < len(bin) && bin[end].Kind == bin[start].Kind {
+			end++
+		}
+		run := bin[start:end]
+		var err error
+		switch run[0].Kind {
+		case EventJoin:
+			err = ex.joinRun(run)
+		case EventLeave:
+			err = ex.departRun(run)
+		case EventViewChange:
+			err = ex.viewChangeRun(run)
+		}
+		if err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// joinRun admits a run of joins through the sharded batch path, a bounded
+// in-flight window at a time.
+func (ex *parallelExec) joinRun(run []Event) error {
+	reqs := make([]session.JoinRequest, len(run))
+	for i, ev := range run {
+		reqs[i] = session.JoinRequest{
+			ID:           ev.Viewer,
+			InboundMbps:  ex.o.InboundMbps,
+			OutboundMbps: ev.OutboundMbps,
+			View:         model.NewUniformView(ex.producers, ev.ViewAngle),
+			Region:       ev.Region,
+		}
+	}
+	for at := 0; at < len(reqs); at += ex.o.MaxInFlight {
+		end := at + ex.o.MaxInFlight
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		for _, out := range ex.ctrl.JoinBatch(ex.ctx, reqs[at:end]) {
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
+				return fmt.Errorf("workload join %s: %w", out.ID, out.Err)
+			}
+			ex.t.join(out.ID, out.Outcome, out.Err == nil)
+		}
+	}
+	return nil
+}
+
+// departRun departs the still-routed viewers of a run through the sharded
+// batch path; events for already-departed viewers — including a duplicate
+// earlier in the same run — are stale and skipped.
+func (ex *parallelExec) departRun(run []Event) error {
+	ids := make([]model.ViewerID, 0, len(run))
+	seen := make(map[model.ViewerID]bool, len(run))
+	for _, ev := range run {
+		if _, ok := ex.t.routed[ev.Viewer]; ok && !seen[ev.Viewer] {
+			seen[ev.Viewer] = true
+			ids = append(ids, ev.Viewer)
+		}
+	}
+	for at := 0; at < len(ids); at += ex.o.MaxInFlight {
+		end := at + ex.o.MaxInFlight
+		if end > len(ids) {
+			end = len(ids)
+		}
+		for _, out := range ex.ctrl.DepartBatch(ex.ctx, ids[at:end]) {
+			if out.Err != nil {
+				return fmt.Errorf("workload leave %s: %w", out.ID, out.Err)
+			}
+			ex.t.leave(out.ID)
+		}
+	}
+	return nil
+}
+
+// viewChangeRun fans view changes out on a bounded worker pool; per-shard
+// serialization happens on the LSC locks, concurrency comes from spanning
+// shards — exactly how synchronized view sweeps hit a deployment. A run
+// that targets the same viewer more than once (two sweeps binned together)
+// is split into waves with a barrier between them, so one viewer's changes
+// apply in schedule order and the later view always wins.
+func (ex *parallelExec) viewChangeRun(run []Event) error {
+	live := make([]Event, 0, len(run))
+	for _, ev := range run {
+		if _, ok := ex.t.routed[ev.Viewer]; ok {
+			live = append(live, ev)
+		}
+	}
+	inWave := make(map[model.ViewerID]bool, len(live))
+	for start := 0; start < len(live); {
+		end := start
+		for end < len(live) && !inWave[live[end].Viewer] {
+			inWave[live[end].Viewer] = true
+			end++
+		}
+		if err := ex.viewChangeWave(live[start:end]); err != nil {
+			return err
+		}
+		clear(inWave)
+		start = end
+	}
+	return nil
+}
+
+// viewChangeWave dispatches view changes for distinct viewers concurrently.
+func (ex *parallelExec) viewChangeWave(wave []Event) error {
+	type vcResult struct {
+		admitted bool
+		err      error
+	}
+	results := make([]vcResult, len(wave))
+	sem := make(chan struct{}, ex.o.MaxInFlight)
+	var wg sync.WaitGroup
+	for i, ev := range wave {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ev Event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			view := model.NewUniformView(ex.producers, ev.ViewAngle)
+			out, err := ex.ctrl.ChangeView(ex.ctx, ev.Viewer, view)
+			if err != nil && !errors.Is(err, session.ErrRejected) {
+				results[i] = vcResult{err: fmt.Errorf("workload view change %s: %w", ev.Viewer, err)}
+				return
+			}
+			results[i] = vcResult{admitted: out != nil && out.Result.Admitted}
+		}(i, ev)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			return res.err
+		}
+		ex.t.viewChange(wave[i].Viewer, res.admitted)
+	}
+	return nil
+}

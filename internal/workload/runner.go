@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/sim"
+)
+
+// Options collects the runner knobs; build them with the functional options
+// below (mirroring the session API conventions).
+type Options struct {
+	// SampleEvery is the simulated-time sampling interval.
+	SampleEvery time.Duration
+	// Validate runs the overlay invariant checker at every sample point.
+	Validate bool
+	// InboundMbps is every joining viewer's inbound capacity.
+	InboundMbps float64
+	// Horizon bounds sampling; zero means the last event's time.
+	Horizon time.Duration
+	// Seed drives the scenario's random draws.
+	Seed int64
+	// Sinks receive every sample in addition to the Result's own series.
+	Sinks []Sink
+	// BatchWindow is the wall-clock executor's binning width in simulated
+	// time: due events inside one window form one fan-out.
+	BatchWindow time.Duration
+	// MaxInFlight bounds one fan-out: larger batches are dispatched in
+	// windows of this many in-flight requests.
+	MaxInFlight int
+}
+
+// Option customizes a run.
+type Option func(*Options)
+
+func defaultOptions() Options {
+	return Options{
+		SampleEvery: time.Second,
+		InboundMbps: 12,
+		Seed:        1,
+		BatchWindow: 250 * time.Millisecond,
+		MaxInFlight: 512,
+	}
+}
+
+func buildOptions(opts []Option) Options {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = time.Second
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 250 * time.Millisecond
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 512
+	}
+	return o
+}
+
+// WithSampleEvery sets the sampling interval (default 1 s of scenario time).
+func WithSampleEvery(d time.Duration) Option { return func(o *Options) { o.SampleEvery = d } }
+
+// WithValidation toggles invariant checking at every sample point.
+func WithValidation(enabled bool) Option { return func(o *Options) { o.Validate = enabled } }
+
+// WithInbound sets the per-viewer inbound capacity (default 12 Mbps).
+func WithInbound(mbps float64) Option { return func(o *Options) { o.InboundMbps = mbps } }
+
+// WithHorizon bounds the run and its sampling (default: last event's time).
+func WithHorizon(d time.Duration) Option { return func(o *Options) { o.Horizon = d } }
+
+// WithSeed seeds the scenario's draws (default 1).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithSink attaches an additional sample consumer.
+func WithSink(s Sink) Option { return func(o *Options) { o.Sinks = append(o.Sinks, s) } }
+
+// WithBatchWindow sets the wall-clock executor's event-binning width in
+// simulated time (default 250 ms).
+func WithBatchWindow(d time.Duration) Option { return func(o *Options) { o.BatchWindow = d } }
+
+// WithMaxInFlight bounds the wall-clock executor's in-flight window per
+// fan-out (default 512).
+func WithMaxInFlight(n int) Option { return func(o *Options) { o.MaxInFlight = n } }
+
+// Result summarizes an executed scenario.
+type Result struct {
+	// Scenario names what ran.
+	Scenario string
+	// Samples is the periodic time series (also delivered to sinks).
+	Samples []Sample
+	// Joins counts admitted joins; Rejected counts joins refused by
+	// admission control — kept apart so Joins/(Joins+Rejected) agrees with
+	// the overlay's acceptance accounting instead of conflating the two.
+	Joins, Rejected int
+	// Leaves and ViewChanges count executed events.
+	Leaves, ViewChanges int
+	// PeakViewers is the maximum concurrently admitted audience.
+	PeakViewers int
+	// Regions counts the distinct LSC shards that processed joins.
+	Regions int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// JoinsPerSec is the achieved admission throughput — (Joins+Rejected)/
+	// Elapsed — reported by the wall-clock executor (zero on the
+	// discrete-event runner, whose wall time measures nothing useful).
+	JoinsPerSec float64
+	// FinalAcceptance and MinAcceptance summarize ρ over the samples.
+	FinalAcceptance, MinAcceptance float64
+}
+
+// Runner executes scenarios against a control plane. Two executors implement
+// it: NewSimRunner replays deterministically on the discrete-event engine,
+// NewParallelRunner drives the sharded control plane at wall-clock speed.
+type Runner interface {
+	Run(ctx context.Context, ctrl *session.Controller, producers *model.Session, sc Scenario, opts ...Option) (Result, error)
+}
+
+// NewSimRunner returns the deterministic executor: events replay in exact
+// schedule order on the discrete-event engine, one at a time.
+func NewSimRunner() Runner { return simRunner{} }
+
+// NewParallelRunner returns the wall-clock executor: due events are binned
+// into JoinBatch/DepartBatch fan-outs across the LSC shards with a bounded
+// in-flight window, and the Result reports achieved joins/s.
+func NewParallelRunner() Runner { return parallelRunner{} }
+
+// tally tracks per-viewer liveness and the Result counters while a run
+// executes. routed mirrors the GSC routing table (rejected viewers stay
+// routed and leavable); the value records whether the viewer is currently
+// admitted.
+type tally struct {
+	res     Result
+	routed  map[model.ViewerID]bool
+	live    int
+	regions map[int]struct{}
+}
+
+func newTally(scenario string) *tally {
+	return &tally{
+		res:     Result{Scenario: scenario},
+		routed:  make(map[model.ViewerID]bool),
+		regions: make(map[int]struct{}),
+	}
+}
+
+// join records an admission outcome. out may carry a *RejectionError
+// alongside; admitted tells which way it went.
+func (t *tally) join(id model.ViewerID, out *session.JoinOutcome, admitted bool) {
+	t.routed[id] = admitted
+	if out != nil {
+		t.regions[out.LSCRegion] = struct{}{}
+	}
+	if admitted {
+		t.res.Joins++
+		t.live++
+		if t.live > t.res.PeakViewers {
+			t.res.PeakViewers = t.live
+		}
+	} else {
+		t.res.Rejected++
+	}
+}
+
+func (t *tally) leave(id model.ViewerID) {
+	if t.routed[id] {
+		t.live--
+	}
+	delete(t.routed, id)
+	t.res.Leaves++
+}
+
+// viewChange records a re-admission outcome: a rejected re-admission demotes
+// the viewer, a successful one can re-admit a previously rejected viewer.
+func (t *tally) viewChange(id model.ViewerID, admitted bool) {
+	t.res.ViewChanges++
+	was := t.routed[id]
+	if was == admitted {
+		return
+	}
+	t.routed[id] = admitted
+	if admitted {
+		t.live++
+		if t.live > t.res.PeakViewers {
+			t.res.PeakViewers = t.live
+		}
+	} else {
+		t.live--
+	}
+}
+
+func (t *tally) sample(at time.Duration, st session.Stats) Sample {
+	return Sample{
+		At:          at,
+		Viewers:     t.live,
+		LiveStreams: st.Overlay.LiveStreams,
+		Acceptance:  st.Overlay.AcceptanceRatio(),
+		CDNMbps:     st.Overlay.CDNUsage.OutTotalMbps,
+		CDNFraction: st.Overlay.CDNFraction(),
+	}
+}
+
+// finish folds the sinks' view of the run into the Result.
+func (t *tally) finish(stats *StatsSink, sinks Sink) (Result, error) {
+	t.res.Samples = stats.Samples()
+	t.res.FinalAcceptance = stats.FinalAcceptance()
+	t.res.MinAcceptance = stats.MinAcceptance()
+	t.res.Regions = len(t.regions)
+	return t.res, sinks.Flush()
+}
+
+type simRunner struct{}
+
+func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *model.Session, sc Scenario, opts ...Option) (Result, error) {
+	o := buildOptions(opts)
+	events, err := Collect(sc, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := o.Horizon
+	if horizon <= 0 && len(events) > 0 {
+		horizon = events[len(events)-1].At
+	}
+	stats := NewStatsSink()
+	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
+	t := newTally(sc.Name())
+	engine := sim.NewEngine()
+	var execErr error
+	fail := func(err error) {
+		if execErr == nil {
+			execErr = err
+		}
+	}
+	start := time.Now()
+	for _, ev := range events {
+		ev := ev
+		err := engine.At(ev.At, func() {
+			if execErr != nil {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				fail(fmt.Errorf("workload %s at %v: %w", sc.Name(), ev.At, err))
+				return
+			}
+			switch ev.Kind {
+			case EventJoin:
+				view := model.NewUniformView(producers, ev.ViewAngle)
+				// Admission rejections keep the viewer routed (it can
+				// retry or depart) and feed the acceptance metrics;
+				// only protocol errors abort the run.
+				out, err := ctrl.Admit(ctx, session.JoinRequest{
+					ID:           ev.Viewer,
+					InboundMbps:  o.InboundMbps,
+					OutboundMbps: ev.OutboundMbps,
+					View:         view,
+					Region:       ev.Region,
+				})
+				if err != nil && !errors.Is(err, session.ErrRejected) {
+					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				t.join(ev.Viewer, out, err == nil)
+			case EventLeave:
+				if _, ok := t.routed[ev.Viewer]; !ok {
+					return
+				}
+				if err := ctrl.Leave(ctx, ev.Viewer); err != nil {
+					fail(fmt.Errorf("leave %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				t.leave(ev.Viewer)
+			case EventViewChange:
+				if _, ok := t.routed[ev.Viewer]; !ok {
+					return
+				}
+				view := model.NewUniformView(producers, ev.ViewAngle)
+				out, err := ctrl.ChangeView(ctx, ev.Viewer, view)
+				if err != nil && !errors.Is(err, session.ErrRejected) {
+					fail(fmt.Errorf("view change %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				t.viewChange(ev.Viewer, out != nil && out.Result.Admitted)
+			}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Periodic sampling; events scheduled first win ties at the same
+	// instant, so a sample sees every event at or before its time.
+	for at := o.SampleEvery; at <= horizon; at += o.SampleEvery {
+		at := at
+		if err := engine.At(at, func() {
+			if execErr != nil {
+				return
+			}
+			if mon := ctrl.Monitor(); mon != nil {
+				mon.Advance(at)
+			}
+			sinks.Record(t.sample(at, ctrl.Stats()))
+			if o.Validate {
+				if err := ctrl.Validate(); err != nil {
+					fail(fmt.Errorf("invariants at %v: %w", at, err))
+				}
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	engine.Run(horizon)
+	if execErr != nil {
+		return Result{}, execErr
+	}
+	t.res.Elapsed = time.Since(start)
+	return t.finish(stats, sinks)
+}
+
+// Execute runs a fixed schedule against a controller on the discrete-event
+// engine — the legacy entry point, now a shim over NewSimRunner with the
+// Schedule scenario. New code should use a Runner directly.
+func Execute(ctrl *session.Controller, producers *model.Session, events []Event, cfg Config, sampleEvery time.Duration, validate bool) (Result, error) {
+	return NewSimRunner().Run(context.Background(), ctrl, producers,
+		Schedule("flash-churn", events),
+		WithInbound(cfg.InboundMbps),
+		WithHorizon(cfg.Duration),
+		WithSampleEvery(sampleEvery),
+		WithSeed(cfg.Seed),
+		WithValidation(validate),
+	)
+}

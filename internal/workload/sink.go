@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"telecast/internal/session"
+)
+
+// Sample is one time-series observation taken during execution.
+type Sample struct {
+	At          time.Duration
+	Viewers     int
+	LiveStreams int
+	Acceptance  float64
+	CDNMbps     float64
+	CDNFraction float64
+}
+
+// Sink consumes the periodic samples of a run. Record is called from the
+// runner goroutine in time order; Flush is called once when the run ends.
+type Sink interface {
+	Record(Sample)
+	Flush() error
+}
+
+// StatsSink retains every sample and derives the summary statistics the
+// churn experiment reports. The zero value is ready to use.
+type StatsSink struct {
+	samples []Sample
+}
+
+// NewStatsSink returns an empty stats sink.
+func NewStatsSink() *StatsSink { return &StatsSink{} }
+
+// Record appends the sample.
+func (s *StatsSink) Record(sm Sample) { s.samples = append(s.samples, sm) }
+
+// Flush implements Sink; retaining samples needs no finalization.
+func (s *StatsSink) Flush() error { return nil }
+
+// Samples returns the retained time series.
+func (s *StatsSink) Samples() []Sample { return s.samples }
+
+// FinalAcceptance returns ρ at the last sample (1 before any sample).
+func (s *StatsSink) FinalAcceptance() float64 {
+	if len(s.samples) == 0 {
+		return 1
+	}
+	return s.samples[len(s.samples)-1].Acceptance
+}
+
+// MinAcceptance returns the worst ρ observed at any sample point.
+func (s *StatsSink) MinAcceptance() float64 {
+	min := 1.0
+	for _, sm := range s.samples {
+		if sm.Acceptance < min {
+			min = sm.Acceptance
+		}
+	}
+	return min
+}
+
+// PeakViewers returns the largest sampled audience.
+func (s *StatsSink) PeakViewers() int {
+	peak := 0
+	for _, sm := range s.samples {
+		if sm.Viewers > peak {
+			peak = sm.Viewers
+		}
+	}
+	return peak
+}
+
+// CSVSink streams samples as CSV rows (header first) — the format
+// telecast-sim writes for plotting.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+	err    error
+}
+
+// NewCSVSink writes samples to w as CSV.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+// Record writes one sample row, latching the first write error for Flush.
+func (s *CSVSink) Record(sm Sample) {
+	if s.err != nil {
+		return
+	}
+	if !s.header {
+		s.header = true
+		if err := s.w.Write([]string{"t_seconds", "viewers", "live_streams", "acceptance", "cdn_mbps", "cdn_fraction"}); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.err = s.w.Write([]string{
+		strconv.FormatFloat(sm.At.Seconds(), 'f', 3, 64),
+		strconv.Itoa(sm.Viewers),
+		strconv.Itoa(sm.LiveStreams),
+		strconv.FormatFloat(sm.Acceptance, 'f', 4, 64),
+		strconv.FormatFloat(sm.CDNMbps, 'f', 2, 64),
+		strconv.FormatFloat(sm.CDNFraction, 'f', 4, 64),
+	})
+}
+
+// Flush flushes the CSV writer and reports the first error encountered.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	if s.err != nil {
+		return fmt.Errorf("workload: csv sink: %w", s.err)
+	}
+	if err := s.w.Error(); err != nil {
+		return fmt.Errorf("workload: csv sink: %w", err)
+	}
+	return nil
+}
+
+// jsonSample is the wire form of a Sample (durations as seconds).
+type jsonSample struct {
+	TSeconds    float64 `json:"t_seconds"`
+	Viewers     int     `json:"viewers"`
+	LiveStreams int     `json:"live_streams"`
+	Acceptance  float64 `json:"acceptance"`
+	CDNMbps     float64 `json:"cdn_mbps"`
+	CDNFraction float64 `json:"cdn_fraction"`
+}
+
+// JSONSink streams samples as JSON Lines, one object per sample.
+type JSONSink struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONSink writes samples to w as JSON Lines.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{enc: json.NewEncoder(w)} }
+
+// Record encodes one sample, latching the first error for Flush.
+func (s *JSONSink) Record(sm Sample) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(jsonSample{
+		TSeconds:    sm.At.Seconds(),
+		Viewers:     sm.Viewers,
+		LiveStreams: sm.LiveStreams,
+		Acceptance:  sm.Acceptance,
+		CDNMbps:     sm.CDNMbps,
+		CDNFraction: sm.CDNFraction,
+	})
+}
+
+// Flush reports the first encode error.
+func (s *JSONSink) Flush() error {
+	if s.err != nil {
+		return fmt.Errorf("workload: json sink: %w", s.err)
+	}
+	return nil
+}
+
+// multiSink fans Record/Flush out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Record(sm Sample) {
+	for _, s := range m {
+		s.Record(sm)
+	}
+}
+
+func (m multiSink) Flush() error {
+	var first error
+	for _, s := range m {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AcceptanceTotals is what the control plane's event stream reported over a
+// tracked window.
+type AcceptanceTotals struct {
+	// Accepted and Rejected count admission outcomes (EventJoinRejected
+	// also fires for view-change re-admissions, so Rejected can exceed a
+	// run's join rejections when view changes are in play).
+	Accepted int
+	Rejected int
+	Departed int
+	// ViewChanges counts successful view-change re-admissions.
+	ViewChanges int
+	// StreamDrops counts per-stream adaptation drops.
+	StreamDrops int
+	// EventsDropped is the stream's loss counter: non-zero means the totals
+	// undercount and cross-checks should be skipped.
+	EventsDropped uint64
+}
+
+// AcceptanceTracker tallies admission outcomes from Controller.Subscribe —
+// the observation path an operator would use — so a run's Result can be
+// cross-checked against what the event stream delivered. Start it before
+// driving load and Stop it after the last operation returns.
+type AcceptanceTracker struct {
+	sub    *session.Subscription
+	done   chan AcceptanceTotals
+	totals AcceptanceTotals
+}
+
+// TrackAcceptance subscribes to the controller's event stream and counts in
+// the background until Stop.
+func TrackAcceptance(ctrl *session.Controller) *AcceptanceTracker {
+	t := &AcceptanceTracker{
+		sub:  ctrl.Subscribe(),
+		done: make(chan AcceptanceTotals, 1),
+	}
+	go func() {
+		var totals AcceptanceTotals
+		for ev := range t.sub.Events() {
+			switch ev.Kind {
+			case session.EventJoinAccepted:
+				totals.Accepted++
+			case session.EventJoinRejected:
+				totals.Rejected++
+			case session.EventDeparted:
+				totals.Departed++
+			case session.EventViewChanged:
+				totals.ViewChanges++
+			case session.EventStreamDropped:
+				totals.StreamDrops++
+			}
+		}
+		totals.EventsDropped = t.sub.Dropped()
+		t.done <- totals
+	}()
+	return t
+}
+
+// Stop flushes the stream so every event published before the call is
+// delivered, closes the subscription, waits for the counter to drain, and
+// returns the totals. Call it after the last tracked operation returns.
+func (t *AcceptanceTracker) Stop() AcceptanceTotals {
+	t.sub.Flush()
+	t.sub.Close()
+	t.totals = <-t.done
+	return t.totals
+}

@@ -1,22 +1,33 @@
 // Package workload generates and executes dynamic viewer behaviour against
-// a 4D TeleCast session: Poisson arrivals, exponential session lengths,
-// run-time view changes, flash crowds, and mass departures — the "large-
-// scale simultaneous viewer arrivals or departures" the paper lists as its
-// third challenge (§I). Schedules are deterministic given a seed and are
-// executed on the discrete-event engine.
+// a 4D TeleCast session — the "large-scale simultaneous viewer arrivals or
+// departures" the paper lists as its third challenge (§I).
+//
+// The package is built around three seams:
+//
+//   - Scenario: a pull-based, seeded event generator. The catalog covers the
+//     original flash-crowd/Poisson-churn mix plus diurnal load, regional
+//     hotspots, correlated mass departures, synchronized view sweeps, and
+//     trace-driven replay; Merge/Shift/Limit compose them.
+//   - Runner: executes a scenario against a session.Controller. NewSimRunner
+//     replays deterministically on the discrete-event engine; NewParallelRunner
+//     bins due events into JoinBatch/DepartBatch fan-outs and drives the
+//     sharded control plane at wall-clock speed, reporting achieved joins/s.
+//   - Sink: typed consumers of the periodic samples (stats, CSV, JSON), plus
+//     an event-stream-backed AcceptanceTracker over Controller.Subscribe.
+//
+// Config/Generate/Execute remain as the legacy fixed-scenario surface;
+// schedules they produce are pinned byte-for-byte by a golden test.
 package workload
 
 import (
-	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"telecast/internal/model"
 	"telecast/internal/session"
-	"telecast/internal/sim"
 )
 
 // EventKind discriminates schedule entries.
@@ -29,6 +40,20 @@ const (
 	EventViewChange
 )
 
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventViewChange:
+		return "view-change"
+	default:
+		return "event(?)"
+	}
+}
+
 // Event is one scheduled viewer action.
 type Event struct {
 	At     time.Duration
@@ -38,9 +63,14 @@ type Event struct {
 	OutboundMbps float64
 	// ViewAngle applies to joins and view changes.
 	ViewAngle float64
+	// Region optionally pins a join to an LSC region (regional-hotspot
+	// scenarios); the zero value keeps the default placement.
+	Region session.RegionHint
 }
 
-// Config parameterizes schedule generation.
+// Config parameterizes the legacy flash-crowd + Poisson-churn schedule. New
+// code should prefer the Scenario catalog; Config remains the stable surface
+// behind Generate and the churn experiment.
 type Config struct {
 	// Seed drives all draws.
 	Seed int64
@@ -83,16 +113,22 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Generate produces a deterministic event schedule. Events are returned in
-// time order; the engine breaks remaining ties by insertion order.
+// Generate produces the legacy deterministic event schedule. Events are
+// returned in time order; runners break remaining ties by schedule order.
+// It is equivalent to collecting the FlashChurn scenario with cfg.Seed, and
+// a golden test pins its output byte-for-byte.
 func Generate(cfg Config) ([]Event, error) {
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("workload: duration must be positive")
+	sc, err := FlashChurn(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.ViewAngles) == 0 {
-		return nil, fmt.Errorf("workload: at least one view angle required")
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return Collect(sc, cfg.Seed)
+}
+
+// generateFlashChurn is the legacy generation algorithm, draw-for-draw: the
+// byte-compatibility of Generate (and of the FlashChurn scenario) depends on
+// the rng consumption order in this function never changing.
+func generateFlashChurn(cfg Config, rng *rand.Rand) []Event {
 	var events []Event
 	next := 0
 	newViewer := func(at time.Duration) {
@@ -141,132 +177,12 @@ func Generate(cfg Config) ([]Event, error) {
 		}
 	}
 	sortEvents(events)
-	return events, nil
+	return events
 }
 
 // sortEvents orders by time, stably keeping generation order within ties.
 func sortEvents(events []Event) {
-	// Insertion-stable sort by At.
-	for i := 1; i < len(events); i++ {
-		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
-			events[j], events[j-1] = events[j-1], events[j]
-		}
-	}
-}
-
-// Sample is one time-series observation taken during execution.
-type Sample struct {
-	At          time.Duration
-	Viewers     int
-	LiveStreams int
-	Acceptance  float64
-	CDNMbps     float64
-	CDNFraction float64
-}
-
-// Result summarizes an executed schedule.
-type Result struct {
-	Samples []Sample
-	// Joins/Leaves/ViewChanges count executed events; JoinErrors counts
-	// joins refused because the viewer already existed or the substrate
-	// was exhausted (distinct from admission rejections, which the
-	// session counts).
-	Joins, Leaves, ViewChanges int
-	// PeakViewers is the maximum concurrent audience.
-	PeakViewers int
-}
-
-// Execute runs a schedule against a controller on the discrete-event
-// engine, sampling session health at the given interval and validating the
-// overlay invariants at every sample when validate is true.
-func Execute(ctrl *session.Controller, producers *model.Session, events []Event, cfg Config, sampleEvery time.Duration, validate bool) (Result, error) {
-	engine := sim.NewEngine()
-	var res Result
-	var execErr error
-	fail := func(err error) {
-		if execErr == nil {
-			execErr = err
-		}
-	}
-	live := make(map[model.ViewerID]bool)
-	for _, ev := range events {
-		ev := ev
-		err := engine.At(ev.At, func() {
-			if execErr != nil {
-				return
-			}
-			switch ev.Kind {
-			case EventJoin:
-				view := model.NewUniformView(producers, ev.ViewAngle)
-				// Admission rejections keep the viewer routed (it can
-				// retry or depart) and feed the acceptance metrics;
-				// only protocol errors abort the run.
-				if _, err := ctrl.Join(context.Background(), ev.Viewer, cfg.InboundMbps, ev.OutboundMbps, view); err != nil && !errors.Is(err, session.ErrRejected) {
-					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
-					return
-				}
-				live[ev.Viewer] = true
-				res.Joins++
-				if len(live) > res.PeakViewers {
-					res.PeakViewers = len(live)
-				}
-			case EventLeave:
-				if !live[ev.Viewer] {
-					return
-				}
-				if err := ctrl.Leave(context.Background(), ev.Viewer); err != nil {
-					fail(fmt.Errorf("leave %s at %v: %w", ev.Viewer, ev.At, err))
-					return
-				}
-				delete(live, ev.Viewer)
-				res.Leaves++
-			case EventViewChange:
-				if !live[ev.Viewer] {
-					return
-				}
-				view := model.NewUniformView(producers, ev.ViewAngle)
-				if _, err := ctrl.ChangeView(context.Background(), ev.Viewer, view); err != nil && !errors.Is(err, session.ErrRejected) {
-					fail(fmt.Errorf("view change %s at %v: %w", ev.Viewer, ev.At, err))
-					return
-				}
-				res.ViewChanges++
-			}
-		})
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	// Periodic sampling.
-	for t := sampleEvery; t <= cfg.Duration; t += sampleEvery {
-		t := t
-		if err := engine.At(t, func() {
-			if execErr != nil {
-				return
-			}
-			if mon := ctrl.Monitor(); mon != nil {
-				mon.Advance(t)
-			}
-			st := ctrl.Stats()
-			res.Samples = append(res.Samples, Sample{
-				At:          t,
-				Viewers:     len(live),
-				LiveStreams: st.Overlay.LiveStreams,
-				Acceptance:  st.Overlay.AcceptanceRatio(),
-				CDNMbps:     st.Overlay.CDNUsage.OutTotalMbps,
-				CDNFraction: st.Overlay.CDNFraction(),
-			})
-			if validate {
-				if err := ctrl.Validate(); err != nil {
-					fail(fmt.Errorf("invariants at %v: %w", t, err))
-				}
-			}
-		}); err != nil {
-			return Result{}, err
-		}
-	}
-	engine.Run(cfg.Duration)
-	if execErr != nil {
-		return Result{}, execErr
-	}
-	return res, nil
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].At < events[j].At
+	})
 }

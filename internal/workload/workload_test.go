@@ -122,8 +122,15 @@ func TestExecuteChurnScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Joins != joins {
-		t.Errorf("executed joins = %d, want %d", res.Joins, joins)
+	if res.Joins+res.Rejected != joins {
+		t.Errorf("executed joins = %d admitted + %d rejected, want %d total", res.Joins, res.Rejected, joins)
+	}
+	// The split keeps workload-side acceptance consistent with the
+	// overlay's own admission accounting.
+	st := ctrl.Stats()
+	if res.Joins > st.Overlay.Admitted || res.Rejected > st.Overlay.Rejected {
+		t.Errorf("workload counted %d/%d admitted/rejected, overlay says %d/%d",
+			res.Joins, res.Rejected, st.Overlay.Admitted, st.Overlay.Rejected)
 	}
 	if res.Leaves == 0 || res.ViewChanges == 0 {
 		t.Errorf("leaves=%d changes=%d", res.Leaves, res.ViewChanges)

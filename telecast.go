@@ -84,8 +84,13 @@ type (
 	Option = session.Option
 	// JoinOutcome reports an admission attempt and its protocol latency.
 	JoinOutcome = session.JoinOutcome
-	// JoinRequest is one admission request of a JoinBatch fan-out.
+	// JoinRequest is one admission request, used by Admit and JoinBatch.
 	JoinRequest = session.JoinRequest
+	// RegionHint optionally steers a join's placement to an LSC region;
+	// build one with InRegion.
+	RegionHint = session.RegionHint
+	// Region labels a latency-matrix geographic cluster / LSC shard.
+	Region = trace.Region
 	// BatchOutcome is a per-request result of JoinBatch/DepartBatch.
 	BatchOutcome = session.BatchOutcome
 	// ViewChangeOutcome reports a two-phase view change and both its
@@ -191,6 +196,8 @@ var (
 	// NewControllerFromConfig builds from an explicit Config (the
 	// compatibility path behind the options).
 	NewControllerFromConfig = session.NewControllerFromConfig
+	// InRegion builds a RegionHint pinning a JoinRequest to an LSC region.
+	InRegion = session.InRegion
 	// DefaultConfig mirrors the paper's evaluation parameters.
 	DefaultConfig = session.DefaultConfig
 	// NewHierarchy validates a delay-layer geometry.
