@@ -8,7 +8,7 @@ SHELL := bash
 
 # The hot control-plane paths whose numbers the perf trajectory
 # (BENCH_control_plane.json) tracks.
-HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$
+HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$
 
 .PHONY: build test test-race bench bench-json bench-smoke vet lint
 

@@ -348,6 +348,63 @@ func benchConcurrentJoin(b *testing.B, regions int, subscribe bool) {
 	b.ReportMetric(float64(joined)/b.Elapsed().Seconds(), "joins/s")
 }
 
+// BenchmarkMigration measures the cross-region handoff at a populated
+// steady state: a 1000-viewer fleet spread over 4 LSC shards, each
+// iteration re-homing one viewer to the next region — source extract with
+// victim recovery, destination re-admission from the preserved request,
+// route rebind. The migrations/s metric joins the perf trajectory.
+func BenchmarkMigration(b *testing.B) {
+	producers, err := telecast.NewSession(
+		telecast.NewRingSite("A", 8, 2.0, 10),
+		telecast.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleet = 1000
+	const regions = 4
+	latCfg := telecast.DefaultLatencyConfig(fleet+fleet/2, 42)
+	latCfg.Regions = regions
+	lat, err := telecast.GenerateLatencyMatrix(latCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := telecast.NewController(producers, lat,
+		telecast.WithCDN(unboundedCDN())) // unbounded: measure handoff cost
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	view := telecast.NewUniformView(producers, 0)
+	home := make([]telecast.Region, fleet)
+	for i := 0; i < fleet; i++ {
+		home[i] = telecast.Region(i % regions)
+		_, err := ctrl.Admit(ctx, telecast.JoinRequest{
+			ID:          telecast.ViewerID(fmt.Sprintf("w%06d", i)),
+			InboundMbps: 12, OutboundMbps: float64(i % 13),
+			View: view, Region: telecast.InRegion(home[i]),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % fleet
+		next := telecast.Region((int(home[k]) + 1) % regions)
+		id := telecast.ViewerID(fmt.Sprintf("w%06d", k))
+		out, err := ctrl.Migrate(ctx, id, telecast.MigrateRequest{To: next, Reason: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Restored || out.Departed {
+			b.Fatalf("handoff bounced at iteration %d", i)
+		}
+		home[k] = next
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "migrations/s")
+}
+
 // BenchmarkWorkloadParallel measures the wall-clock scenario executor: a
 // regional-hotspot schedule replayed through JoinBatch/DepartBatch fan-outs
 // across the LSC shards. The joins/s metric is the achieved admission

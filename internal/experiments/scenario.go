@@ -35,8 +35,12 @@ type ScenarioResult struct {
 	// counters; Regions counts the distinct LSC shards that processed
 	// joins.
 	Joins, Rejected, Leaves, ViewChanges int
-	PeakViewers, Regions                 int
-	Elapsed                              time.Duration
+	// Migrations counts cross-region handoffs that landed on their
+	// destination shard, MigrationsBounced those the destination refused
+	// (viewer restored on source or departed).
+	Migrations, MigrationsBounced int
+	PeakViewers, Regions          int
+	Elapsed                       time.Duration
 	// JoinsPerSec is the achieved admission throughput (wall-clock runs).
 	JoinsPerSec     float64
 	FinalAcceptance float64
@@ -113,22 +117,28 @@ func RunScenario(setup Setup, name string, o ScenarioOptions) (ScenarioResult, e
 		return ScenarioResult{}, fmt.Errorf("scenario %s: event stream counted %d admissions, runner says %d",
 			name, totals.Accepted, res.Joins)
 	}
+	if totals.EventsDropped == 0 && totals.MigratedIn != res.Migrations {
+		return ScenarioResult{}, fmt.Errorf("scenario %s: event stream counted %d migration arrivals, runner says %d",
+			name, totals.MigratedIn, res.Migrations)
+	}
 	return ScenarioResult{
-		Scenario:        name,
-		Wallclock:       o.Wallclock,
-		Events:          len(events),
-		Joins:           res.Joins,
-		Rejected:        res.Rejected,
-		Leaves:          res.Leaves,
-		ViewChanges:     res.ViewChanges,
-		PeakViewers:     res.PeakViewers,
-		Regions:         res.Regions,
-		Elapsed:         res.Elapsed,
-		JoinsPerSec:     res.JoinsPerSec,
-		FinalAcceptance: res.FinalAcceptance,
-		MinAcceptance:   res.MinAcceptance,
-		StreamAccepted:  totals.Accepted,
-		StreamRejected:  totals.Rejected,
-		EventsDropped:   totals.EventsDropped,
+		Scenario:          name,
+		Wallclock:         o.Wallclock,
+		Events:            len(events),
+		Joins:             res.Joins,
+		Rejected:          res.Rejected,
+		Leaves:            res.Leaves,
+		ViewChanges:       res.ViewChanges,
+		Migrations:        res.Migrations,
+		MigrationsBounced: res.MigrationsBounced,
+		PeakViewers:       res.PeakViewers,
+		Regions:           res.Regions,
+		Elapsed:           res.Elapsed,
+		JoinsPerSec:       res.JoinsPerSec,
+		FinalAcceptance:   res.FinalAcceptance,
+		MinAcceptance:     res.MinAcceptance,
+		StreamAccepted:    totals.Accepted,
+		StreamRejected:    totals.Rejected,
+		EventsDropped:     totals.EventsDropped,
 	}, nil
 }

@@ -1,0 +1,244 @@
+package overlay
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"telecast/internal/cdn"
+	"telecast/internal/model"
+)
+
+// twinManagers builds two managers (shards) over one shared CDN, the setup
+// a cross-region migration moves a viewer between.
+func twinManagers(t *testing.T, cdnCapMbps float64) (*Manager, *Manager, *cdn.CDN) {
+	t.Helper()
+	s, err := model.NewSession(
+		model.NewRingSite("A", 8, 2.0, 10),
+		model.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := cdn.New(cdn.Config{OutboundCapacityMbps: cdnCapMbps, Delta: 60 * time.Second})
+	prop := func(a, b model.ViewerID) time.Duration { return 20 * time.Millisecond }
+	src, err := NewManager(s, dist, prop, testParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewManager(s, dist, prop, testParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst, dist
+}
+
+func TestExtractPreservesAdmissionState(t *testing.T) {
+	src, dst, _ := twinManagers(t, 6000)
+	info := viewerN(1, 12, 8)
+	res := mustJoin(t, src, info, 0)
+	wantStreams := len(res.Accepted)
+
+	st, err := src.Extract(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Info != info {
+		t.Fatalf("preserved info %+v, want %+v", st.Info, info)
+	}
+	if len(st.Request.Streams) != len(res.Viewer.Request.Streams) {
+		t.Fatal("preserved request lost streams")
+	}
+	if len(st.Layers) != wantStreams {
+		t.Fatalf("κ snapshot has %d layers, viewer had %d streams", len(st.Layers), wantStreams)
+	}
+	if _, ok := src.Viewer(info.ID); ok {
+		t.Fatal("extracted viewer still recorded on source")
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatalf("source after extract: %v", err)
+	}
+	// A second extract must fail typed.
+	if _, err := src.Extract(info.ID); !errors.Is(err, ErrViewerUnknown) {
+		t.Fatalf("double extract: %v", err)
+	}
+
+	res2, err := dst.AdmitMigrant(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Admitted {
+		t.Fatalf("destination rejected migrant: %v", res2.Reason)
+	}
+	if len(res2.Accepted) != wantStreams {
+		t.Fatalf("destination served %d streams, source served %d", len(res2.Accepted), wantStreams)
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatalf("destination after admit: %v", err)
+	}
+}
+
+func TestExtractRecoversVictims(t *testing.T) {
+	src, _, _ := twinManagers(t, 6000)
+	// A forwarding-capable viewer first, then leechers that hang below it.
+	mustJoin(t, src, viewerN(1, 12, 24), 0)
+	for i := 2; i <= 6; i++ {
+		mustJoin(t, src, viewerN(i, 12, 0), 0)
+	}
+	if _, err := src.Extract(model.ViewerID("v0001")); err != nil {
+		t.Fatal(err)
+	}
+	// Every remaining viewer must still be coherent: victims re-homed via
+	// push-down or the CDN, invariants intact.
+	if err := src.Validate(); err != nil {
+		t.Fatalf("invariants after extracting a forwarder: %v", err)
+	}
+	for i := 2; i <= 6; i++ {
+		if _, ok := src.Viewer(viewerN(i, 12, 0).ID); !ok {
+			t.Fatalf("viewer %d lost by victim recovery", i)
+		}
+	}
+}
+
+func TestAdmitMigrantRejectedLeavesNoRecord(t *testing.T) {
+	src, _, _ := twinManagers(t, 6000)
+	info := viewerN(1, 12, 8)
+	mustJoin(t, src, info, 0)
+	st, err := src.Extract(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A destination with 1 Mbps of CDN egress and no peers cannot serve the
+	// migrant's 2 Mbps streams.
+	dstFull, err := NewManager(sessionOf(src), cdn.New(cdn.Config{OutboundCapacityMbps: 1, Delta: 60 * time.Second}),
+		func(a, b model.ViewerID) time.Duration { return time.Millisecond }, testParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dstFull.AdmitMigrant(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("migrant admitted with 1 Mbps of CDN egress and no peers")
+	}
+	if _, ok := dstFull.Viewer(info.ID); ok {
+		t.Fatal("bounced migrant left a record on the destination")
+	}
+	if got := len(dstFull.Groups()); got != 0 {
+		t.Fatalf("bounced migrant left %d groups behind", got)
+	}
+	// keepIfRejected=true (the restore path) keeps the record.
+	res, err = dstFull.AdmitMigrant(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("unexpected admission")
+	}
+	v, ok := dstFull.Viewer(info.ID)
+	if !ok || !v.Rejected {
+		t.Fatal("restore path did not keep the rejected record")
+	}
+}
+
+func TestAdmitMigrantDuplicateFailsTyped(t *testing.T) {
+	src, dst, _ := twinManagers(t, 6000)
+	info := viewerN(1, 12, 8)
+	mustJoin(t, src, info, 0)
+	st, err := src.Extract(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := dst.AdmitMigrant(st, false); err != nil || !res.Admitted {
+		t.Fatalf("first admit: %v %v", res, err)
+	}
+	if _, err := dst.AdmitMigrant(st, false); !errors.Is(err, ErrViewerExists) {
+		t.Fatalf("duplicate migrant: %v", err)
+	}
+}
+
+// TestMigrationShuffleKeepsCDNAccounting migrates a churning population back
+// and forth between two shards sharing one CDN and checks after every step
+// that no stream's egress is double-counted: the sum of both shards' implied
+// egress must exactly match the CDN's allocation.
+func TestMigrationShuffleKeepsCDNAccounting(t *testing.T) {
+	src, dst, dist := twinManagers(t, 300)
+	shards := []*Manager{src, dst}
+	home := make(map[model.ViewerID]int)
+	rng := rand.New(rand.NewSource(7))
+
+	checkAccounting := func(step int) {
+		implied := make(map[model.StreamID]float64)
+		for _, m := range shards {
+			for id, mbps := range m.CDNImplied() {
+				implied[id] += mbps
+			}
+		}
+		usage := dist.Snapshot()
+		for id, want := range implied {
+			if got := usage.PerStreamMbps[id]; got-want > 1e-6 || want-got > 1e-6 {
+				t.Fatalf("step %d: stream %v allocated %v Mbps, trees imply %v", step, id, got, want)
+			}
+		}
+		for id, got := range usage.PerStreamMbps {
+			if _, ok := implied[id]; !ok && got > 1e-6 {
+				t.Fatalf("step %d: stream %v holds %v Mbps with no roots", step, id, got)
+			}
+		}
+	}
+
+	next := 0
+	var ids []model.ViewerID
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || len(ids) == 0: // join on a random shard
+			k := rng.Intn(2)
+			info := viewerN(next, 12, float64(rng.Intn(13)))
+			next++
+			res, err := shards[k].Join(info, model.NewUniformView(sessionOf(src), float64(rng.Intn(3))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			home[info.ID] = k
+			ids = append(ids, info.ID)
+			_ = res
+		case op < 7: // migrate a random viewer to the other shard
+			id := ids[rng.Intn(len(ids))]
+			from := shards[home[id]]
+			to := shards[1-home[id]]
+			st, err := from.Extract(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := to.AdmitMigrant(st, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Admitted {
+				home[id] = 1 - home[id]
+			} else {
+				// Bounced: restore on the source, keeping the record.
+				if _, err := from.AdmitMigrant(st, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default: // depart a random viewer
+			i := rng.Intn(len(ids))
+			id := ids[i]
+			if err := shards[home[id]].Leave(id); err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			delete(home, id)
+		}
+		checkAccounting(step)
+		for k, m := range shards {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("step %d shard %d: %v", step, k, err)
+			}
+		}
+	}
+}

@@ -16,6 +16,14 @@ type Shard interface {
 	Leave(id model.ViewerID) error
 	// ChangeView re-admits an existing viewer with a new view.
 	ChangeView(id model.ViewerID, view model.View) (*JoinResult, error)
+	// Extract removes a viewer preserving its admission state for
+	// re-admission on another shard; victims are recovered as on Leave.
+	Extract(id model.ViewerID) (MigrationState, error)
+	// AdmitMigrant re-admits an extracted viewer from its preserved
+	// request. keepIfRejected=false leaves no record behind on rejection
+	// (the migrant bounces back to its source shard); true keeps the
+	// rejected record the way Join does (restore-on-source).
+	AdmitMigrant(st MigrationState, keepIfRejected bool) (*JoinResult, error)
 	// Viewer returns the record of a joined viewer.
 	Viewer(id model.ViewerID) (*Viewer, bool)
 	// RefreshAll re-runs the periodic delay-layer adaptation (§VI).

@@ -64,9 +64,9 @@ type SubscriptionPoint struct {
 // ℜ = τr offset positions the viewer at the top of the layer so push-downs
 // fade out in subsequent children (§V-B3).
 func (c *Controller) SubscriptionPoints(id model.ViewerID) ([]SubscriptionPoint, error) {
-	lsc := c.lookupRoute(id)
-	if lsc == nil {
-		return nil, fmt.Errorf("subscription points %s: %w", id, ErrUnknownViewer)
+	lsc, err := c.lookupRoute(id)
+	if err != nil {
+		return nil, fmt.Errorf("subscription points %s: %w", id, err)
 	}
 	mon := lsc.mon.Load()
 	if mon == nil {

@@ -1,0 +1,137 @@
+package session
+
+import (
+	"testing"
+
+	"telecast/internal/trace"
+)
+
+// testAllocator builds a region-aware allocator over a fresh latency matrix,
+// returning it with the matrix for region queries.
+func testAllocator(t *testing.T, nodes int) (*nodeAllocator, *trace.LatencyMatrix) {
+	t.Helper()
+	lat, err := trace.GenerateLatencyMatrix(trace.DefaultLatencyConfig(nodes, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &nodeAllocator{next: 1 + lat.NumRegions(), max: lat.Nodes()}
+	a.initRegions(lat)
+	return a, lat
+}
+
+// drainRegion acquires every node of one region through the hint path,
+// returning the indices taken.
+func drainRegion(t *testing.T, a *nodeAllocator, r trace.Region) []int {
+	t.Helper()
+	var got []int
+	for {
+		idx, ok := a.acquireInStrict(r)
+		if !ok {
+			return got
+		}
+		got = append(got, idx)
+	}
+}
+
+func TestAllocatorFallbackAfterRegionExhaustion(t *testing.T) {
+	a, lat := testAllocator(t, 64)
+	hot := trace.Region(0)
+	inRegion := drainRegion(t, a, hot)
+	if len(inRegion) == 0 {
+		t.Fatal("region 0 holds no allocatable node")
+	}
+	for _, idx := range inRegion {
+		if lat.RegionOf(idx) != hot {
+			t.Fatalf("strict acquire handed out node %d of region %d", idx, lat.RegionOf(idx))
+		}
+	}
+	// Strict: exhausted region fails.
+	if _, ok := a.acquireInStrict(hot); ok {
+		t.Fatal("strict acquire succeeded on an exhausted region")
+	}
+	// Best-effort: the hint falls back to a cross-region node.
+	idx, ok := a.acquireIn(InRegion(hot))
+	if !ok {
+		t.Fatal("hinted acquire failed with free nodes in other regions")
+	}
+	if lat.RegionOf(idx) == hot {
+		t.Fatalf("fallback produced node %d of the exhausted region", idx)
+	}
+	// After a free, the hint is honored again — with exactly the node the
+	// region got back.
+	released := inRegion[len(inRegion)/2]
+	a.release(released)
+	got, ok := a.acquireIn(InRegion(hot))
+	if !ok || got != released {
+		t.Fatalf("hinted acquire after free returned %d (ok=%t), want released node %d", got, ok, released)
+	}
+}
+
+func TestAllocatorLazyTakenInvalidation(t *testing.T) {
+	a, lat := testAllocator(t, 64)
+	hot := trace.Region(1)
+	// Take a hot-region node via the hint path and release it, seeding the
+	// region's free pool.
+	idx, ok := a.acquireInStrict(hot)
+	if !ok {
+		t.Fatal("region 1 holds no allocatable node")
+	}
+	a.release(idx)
+	// Consume the same node through the default path (the global free list
+	// is served before the sequential cursor), leaving the region pool's
+	// entry stale.
+	def, ok := a.acquire()
+	if !ok || def != idx {
+		t.Fatalf("default acquire returned %d (ok=%t), want the freed node %d", def, ok, idx)
+	}
+	// The hint path must lazily discard the stale pool entry — never hand
+	// the node out twice — and fall through to the region's untouched
+	// sequence.
+	again, ok := a.acquireInStrict(hot)
+	if !ok {
+		t.Fatal("strict acquire failed with untouched nodes left in the region")
+	}
+	if again == idx {
+		t.Fatalf("node %d handed out twice", idx)
+	}
+	if lat.RegionOf(again) != hot {
+		t.Fatalf("strict acquire escaped to region %d", lat.RegionOf(again))
+	}
+}
+
+func TestAllocatorNeverDoubleAllocates(t *testing.T) {
+	a, lat := testAllocator(t, 96)
+	regions := lat.NumRegions()
+	seen := make(map[int]bool)
+	acquire := func(idx int, ok bool) {
+		t.Helper()
+		if !ok {
+			return
+		}
+		if seen[idx] {
+			t.Fatalf("node %d allocated twice", idx)
+		}
+		seen[idx] = true
+	}
+	// Interleave every acquisition path against shared state, releasing a
+	// node occasionally so pools and free lists stay populated.
+	for i := 0; i < 4*96; i++ {
+		switch i % 4 {
+		case 0:
+			idx, ok := a.acquire()
+			acquire(idx, ok)
+		case 1:
+			idx, ok := a.acquireIn(InRegion(trace.Region(i % regions)))
+			acquire(idx, ok)
+		case 2:
+			idx, ok := a.acquireInStrict(trace.Region(i % regions))
+			acquire(idx, ok)
+		default:
+			for idx := range seen {
+				delete(seen, idx)
+				a.release(idx)
+				break
+			}
+		}
+	}
+}

@@ -112,9 +112,9 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 			out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
 			continue
 		}
-		lsc := c.takeRoute(id)
-		if lsc == nil {
-			out[i].Err = fmt.Errorf("session leave %s: %w", id, ErrUnknownViewer)
+		lsc, err := c.takeRoute(id)
+		if err != nil {
+			out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
 			continue
 		}
 		perShard[lsc] = append(perShard[lsc], i)

@@ -22,6 +22,17 @@ var (
 	// ErrNoMonitor is returned by SubscriptionPoints before a Monitor has
 	// been attached.
 	ErrNoMonitor = errors.New("session: no monitor attached")
+	// ErrMigrating is returned for operations racing a live cross-region
+	// handoff of the same viewer (Leave, ChangeView, a rival Migrate);
+	// retry once the handoff has rebound or dropped the route.
+	ErrMigrating = errors.New("session: viewer migration in progress")
+	// ErrMigrationInFlight is returned by Validate while any cross-region
+	// handoff is mid-flight: the session is not quiescent and the checker
+	// would report phantom accounting violations.
+	ErrMigrationInFlight = errors.New("session: migration in flight")
+	// ErrUnknownRegion is returned by Migrate for destination regions the
+	// latency substrate does not define.
+	ErrUnknownRegion = errors.New("session: unknown region")
 	// ErrRejected matches every admission-control rejection; use
 	// errors.As with *RejectionError for the cause. It is the overlay's
 	// sentinel so both layers agree.

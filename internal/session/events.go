@@ -38,6 +38,18 @@ const (
 	// EventCDNHighWater: the CDN egress high-water mark rose by at least
 	// one reporting step; PeakMbps carries the new peak.
 	EventCDNHighWater
+	// EventMigratedOut: a cross-region handoff detached the viewer from
+	// this (source) shard; From/To name the handoff and Cause its trigger.
+	// Published on the source ring, sequenced at the detach.
+	EventMigratedOut
+	// EventMigratedIn: the destination shard re-admitted a migrated
+	// viewer; Streams counts its served subscriptions. Published on the
+	// destination ring, sequenced at the re-admission.
+	EventMigratedIn
+	// EventMigrationRestored: the destination refused the migrant and the
+	// viewer was re-admitted on its source shard; Reason carries the
+	// destination's rejection cause. Published on the source ring.
+	EventMigrationRestored
 )
 
 // String names the kind for logs.
@@ -55,6 +67,12 @@ func (k EventKind) String() string {
 		return "stream-dropped"
 	case EventCDNHighWater:
 		return "cdn-high-water"
+	case EventMigratedOut:
+		return "migrated-out"
+	case EventMigratedIn:
+		return "migrated-in"
+	case EventMigrationRestored:
+		return "migration-restored"
 	default:
 		return "event(?)"
 	}
@@ -79,6 +97,11 @@ type Event struct {
 	Reason RejectReason
 	// PeakMbps is the CDN egress high-water mark of an EventCDNHighWater.
 	PeakMbps float64
+	// From and To are the source and destination regions of a migration
+	// event (EventMigratedOut/In, EventMigrationRestored).
+	From, To trace.Region
+	// Cause labels a migration's trigger (MigrateRequest.Reason).
+	Cause string
 }
 
 // eventRing is one shard's fixed-capacity publication buffer. Its mutex is

@@ -147,14 +147,15 @@ func (c *Controller) joinProtocolDelay(v, l int, worstParentRTT time.Duration) t
 
 // Leave removes a viewer; departures trigger the same victim recovery as
 // view changes (§VI). It returns ErrUnknownViewer for IDs the GSC has no
-// route for.
+// route for, and ErrMigrating for viewers owned by a live cross-region
+// handoff.
 func (c *Controller) Leave(ctx context.Context, id model.ViewerID) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("session leave %s: %w", id, err)
 	}
-	lsc := c.takeRoute(id)
-	if lsc == nil {
-		return fmt.Errorf("session leave %s: %w", id, ErrUnknownViewer)
+	lsc, err := c.takeRoute(id)
+	if err != nil {
+		return fmt.Errorf("session leave %s: %w", id, err)
 	}
 	nodeIdx, err := lsc.leave(id)
 	c.dropRoute(id)
@@ -186,16 +187,17 @@ type ViewChangeOutcome struct {
 // normal join (bandwidth allocation + overlay formation + subscription)
 // proceeds in the background; once done, the viewer switches to the overlay.
 //
-// Errors mirror Join: ErrUnknownViewer for unrouted IDs, context errors on
+// Errors mirror Join: ErrUnknownViewer for unrouted IDs, ErrMigrating for
+// viewers owned by a live cross-region handoff, context errors on
 // cancellation, and *RejectionError with the outcome when the re-admission
 // fails admission control.
 func (c *Controller) ChangeView(ctx context.Context, id model.ViewerID, view model.View) (*ViewChangeOutcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
-	lsc := c.lookupRoute(id)
-	if lsc == nil {
-		return nil, fmt.Errorf("session view change %s: %w", id, ErrUnknownViewer)
+	lsc, err := c.lookupRoute(id)
+	if err != nil {
+		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
 	// Fast path feasibility: the paper streams the new view from the CDN
 	// instantaneously; in strict mode the transient edge bandwidth is
@@ -245,6 +247,9 @@ type Stats struct {
 	// JoinDelays and ViewChangeDelays are the Fig. 14(c) distributions.
 	JoinDelays       *metrics.CDF
 	ViewChangeDelays *metrics.CDF
+	// MigrationDelays is the handoff-protocol latency distribution of
+	// completed cross-region migrations.
+	MigrationDelays *metrics.CDF
 }
 
 // Stats merges every LSC's snapshot. CDN usage is global, so it is taken
@@ -270,19 +275,28 @@ func (c *Controller) Stats() Stats {
 	c.statsMu.Lock()
 	joins := c.joinDelays.Clone()
 	changes := c.viewChangeDelays.Clone()
+	migrations := c.migrationDelays.Clone()
 	c.statsMu.Unlock()
 	return Stats{
 		Overlay:          agg,
 		JoinDelays:       joins,
 		ViewChangeDelays: changes,
+		MigrationDelays:  migrations,
 	}
 }
 
 // Validate checks every LSC's overlay invariants and the global CDN
 // accounting: the egress implied by all trees across all LSCs must exactly
 // match what the CDN has allocated. It assumes a quiescent session; shards
-// are checked one at a time.
+// are checked one at a time. While any cross-region handoff is mid-flight
+// the session is by definition not quiescent — a migrating viewer's egress
+// legitimately lives on neither shard between the detach and the re-admit —
+// so Validate fails fast with ErrMigrationInFlight instead of reporting
+// phantom accounting violations.
 func (c *Controller) Validate() error {
+	if n := c.migrations.Load(); n > 0 {
+		return fmt.Errorf("session: %w: %d handoff(s) mid-flight", ErrMigrationInFlight, n)
+	}
 	implied := make(map[model.StreamID]float64)
 	for region, lsc := range c.lscs {
 		if err := lsc.Validate(); err != nil {

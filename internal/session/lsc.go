@@ -162,6 +162,77 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 	return st.nodeIdx, nil
 }
 
+// extract removes a viewer from this shard for a cross-region handoff: the
+// overlay detaches it (victims recovered), the detach event is sequenced on
+// this shard's ring, and the registry entry is removed inside the shard
+// critical section so it cannot interleave with another admission. It
+// returns the preserved admission state and the viewer's latency node.
+func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay.MigrationState, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, err := l.shard.Extract(id)
+	if err != nil {
+		return overlay.MigrationState{}, 0, err
+	}
+	l.emit(Event{Kind: EventMigratedOut, Viewer: id, From: l.Region, To: to, Cause: cause})
+	l.emitDropsLocked()
+	l.vmu.Lock()
+	vst, ok := l.viewers[id]
+	delete(l.viewers, id)
+	l.vmu.Unlock()
+	if !ok {
+		return overlay.MigrationState{}, 0, fmt.Errorf("lsc region %d: viewer %s extracted from overlay but was never registered", l.Region, id)
+	}
+	return st, vst.nodeIdx, nil
+}
+
+// admitMigrant re-admits an extracted viewer on this (destination) shard.
+// The caller must have registered the viewer's state first so propagation
+// lookups hit. On success the arrival event is sequenced on this shard's
+// ring; a rejection emits EventJoinRejected here and leaves the record
+// question to keepIfRejected (see overlay.Manager.AdmitMigrant).
+func (l *LSC) admitMigrant(vst *viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool) (*overlay.JoinResult, time.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, err := l.shard.AdmitMigrant(st, keepIfRejected)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Admitted {
+		l.emit(Event{Kind: EventMigratedIn, Viewer: st.Info.ID, From: from, To: l.Region, Cause: cause, Streams: len(res.Accepted)})
+	} else {
+		l.emit(Event{Kind: EventJoinRejected, Viewer: st.Info.ID, Reason: res.Reason})
+	}
+	l.emitDropsLocked()
+	return res, l.worstParentRTTLocked(vst, res), nil
+}
+
+// restoreMigrant re-admits a bounced migrant on this (source) shard after
+// the destination refused it, keeping the record even when the re-admission
+// is itself rejected — the viewer stays routed here as a rejected viewer.
+// cause carries the destination's rejection reason onto the restore event.
+func (l *LSC) restoreMigrant(vst *viewerState, st overlay.MigrationState, to trace.Region, reason RejectReason) (*overlay.JoinResult, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, err := l.shard.AdmitMigrant(st, true)
+	if err != nil {
+		return nil, err
+	}
+	l.emit(Event{Kind: EventMigrationRestored, Viewer: st.Info.ID, From: l.Region, To: to, Reason: reason})
+	l.emitDropsLocked()
+	return res, nil
+}
+
+// noteMigrationDeparture sequences a departure event for a migrant removed
+// under the depart-on-reject policy. The shard lock orders it against the
+// region's other operations even though the shard state was already updated
+// by the extract.
+func (l *LSC) noteMigrationDeparture(id model.ViewerID) {
+	l.mu.Lock()
+	l.emit(Event{Kind: EventDeparted, Viewer: id})
+	l.mu.Unlock()
+}
+
 // changeView re-admits a viewer with a new view and returns the new
 // topology, the farthest-parent round trip, and the viewer's node index.
 func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResult, time.Duration, int, error) {

@@ -1,0 +1,230 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"telecast/internal/model"
+	"telecast/internal/trace"
+)
+
+func TestRouteTableStates(t *testing.T) {
+	var rt routeTable
+	rt.init()
+	a, b := &LSC{Region: 1}, &LSC{Region: 2}
+	id := model.ViewerID("v")
+
+	if _, err := rt.lookup(id); !errors.Is(err, ErrUnknownViewer) {
+		t.Fatalf("absent lookup: %v", err)
+	}
+	if err := rt.claim(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.claim(id); !errors.Is(err, ErrViewerExists) {
+		t.Fatalf("double claim: %v", err)
+	}
+	if _, err := rt.lookup(id); !errors.Is(err, ErrUnknownViewer) {
+		t.Fatalf("claimed lookup: %v", err)
+	}
+	if _, err := rt.take(id); !errors.Is(err, ErrUnknownViewer) {
+		t.Fatalf("claimed take: %v", err)
+	}
+	rt.bind(id, a)
+	if lsc, err := rt.lookup(id); err != nil || lsc != a {
+		t.Fatalf("bound lookup: %v %v", lsc, err)
+	}
+	lsc, err := rt.takeForMigration(id)
+	if err != nil || lsc != a {
+		t.Fatalf("takeForMigration: %v %v", lsc, err)
+	}
+	// While migrating: joins still see a duplicate, everything else the
+	// typed ErrMigrating.
+	if err := rt.claim(id); !errors.Is(err, ErrViewerExists) {
+		t.Fatalf("claim during migration: %v", err)
+	}
+	if _, err := rt.lookup(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("lookup during migration: %v", err)
+	}
+	if _, err := rt.take(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("take during migration: %v", err)
+	}
+	if _, err := rt.takeForMigration(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("rival migration: %v", err)
+	}
+	rt.bind(id, b)
+	if lsc, err := rt.lookup(id); err != nil || lsc != b {
+		t.Fatalf("rebound lookup: %v %v", lsc, err)
+	}
+	if lsc, err := rt.take(id); err != nil || lsc != b {
+		t.Fatalf("take after rebind: %v %v", lsc, err)
+	}
+	rt.drop(id)
+	if got := rt.size(); got != 0 {
+		t.Fatalf("size %d after drop", got)
+	}
+}
+
+func TestRouteTableStripesIndependently(t *testing.T) {
+	var rt routeTable
+	rt.init()
+	lsc := &LSC{}
+	// Enough IDs to hit many stripes; every operation must stay consistent.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := model.ViewerID(fmt.Sprintf("w%d-%d", w, i))
+				if err := rt.claim(id); err != nil {
+					t.Errorf("claim %s: %v", id, err)
+					return
+				}
+				rt.bind(id, lsc)
+				if got, err := rt.lookup(id); err != nil || got != lsc {
+					t.Errorf("lookup %s: %v %v", id, got, err)
+					return
+				}
+				rt.drop(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := rt.size(); got != 0 {
+		t.Fatalf("%d entries leaked", got)
+	}
+}
+
+// TestBatchCancellationLeaksNoClaims is the claimed-but-unbound leak
+// regression: a JoinBatch that mixes admissible requests, requests that fail
+// admission with a protocol error between claim and bind (negative
+// capacity), and a context cancelled mid-fan-out must leave no nil route
+// claims behind — every non-admitted ID is immediately joinable again and
+// the allocator holds exactly one node per routed viewer.
+func TestBatchCancellationLeaksNoClaims(t *testing.T) {
+	for _, cancelAt := range []int{0, 1, 2} {
+		t.Run(fmt.Sprintf("cancelWave=%d", cancelAt), func(t *testing.T) {
+			c := testController(t, 512, 6000)
+			view := model.NewUniformView(c.cfg.Producers, 0)
+			regions := c.cfg.Latency.NumRegions()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const n = 96
+			reqs := make([]JoinRequest, n)
+			for i := range reqs {
+				out := float64(i % 13)
+				if i%7 == 3 {
+					// Fails in the overlay after the GSC claimed the ID
+					// and placed the node: exactly the claim → bind gap.
+					out = -1
+				}
+				reqs[i] = JoinRequest{
+					ID: vid(i), InboundMbps: 12, OutboundMbps: out,
+					View: view, Region: InRegion(trace.Region(i % regions)),
+				}
+			}
+			// Cancel from a racing goroutine after a few waves so the batch
+			// is torn down mid-fan-out (wave 0 cancels before dispatch).
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if cancelAt == 0 {
+					cancel()
+					return
+				}
+				// Let some admissions land first.
+				for i := 0; i < cancelAt*8; i++ {
+					c.Stats()
+				}
+				cancel()
+			}()
+			outs := c.JoinBatch(ctx, reqs)
+			<-done
+
+			admitted := 0
+			for i, out := range outs {
+				switch {
+				case out.Err == nil:
+					admitted++
+				case errors.Is(out.Err, ErrRejected):
+					admitted++ // rejected viewers stay routed by design
+				case errors.Is(out.Err, context.Canceled):
+				default:
+					// Protocol errors (negative capacity) must have
+					// unwound completely.
+					if i%7 != 3 {
+						t.Fatalf("request %d: unexpected error %v", i, out.Err)
+					}
+				}
+			}
+			if got := c.routes.claimed(); got != 0 {
+				t.Fatalf("%d claimed-but-unbound routes leaked", got)
+			}
+			if got := c.routes.size(); got != admitted {
+				t.Fatalf("route table holds %d entries, %d viewers admitted/rejected", got, admitted)
+			}
+			// Allocator totality: one node per surviving route.
+			c.nodes.mu.Lock()
+			taken := 0
+			for _, tk := range c.nodes.taken {
+				if tk {
+					taken++
+				}
+			}
+			c.nodes.mu.Unlock()
+			if taken != admitted {
+				t.Fatalf("allocator holds %d nodes for %d routed viewers", taken, admitted)
+			}
+			// Every unwound ID must be claimable again.
+			for i, out := range outs {
+				if out.Err == nil || errors.Is(out.Err, ErrRejected) {
+					continue
+				}
+				if _, err := c.Admit(testCtx, JoinRequest{ID: vid(i), InboundMbps: 12, OutboundMbps: 4, View: view}); err != nil && !errors.Is(err, ErrRejected) {
+					t.Fatalf("rejoin %d after unwind: %v", i, err)
+				}
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDepartBatchCancellationRestoresRoutes pins the departure half: a
+// cancelled DepartBatch must restore the routes of viewers it never
+// departed, so they remain leavable afterwards.
+func TestDepartBatchCancellationRestoresRoutes(t *testing.T) {
+	c := testController(t, 256, 6000)
+	view := model.NewUniformView(c.cfg.Producers, 0)
+	const n = 64
+	ids := make([]model.ViewerID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = vid(i)
+		if _, err := c.Join(testCtx, ids[i], 12, float64(i%13), view); err != nil && !errors.Is(err, ErrRejected) {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every entry reports the context error and restores its route
+	for _, out := range c.DepartBatch(ctx, ids) {
+		if !errors.Is(out.Err, context.Canceled) {
+			t.Fatalf("depart %s: %v", out.ID, out.Err)
+		}
+	}
+	if got := c.routes.claimed(); got != 0 {
+		t.Fatalf("%d claims left after cancelled departs", got)
+	}
+	for _, id := range ids {
+		if err := c.Leave(testCtx, id); err != nil {
+			t.Fatalf("leave %s after cancelled batch: %v", id, err)
+		}
+	}
+	if got := c.routes.size(); got != 0 {
+		t.Fatalf("%d routes left after departing everyone", got)
+	}
+}

@@ -99,10 +99,13 @@ type Controller struct {
 	gscNode int
 	nodes   nodeAllocator
 
-	// routeMu guards routes, the GSC's viewer → owning-shard map. A nil
-	// entry is a claim by an in-flight join.
-	routeMu sync.RWMutex
-	routes  map[model.ViewerID]*LSC
+	// routes is the GSC's viewer → owning-shard map, striped by viewer-ID
+	// hash so batch routing never funnels through one lock (routes.go).
+	routes routeTable
+
+	// migrations counts in-flight cross-region handoffs; Validate fails
+	// fast on a non-zero count instead of reporting phantom violations.
+	migrations atomic.Int64
 
 	monitor atomic.Pointer[Monitor]
 
@@ -116,6 +119,7 @@ type Controller struct {
 	statsMu          sync.Mutex
 	joinDelays       metrics.CDF
 	viewChangeDelays metrics.CDF
+	migrationDelays  metrics.CDF
 }
 
 // nodeAllocator hands out latency-matrix node indices to joining viewers and
@@ -186,6 +190,30 @@ func (a *nodeAllocator) acquireIn(hint RegionHint) (int, bool) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if idx, ok := a.acquireRegionLocked(r); ok {
+		return idx, true
+	}
+	return a.acquireLocked()
+}
+
+// acquireInStrict hands out a node of exactly the given region, failing
+// without any cross-region fallback. Migrations use it: the handoff's
+// destination LSC is fixed by the request, and a fallback node in another
+// region would silently hand the viewer to a different shard than the one
+// re-admitting it.
+func (a *nodeAllocator) acquireInStrict(r trace.Region) (int, bool) {
+	if a.regionOf == nil {
+		return a.acquire()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acquireRegionLocked(r)
+}
+
+// acquireRegionLocked takes a free node of the region — released ones
+// first, then never-allocated ones — lazily discarding pool entries the
+// taken bitmap marks as consumed through another path. Callers hold mu.
+func (a *nodeAllocator) acquireRegionLocked(r trace.Region) (int, bool) {
 	pool := a.regionFree[r]
 	for n := len(pool); n > 0; n = len(pool) {
 		idx := pool[n-1]
@@ -208,7 +236,7 @@ func (a *nodeAllocator) acquireIn(hint RegionHint) (int, bool) {
 		}
 	}
 	a.regionSeq[r] = seq
-	return a.acquireLocked()
+	return 0, false
 }
 
 func (a *nodeAllocator) release(idx int) {
@@ -248,9 +276,9 @@ func NewControllerFromConfig(cfg Config) (*Controller, error) {
 		cdn:     cdn.New(cfg.CDN),
 		lscs:    make(map[trace.Region]*LSC),
 		gscNode: 0,
-		routes:  make(map[model.ViewerID]*LSC),
 		bus:     newEventBus(cfg.Latency.NumRegions(), cfg.EventBuffer),
 	}
+	c.routes.init()
 	// CDN high-water events fire every 5% of a bounded egress budget, or
 	// every 500 Mbps of an unbounded one.
 	if cfg.CDN.OutboundCapacityMbps > 0 {
@@ -315,49 +343,32 @@ func (c *Controller) delay(a, b int) time.Duration {
 
 // claimID reserves a viewer ID in the routing table, failing on duplicates.
 func (c *Controller) claimID(id model.ViewerID) error {
-	c.routeMu.Lock()
-	defer c.routeMu.Unlock()
-	if _, dup := c.routes[id]; dup {
-		return ErrViewerExists
-	}
-	c.routes[id] = nil // claimed; bound to a shard once placed
-	return nil
+	return c.routes.claim(id)
 }
 
 // bindRoute points a claimed viewer ID at its owning shard.
 func (c *Controller) bindRoute(id model.ViewerID, lsc *LSC) {
-	c.routeMu.Lock()
-	c.routes[id] = lsc
-	c.routeMu.Unlock()
+	c.routes.bind(id, lsc)
 }
 
 // dropRoute removes a viewer from the routing table.
 func (c *Controller) dropRoute(id model.ViewerID) {
-	c.routeMu.Lock()
-	delete(c.routes, id)
-	c.routeMu.Unlock()
+	c.routes.drop(id)
 }
 
-// lookupRoute returns the shard owning a viewer, nil if unknown or mid-join.
-func (c *Controller) lookupRoute(id model.ViewerID) *LSC {
-	c.routeMu.RLock()
-	lsc := c.routes[id]
-	c.routeMu.RUnlock()
-	return lsc
+// lookupRoute returns the shard owning a viewer; ErrUnknownViewer when the
+// ID is unknown or mid-join, ErrMigrating during a cross-region handoff.
+func (c *Controller) lookupRoute(id model.ViewerID) (*LSC, error) {
+	return c.routes.lookup(id)
 }
 
 // takeRoute atomically looks up a viewer's route and downgrades it to a
 // claim, so exactly one departure wins a race and the ID stays reserved —
 // blocking a re-join from overwriting the shard registry entry — until the
-// caller finishes the departure and drops the route.
-func (c *Controller) takeRoute(id model.ViewerID) *LSC {
-	c.routeMu.Lock()
-	lsc := c.routes[id]
-	if lsc != nil {
-		c.routes[id] = nil // departure in progress
-	}
-	c.routeMu.Unlock()
-	return lsc
+// caller finishes the departure and drops the route. Viewers owned by a
+// live migration report ErrMigrating.
+func (c *Controller) takeRoute(id model.ViewerID) (*LSC, error) {
+	return c.routes.take(id)
 }
 
 func (c *Controller) recordJoinDelay(d time.Duration) {
@@ -369,6 +380,12 @@ func (c *Controller) recordJoinDelay(d time.Duration) {
 func (c *Controller) recordViewChangeDelay(d time.Duration) {
 	c.statsMu.Lock()
 	c.viewChangeDelays.AddDuration(d)
+	c.statsMu.Unlock()
+}
+
+func (c *Controller) recordMigrationDelay(d time.Duration) {
+	c.statsMu.Lock()
+	c.migrationDelays.AddDuration(d)
 	c.statsMu.Unlock()
 }
 

@@ -35,13 +35,19 @@ type LatencyConfig struct {
 	Seed int64
 }
 
+// DefaultRegions is the region count of DefaultLatencyConfig. Consumers
+// that must agree with the default substrate — the workload catalog's
+// mobility scenarios size their region walk from it — share this constant
+// instead of hard-coding a second 8.
+const DefaultRegions = 8
+
 // DefaultLatencyConfig mirrors published PlanetLab measurement shape:
 // intra-region one-way delays around 20 ms, inter-region around 80 ms, with
 // a lognormal tail reaching a few hundred milliseconds.
 func DefaultLatencyConfig(nodes int, seed int64) LatencyConfig {
 	return LatencyConfig{
 		Nodes:     nodes,
-		Regions:   8,
+		Regions:   DefaultRegions,
 		IntraMean: 20 * time.Millisecond,
 		InterMean: 80 * time.Millisecond,
 		Sigma:     0.45,

@@ -128,6 +128,8 @@ func (ex *parallelExec) flush(bin []Event) error {
 			err = ex.departRun(run)
 		case EventViewChange:
 			err = ex.viewChangeRun(run)
+		case EventMigrate:
+			err = ex.migrateRun(run)
 		}
 		if err != nil {
 			return err
@@ -187,6 +189,45 @@ func (ex *parallelExec) departRun(run []Event) error {
 				return fmt.Errorf("workload leave %s: %w", out.ID, out.Err)
 			}
 			ex.t.leave(out.ID)
+		}
+	}
+	return nil
+}
+
+// migrateRun re-homes the still-routed viewers of a run through the batch
+// handoff path, which fans out by destination shard. A run targeting the
+// same viewer more than once (two random-walk steps binned together) keeps
+// only the last target — the intermediate hop is unobservable at batch
+// granularity — so MigrateBatch never races a viewer against itself.
+func (ex *parallelExec) migrateRun(run []Event) error {
+	last := make(map[model.ViewerID]int, len(run))
+	migs := make([]session.Migration, 0, len(run))
+	for _, ev := range run {
+		if _, ok := ex.t.routed[ev.Viewer]; !ok {
+			continue
+		}
+		to, ok := ev.Region.Region()
+		if !ok {
+			continue
+		}
+		mig := session.Migration{ID: ev.Viewer, Req: session.MigrateRequest{To: to, Reason: "mobility"}}
+		if i, dup := last[ev.Viewer]; dup {
+			migs[i] = mig
+			continue
+		}
+		last[ev.Viewer] = len(migs)
+		migs = append(migs, mig)
+	}
+	for at := 0; at < len(migs); at += ex.o.MaxInFlight {
+		end := at + ex.o.MaxInFlight
+		if end > len(migs) {
+			end = len(migs)
+		}
+		for _, out := range ex.ctrl.MigrateBatch(ex.ctx, migs[at:end]) {
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) && !errors.Is(out.Err, session.ErrMatrixExhausted) {
+				return fmt.Errorf("workload migrate %s: %w", out.ID, out.Err)
+			}
+			ex.t.migrate(out.ID, out.Outcome)
 		}
 	}
 	return nil

@@ -45,7 +45,7 @@ func newScenarioController(t testing.TB, events []Event, seed int64) (*session.C
 // under -race, with the invariant checker on at every sample, and the event
 // stream cross-checks the admission counts.
 func TestParallelRunnerScenarioSmoke(t *testing.T) {
-	for _, name := range []string{"regional-hotspot", "mass-departure"} {
+	for _, name := range []string{"regional-hotspot", "mass-departure", "mobility"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			const seed = 21
@@ -83,6 +83,9 @@ func TestParallelRunnerScenarioSmoke(t *testing.T) {
 			}
 			if name == "mass-departure" && res.Leaves == 0 {
 				t.Fatal("mass departure executed no leaves")
+			}
+			if name == "mobility" && res.Migrations == 0 {
+				t.Fatal("mobility landed no migrations")
 			}
 		})
 	}

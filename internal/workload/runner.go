@@ -102,6 +102,10 @@ type Result struct {
 	Joins, Rejected int
 	// Leaves and ViewChanges count executed events.
 	Leaves, ViewChanges int
+	// Migrations counts cross-region handoffs that landed on their
+	// destination; MigrationsBounced those the destination refused (viewer
+	// restored on its source shard or departed under policy).
+	Migrations, MigrationsBounced int
 	// PeakViewers is the maximum concurrently admitted audience.
 	PeakViewers int
 	// Regions counts the distinct LSC shards that processed joins.
@@ -181,6 +185,35 @@ func (t *tally) leave(id model.ViewerID) {
 // the viewer, a successful one can re-admit a previously rejected viewer.
 func (t *tally) viewChange(id model.ViewerID, admitted bool) {
 	t.res.ViewChanges++
+	t.setAdmitted(id, admitted)
+}
+
+// migrate records a handoff outcome. A nil outcome (typed early failure,
+// e.g. the destination region's node pool was exhausted) changes nothing; a
+// same-region no-op neither.
+func (t *tally) migrate(id model.ViewerID, out *session.MigrateOutcome) {
+	if out == nil {
+		return
+	}
+	switch {
+	case out.Departed:
+		t.res.MigrationsBounced++
+		if t.routed[id] {
+			t.live--
+		}
+		delete(t.routed, id)
+	case out.Restored:
+		t.res.MigrationsBounced++
+		t.setAdmitted(id, out.Result != nil && out.Result.Admitted)
+	case out.Result != nil:
+		t.res.Migrations++
+		t.setAdmitted(id, true)
+	}
+}
+
+// setAdmitted moves a routed viewer between the admitted and rejected
+// states, keeping the live count and peak coherent.
+func (t *tally) setAdmitted(id model.ViewerID, admitted bool) {
 	was := t.routed[id]
 	if was == admitted {
 		return
@@ -287,6 +320,24 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 					return
 				}
 				t.viewChange(ev.Viewer, out != nil && out.Result.Admitted)
+			case EventMigrate:
+				if _, ok := t.routed[ev.Viewer]; !ok {
+					return
+				}
+				to, ok := ev.Region.Region()
+				if !ok {
+					return
+				}
+				// A refused destination restores the viewer (part of the
+				// handoff contract) and a full destination node pool fails
+				// the migration with the session untouched — both are
+				// workload outcomes, not run errors.
+				out, err := ctrl.Migrate(ctx, ev.Viewer, session.MigrateRequest{To: to, Reason: "mobility"})
+				if err != nil && !errors.Is(err, session.ErrRejected) && !errors.Is(err, session.ErrMatrixExhausted) {
+					fail(fmt.Errorf("migrate %s at %v: %w", ev.Viewer, ev.At, err))
+					return
+				}
+				t.migrate(ev.Viewer, out)
 			}
 		})
 		if err != nil {

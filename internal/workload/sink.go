@@ -193,6 +193,11 @@ type AcceptanceTotals struct {
 	Departed int
 	// ViewChanges counts successful view-change re-admissions.
 	ViewChanges int
+	// MigratedIn counts cross-region handoffs that landed on a destination
+	// shard; MigrationsRestored those whose viewer bounced back to its
+	// source (the destination's refusal also counts one Rejected).
+	MigratedIn         int
+	MigrationsRestored int
 	// StreamDrops counts per-stream adaptation drops.
 	StreamDrops int
 	// EventsDropped is the stream's loss counter: non-zero means the totals
@@ -229,6 +234,10 @@ func TrackAcceptance(ctrl *session.Controller) *AcceptanceTracker {
 				totals.Departed++
 			case session.EventViewChanged:
 				totals.ViewChanges++
+			case session.EventMigratedIn:
+				totals.MigratedIn++
+			case session.EventMigrationRestored:
+				totals.MigrationsRestored++
 			case session.EventStreamDropped:
 				totals.StreamDrops++
 			}

@@ -38,6 +38,9 @@ const (
 	EventJoin EventKind = iota + 1
 	EventLeave
 	EventViewChange
+	// EventMigrate re-homes a viewer to the region of the event's Region
+	// hint via the control plane's shard-to-shard handoff.
+	EventMigrate
 )
 
 // String names the kind for logs.
@@ -49,6 +52,8 @@ func (k EventKind) String() string {
 		return "leave"
 	case EventViewChange:
 		return "view-change"
+	case EventMigrate:
+		return "migrate"
 	default:
 		return "event(?)"
 	}
@@ -64,7 +69,8 @@ type Event struct {
 	// ViewAngle applies to joins and view changes.
 	ViewAngle float64
 	// Region optionally pins a join to an LSC region (regional-hotspot
-	// scenarios); the zero value keeps the default placement.
+	// scenarios) or names a migration's destination; the zero value keeps
+	// the default placement (and makes a migrate event a no-op).
 	Region session.RegionHint
 }
 

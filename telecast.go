@@ -96,6 +96,17 @@ type (
 	// ViewChangeOutcome reports a two-phase view change and both its
 	// latencies (fast CDN switch, background join).
 	ViewChangeOutcome = session.ViewChangeOutcome
+	// MigrateRequest describes one cross-region handoff for
+	// Controller.Migrate: destination region, reason label, and the
+	// rejection policy.
+	MigrateRequest = session.MigrateRequest
+	// MigrateOutcome reports how a handoff ended: rebound on the
+	// destination, restored on the source, or departed.
+	MigrateOutcome = session.MigrateOutcome
+	// Migration pairs a viewer with its request for MigrateBatch.
+	Migration = session.Migration
+	// MigrateBatchOutcome is a per-migration result of MigrateBatch.
+	MigrateBatchOutcome = session.MigrateBatchOutcome
 	// Stats aggregates overlay and latency metrics across LSCs.
 	Stats = session.Stats
 	// CDNConfig bounds the distribution substrate.
@@ -114,6 +125,13 @@ var (
 	ErrUnknownViewer = session.ErrUnknownViewer
 	// ErrMatrixExhausted is returned when the latency substrate is full.
 	ErrMatrixExhausted = session.ErrMatrixExhausted
+	// ErrMigrating is returned for operations racing a live cross-region
+	// handoff of the same viewer.
+	ErrMigrating = session.ErrMigrating
+	// ErrMigrationInFlight is returned by Validate mid-handoff.
+	ErrMigrationInFlight = session.ErrMigrationInFlight
+	// ErrUnknownRegion is returned by Migrate for undefined destinations.
+	ErrUnknownRegion = session.ErrUnknownRegion
 )
 
 // RejectionError carries the admission-failure cause of a rejected request;
@@ -143,12 +161,15 @@ type (
 
 // Event kinds delivered by Controller.Subscribe.
 const (
-	EventJoinAccepted  = session.EventJoinAccepted
-	EventJoinRejected  = session.EventJoinRejected
-	EventDeparted      = session.EventDeparted
-	EventViewChanged   = session.EventViewChanged
-	EventStreamDropped = session.EventStreamDropped
-	EventCDNHighWater  = session.EventCDNHighWater
+	EventJoinAccepted      = session.EventJoinAccepted
+	EventJoinRejected      = session.EventJoinRejected
+	EventDeparted          = session.EventDeparted
+	EventViewChanged       = session.EventViewChanged
+	EventStreamDropped     = session.EventStreamDropped
+	EventCDNHighWater      = session.EventCDNHighWater
+	EventMigratedOut       = session.EventMigratedOut
+	EventMigratedIn        = session.EventMigratedIn
+	EventMigrationRestored = session.EventMigrationRestored
 )
 
 // Workload substrates (§VII).
