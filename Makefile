@@ -7,8 +7,16 @@ SHELL := bash
 .SHELLFLAGS := -o pipefail -c
 
 # The hot control-plane paths whose numbers the perf trajectory
-# (BENCH_control_plane.json) tracks.
-HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$
+# (BENCH_control_plane.json) tracks. BenchmarkBatchPrepare lives in
+# internal/session (it drives the unexported prepare phase directly), so the
+# bench targets cover that package alongside the root.
+HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare
+BENCH_PKGS = . ./internal/session
+
+# bench-smoke fails when a guarded benchmark's joins/s falls more than
+# MAX_REGRESS below the checked-in trajectory.
+GUARD_BENCH = BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$$
+MAX_REGRESS = 0.25
 
 .PHONY: build test test-race bench bench-json bench-smoke vet lint
 
@@ -30,17 +38,21 @@ test-race:
 	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu
 
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS)
 
 # bench-json runs the hot-path microbenchmarks at full precision and writes
 # the machine-readable trajectory file the repo checks in.
 bench-json:
-	$(GO) test -bench='$(HOT_BENCH)' -benchmem -run='^$$' . \
+	$(GO) test -bench='$(HOT_BENCH)' -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_control_plane.json
 
-# bench-smoke is the CI gate: one iteration of every hot-path benchmark with
+# bench-smoke is the CI gate: a short run of every hot-path benchmark with
 # allocation accounting, parsed into JSON so a build error, a FAIL line, or
-# unparseable output all fail loudly. The JSON is uploaded as an artifact.
+# unparseable output all fail loudly, plus a throughput regression guard
+# against the checked-in trajectory. A handful of iterations (not 1x) keeps
+# the guarded joins/s out of cold-start noise so the 25% floor means a real
+# regression. The JSON is uploaded as an artifact.
 bench-smoke:
-	$(GO) test -bench='$(HOT_BENCH)' -benchtime=1x -benchmem -run='^$$' . \
-		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json
+	$(GO) test -bench='$(HOT_BENCH)' -benchtime=5x -benchmem -run='^$$' $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json \
+			-baseline BENCH_control_plane.json -guard '$(GUARD_BENCH)' -max-regress $(MAX_REGRESS)

@@ -337,6 +337,9 @@ func benchConcurrentJoin(b *testing.B, regions int, subscribe bool) {
 		joined += audience
 		b.StopTimer()
 		if subscribe {
+			// Flush before Close: delivery is asynchronous, and closing an
+			// undelivered subscription discards its backlog.
+			sub.Flush()
 			sub.Close()
 			ctrl.Close()
 			if n := <-drained; n == 0 {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,9 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout only)")
 	suite := flag.String("suite", "control_plane", "suite name recorded in the report")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to guard throughput against")
+	guard := flag.String("guard", "", "regexp of benchmark names whose joins/s the guard checks")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional joins/s regression vs the baseline")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin), *suite)
@@ -68,13 +72,96 @@ func main() {
 	blob = append(blob, '\n')
 	if *out == "" {
 		os.Stdout.Write(blob)
-		return
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *baseline != "" && *guard != "" {
+		if err := guardThroughput(report, *baseline, *guard, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// guardedMetric is the throughput metric the regression guard compares.
+const guardedMetric = "joins/s"
+
+// stripCPUSuffix drops the trailing -N GOMAXPROCS marker go test appends to
+// benchmark names, so a run on an M-core machine compares against a baseline
+// generated on an N-core one.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// guardThroughput compares the fresh joins/s of every benchmark matching the
+// guard pattern against the baseline report, and fails when any regresses by
+// more than the allowed fraction. Benchmarks absent from the baseline (or
+// carrying no joins/s in it) are skipped: new benchmarks must not fail the
+// gate before the trajectory file is regenerated.
+func guardThroughput(report *Report, baselinePath, guardPattern string, maxRegress float64) error {
+	pat, err := regexp.Compile(guardPattern)
+	if err != nil {
+		return fmt.Errorf("bad -guard pattern: %w", err)
+	}
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics[guardedMetric]; ok {
+			baseline[stripCPUSuffix(b.Name)] = v
+		}
+	}
+	var failures []string
+	checked := 0
+	for _, b := range report.Benchmarks {
+		name := stripCPUSuffix(b.Name)
+		if !pat.MatchString(name) {
+			continue
+		}
+		fresh, ok := b.Metrics[guardedMetric]
+		if !ok {
+			continue
+		}
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: guard: %s not in baseline, skipping\n", name)
+			continue
+		}
+		checked++
+		floor := want * (1 - maxRegress)
+		if fresh < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f %s, baseline %.0f (floor %.0f)",
+				name, fresh, guardedMetric, want, floor))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: guard: %s %.0f %s vs baseline %.0f ok\n",
+				name, fresh, guardedMetric, want)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("guard %q matched no benchmark with a %s metric in both runs", guardPattern, guardedMetric)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regression beyond %.0f%%:\n  %s",
+			maxRegress*100, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parse consumes `go test -bench` output, echoing every line, and collects

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +68,72 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("accepted %q", line)
 		}
+	}
+}
+
+func guardReport(names []string, joins []float64) *Report {
+	r := &Report{Suite: "s"}
+	for i, name := range names {
+		r.Benchmarks = append(r.Benchmarks, Result{
+			Name:    name,
+			NsPerOp: 1,
+			Metrics: map[string]float64{"joins/s": joins[i]},
+		})
+	}
+	return r
+}
+
+func writeBaseline(t *testing.T, r *Report) string {
+	t.Helper()
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGuardThroughput(t *testing.T) {
+	names := []string{"BenchmarkConcurrentJoin/regions=4-4", "BenchmarkWorkloadParallel-4"}
+	base := writeBaseline(t, guardReport(names, []float64{100000, 30000}))
+	// The fresh run carries a different GOMAXPROCS suffix: names must still
+	// match after the -N marker is stripped.
+	fresh := []string{"BenchmarkConcurrentJoin/regions=4-8", "BenchmarkWorkloadParallel-8"}
+
+	// Within the allowed regression: passes.
+	ok := guardReport(fresh, []float64{80000, 29000})
+	if err := guardThroughput(ok, base, "BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$", 0.25); err != nil {
+		t.Fatalf("in-bounds run failed the guard: %v", err)
+	}
+	// Past the floor: fails and names the benchmark.
+	bad := guardReport(fresh, []float64{60000, 29000})
+	err := guardThroughput(bad, base, "BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$", 0.25)
+	if err == nil {
+		t.Fatal("25%+ regression passed the guard")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkConcurrentJoin/regions=4") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestGuardSkipsBenchmarksMissingFromBaseline(t *testing.T) {
+	base := writeBaseline(t, guardReport([]string{"BenchmarkWorkloadParallel-1"}, []float64{30000}))
+	fresh := guardReport(
+		[]string{"BenchmarkWorkloadParallel-4", "BenchmarkConcurrentJoin/regions=64-4"},
+		[]float64{31000, 1},
+	)
+	if err := guardThroughput(fresh, base, "BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$", 0.25); err != nil {
+		t.Fatalf("new benchmark absent from the baseline failed the guard: %v", err)
+	}
+}
+
+func TestGuardFailsWhenNothingChecked(t *testing.T) {
+	base := writeBaseline(t, guardReport([]string{"BenchmarkJoin"}, []float64{1000}))
+	fresh := guardReport([]string{"BenchmarkJoin"}, []float64{1000})
+	if err := guardThroughput(fresh, base, "BenchmarkNoSuch", 0.25); err == nil {
+		t.Fatal("guard matching nothing must fail rather than silently pass")
 	}
 }

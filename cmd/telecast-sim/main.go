@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -39,12 +40,26 @@ func main() {
 	scenario := flag.String("scenario", "flash-churn", "catalog scenario for -exp scenario: "+strings.Join(workload.CatalogNames(), "|"))
 	samples := flag.String("samples", "", "write the scenario's per-second time series to this file (.json for JSON Lines, CSV otherwise)")
 	simMode := flag.Bool("sim", false, "replay -exp scenario on the deterministic discrete-event engine instead of the wall-clock parallel executor")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	setup := experiments.DefaultSetup(*seed)
 	setup.Audience = *audience
 	setup.Parallel = *parallel
 	if err := run(*exp, setup, *scenario, *samples, *simMode); err != nil {
+		// The deferred profile writer must run; don't log.Fatal past it.
+		pprof.StopCPUProfile()
 		log.Fatal(err)
 	}
 }

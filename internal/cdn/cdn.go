@@ -298,6 +298,17 @@ func (c *CDN) Snapshot() Usage {
 	}
 }
 
+// UsageTotals returns the scalar usage counters without the per-stream map:
+// three atomic loads, no lock, no allocation. The periodic samplers read it
+// where Snapshot's map copy would dominate the sample cost.
+func (c *CDN) UsageTotals() Usage {
+	return Usage{
+		OutTotalMbps: toMbps(c.outTotal.Load()),
+		PeakOutMbps:  toMbps(c.peakOut.Load()),
+		InTotalMbps:  toMbps(c.inTotal.Load()),
+	}
+}
+
 // Streams returns the stream IDs with live allocations, sorted.
 func (c *CDN) Streams() []model.StreamID {
 	c.mu.Lock()

@@ -30,6 +30,9 @@ type Shard interface {
 	RefreshAll() int
 	// Snapshot summarizes the shard for cross-shard aggregation.
 	Snapshot() Snapshot
+	// QuickSnapshot is Snapshot without the per-viewer distributions or the
+	// CDN usage copy — the cheap form periodic samplers aggregate.
+	QuickSnapshot() Snapshot
 	// Validate checks the shard's overlay invariants.
 	Validate() error
 	// CDNImplied returns the per-stream egress the shard's trees imply,

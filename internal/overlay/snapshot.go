@@ -85,6 +85,33 @@ func (m *Manager) Snapshot() Snapshot {
 	return s
 }
 
+// QuickSnapshot is the counters-only summary the periodic samplers take:
+// Snapshot's scalar fields without the sorted per-viewer distributions and
+// without the CDN usage copy (the session controller reads the shared
+// substrate once, globally). A wall-clock executor sampling every simulated
+// second must not pay an O(n log n) viewer sort per shard per sample.
+func (m *Manager) QuickSnapshot() Snapshot {
+	s := Snapshot{
+		Viewers:          len(m.viewers),
+		Admitted:         m.viewersAdmitted,
+		Rejected:         m.viewersRejected,
+		StreamsRequested: m.streamsRequested,
+		StreamsAccepted:  m.streamsAccepted,
+		Groups:           len(m.groups),
+	}
+	for _, v := range m.viewers {
+		for _, n := range v.Nodes {
+			s.LiveStreams++
+			if n.Parent == nil {
+				s.ViaCDN++
+			} else {
+				s.ViaP2P++
+			}
+		}
+	}
+	return s
+}
+
 // Validate checks every structural invariant of the overlay: tree shape,
 // per-node degree bounds, CDN accounting consistency, viewer/tree agreement,
 // the κ bound per viewer, and the d_max bound per node. Tests and the

@@ -14,7 +14,8 @@ func testAllocator(t *testing.T, nodes int) (*nodeAllocator, *trace.LatencyMatri
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := &nodeAllocator{next: 1 + lat.NumRegions(), max: lat.Nodes()}
+	a := &nodeAllocator{}
+	a.init(1+lat.NumRegions(), lat.Nodes())
 	a.initRegions(lat)
 	return a, lat
 }

@@ -3,6 +3,7 @@ package session
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"telecast/internal/model"
@@ -49,11 +50,118 @@ type BatchOutcome struct {
 	Err     error
 }
 
+// minStripeWork is the smallest number of batch entries worth a prepare
+// worker: below it the goroutine hand-off costs more than the striped route
+// and allocator operations save.
+const minStripeWork = 64
+
+// batchWorkers picks the prepare-stripe width for an n-entry batch: one
+// worker per minStripeWork entries, capped by GOMAXPROCS (the loop is
+// CPU-bound) and by the routing-table stripe count. On a single-CPU box —
+// or for a small batch — it returns 1 and the batch runs the exact serial
+// loop, with no goroutines and no extra allocation.
+func batchWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if per := n / minStripeWork; w > per {
+		w = per
+	}
+	if w > routeStripes {
+		w = routeStripes
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// stripeIndices distributes the indices 0..n-1 over workers by the routing
+// table's 64-way viewer-ID hash: every index of one stripe goes to the same
+// worker, in input order. Entries that share a routing stripe therefore
+// never race each other — duplicate IDs inside one batch resolve first-wins
+// exactly as the serial loop did — and two workers never contend on a
+// routing-table stripe lock.
+func stripeIndices(n, workers int, id func(int) model.ViewerID) [][]int {
+	buckets := make([][]int, workers)
+	per := n/workers + 1
+	for w := range buckets {
+		buckets[w] = make([]int, 0, per)
+	}
+	for i := 0; i < n; i++ {
+		w := int(viewerStripe(id(i))) % workers
+		buckets[w] = append(buckets[w], i)
+	}
+	return buckets
+}
+
+// runStriped executes fn(i) for every index, striped by viewer ID across
+// batchWorkers(n) goroutines; with one worker it degenerates to the plain
+// serial loop.
+func runStriped(n int, id func(int) model.ViewerID, fn func(int)) {
+	workers := batchWorkers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range stripeIndices(n, workers, id) {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				fn(i)
+			}
+		}(idxs)
+	}
+	wg.Wait()
+}
+
+// routedJoin pairs a prepared join with its input position.
+type routedJoin struct {
+	idx int
+	p   preparedJoin
+}
+
+// prepareBatch runs the GSC half of a join batch — duplicate check, route
+// claim, latency-node placement, registry insert — striped by viewer-ID hash
+// across prepare workers, then groups the survivors by owning shard in input
+// order. Failures (and cancellation observed during prepare) are recorded in
+// out; prepared entries await admit or abandon.
+func (c *Controller) prepareBatch(ctx context.Context, reqs []JoinRequest, out []BatchOutcome) map[*LSC][]routedJoin {
+	prepared := make([]routedJoin, len(reqs))
+	runStriped(len(reqs), func(i int) model.ViewerID { return reqs[i].ID }, func(i int) {
+		out[i].ID = reqs[i].ID
+		if err := ctx.Err(); err != nil {
+			out[i].Err = fmt.Errorf("session join %s: %w", reqs[i].ID, err)
+			return
+		}
+		p, err := c.prepare(reqs[i])
+		if err != nil {
+			out[i].Err = fmt.Errorf("session join %s: %w", reqs[i].ID, err)
+			return
+		}
+		prepared[i] = routedJoin{idx: i, p: p}
+	})
+	perShard := make(map[*LSC][]routedJoin, len(c.lscs))
+	for i := range prepared {
+		if lsc := prepared[i].p.lsc; lsc != nil {
+			perShard[lsc] = append(perShard[lsc], prepared[i])
+		}
+	}
+	return perShard
+}
+
 // JoinBatch admits many viewers at once, exploiting the sharded control
-// plane: requests are routed by the GSC (cheap, serial), grouped by owning
-// LSC, and each shard's group is admitted in input order on its own
-// goroutine — so a batch spanning R regions runs R admissions wide with no
-// lock contention between shards. Results are returned in input order.
+// plane: requests are routed by the GSC in parallel — the prepare loop is
+// striped by the same viewer-ID hash as the routing table, so W workers
+// claim routes and place latency nodes with no shared lock — then grouped by
+// owning LSC, and each shard's group is admitted in input order on its own
+// goroutine. A batch spanning R regions runs R admissions wide with no lock
+// contention between shards. Results are returned in input order.
 //
 // Cancelling the context stops dispatching: requests not yet admitted are
 // unwound completely (route claim, registry entry, latency node) and report
@@ -62,28 +170,11 @@ type BatchOutcome struct {
 // so a cancelled batch can never leak Δ-bounded reservations.
 func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchOutcome {
 	out := make([]BatchOutcome, len(reqs))
-	type routed struct {
-		idx int
-		p   preparedJoin
-	}
-	perShard := make(map[*LSC][]routed, len(c.lscs))
-	for i, req := range reqs {
-		out[i].ID = req.ID
-		if err := ctx.Err(); err != nil {
-			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
-			continue
-		}
-		p, err := c.prepare(req)
-		if err != nil {
-			out[i].Err = fmt.Errorf("session join %s: %w", req.ID, err)
-			continue
-		}
-		perShard[p.lsc] = append(perShard[p.lsc], routed{idx: i, p: p})
-	}
+	perShard := c.prepareBatch(ctx, reqs, out)
 	var wg sync.WaitGroup
 	for _, group := range perShard {
 		wg.Add(1)
-		go func(group []routed) {
+		go func(group []routedJoin) {
 			defer wg.Done()
 			for _, r := range group {
 				if err := ctx.Err(); err != nil {
@@ -99,25 +190,35 @@ func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchO
 	return out
 }
 
-// DepartBatch removes many viewers at once, grouped by owning shard and
-// processed in parallel across shards. Results are returned in input order.
-// Cancelling the context stops dispatching; viewers not yet departed keep
-// their session and report the context error.
+// DepartBatch removes many viewers at once: the route-take loop is striped
+// by viewer-ID hash like JoinBatch's prepare, then the taken viewers are
+// grouped by owning shard and processed in parallel across shards. Results
+// are returned in input order. Cancelling the context stops dispatching;
+// viewers not yet departed keep their session — their taken route is bound
+// back to the owning shard before the outcome reports the context error —
+// and remain leavable.
 func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []BatchOutcome {
 	out := make([]BatchOutcome, len(ids))
-	perShard := make(map[*LSC][]int, len(c.lscs))
-	for i, id := range ids {
+	owners := make([]*LSC, len(ids))
+	runStriped(len(ids), func(i int) model.ViewerID { return ids[i] }, func(i int) {
+		id := ids[i]
 		out[i].ID = id
 		if err := ctx.Err(); err != nil {
 			out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
-			continue
+			return
 		}
 		lsc, err := c.takeRoute(id)
 		if err != nil {
 			out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
-			continue
+			return
 		}
-		perShard[lsc] = append(perShard[lsc], i)
+		owners[i] = lsc
+	})
+	perShard := make(map[*LSC][]int, len(c.lscs))
+	for i, lsc := range owners {
+		if lsc != nil {
+			perShard[lsc] = append(perShard[lsc], i)
+		}
 	}
 	var wg sync.WaitGroup
 	for lsc, idxs := range perShard {
@@ -127,7 +228,12 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 			for _, i := range idxs {
 				id := out[i].ID
 				if err := ctx.Err(); err != nil {
-					// Undo the route claim so the viewer stays leavable.
+					// Undo the route claim so the viewer stays leavable. The
+					// rebind happens before the outcome is written: once the
+					// caller reads the error the route is already bound, and
+					// a racing Migrate either lost the take (ErrUnknownViewer
+					// while we held the claim) or runs strictly after the
+					// rebind on a fully-bound route.
 					c.bindRoute(id, lsc)
 					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
 					continue

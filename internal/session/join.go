@@ -285,6 +285,30 @@ func (c *Controller) Stats() Stats {
 	}
 }
 
+// SampleStats aggregates the per-LSC counters the periodic samplers consume:
+// Stats minus its expensive parts — no sorted per-viewer distributions, no
+// per-stream CDN map copy, no protocol-latency CDF clones (those fields are
+// left nil/empty). One counters pass per shard plus three atomic CDN loads,
+// which is what lets a wall-clock runner sample every simulated second
+// without the sampling cost rivaling the admissions it measures.
+func (c *Controller) SampleStats() Stats {
+	var agg overlay.Snapshot
+	for _, lsc := range c.lscs {
+		s := lsc.QuickSnapshot()
+		agg.Viewers += s.Viewers
+		agg.Admitted += s.Admitted
+		agg.Rejected += s.Rejected
+		agg.StreamsRequested += s.StreamsRequested
+		agg.StreamsAccepted += s.StreamsAccepted
+		agg.LiveStreams += s.LiveStreams
+		agg.ViaCDN += s.ViaCDN
+		agg.ViaP2P += s.ViaP2P
+		agg.Groups += s.Groups
+	}
+	agg.CDNUsage = c.cdn.UsageTotals()
+	return Stats{Overlay: agg}
+}
+
 // Validate checks every LSC's overlay invariants and the global CDN
 // accounting: the egress implied by all trees across all LSCs must exactly
 // match what the CDN has allocated. It assumes a quiescent session; shards

@@ -316,6 +316,14 @@ func (l *LSC) Snapshot() overlay.Snapshot {
 	return l.shard.Snapshot()
 }
 
+// QuickSnapshot summarizes the shard's counters without the per-viewer
+// distributions — the sampling path of the workload runners.
+func (l *LSC) QuickSnapshot() overlay.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shard.QuickSnapshot()
+}
+
 // RefreshAll runs the periodic delay-layer adaptation on this shard.
 func (l *LSC) RefreshAll() int {
 	l.mu.Lock()

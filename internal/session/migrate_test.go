@@ -351,14 +351,7 @@ func TestMigrationChurnRace(t *testing.T) {
 		t.Fatalf("%d routes vs %d registry entries", routed, registered)
 	}
 	// Node accounting: allocator holds exactly one node per routed viewer.
-	c.nodes.mu.Lock()
-	taken := 0
-	for _, tk := range c.nodes.taken {
-		if tk {
-			taken++
-		}
-	}
-	c.nodes.mu.Unlock()
+	taken := c.nodes.takenCount()
 	if taken != routed {
 		t.Fatalf("allocator holds %d nodes for %d routed viewers", taken, routed)
 	}

@@ -50,13 +50,22 @@ func (t *routeTable) init() {
 	}
 }
 
-// stripeFor hashes the viewer ID (FNV-1a) onto its stripe.
-func (t *routeTable) stripeFor(id model.ViewerID) *routeStripe {
+// viewerStripe hashes a viewer ID (FNV-1a) onto one of the routeStripes
+// stripe slots. The routing table and the batch prepare/depart workers share
+// it: all requests of one stripe land on one worker, so two workers never
+// touch the same routing stripe and duplicate IDs inside a batch resolve in
+// input order just as the serial loop did.
+func viewerStripe(id model.ViewerID) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h = (h ^ uint32(id[i])) * 16777619
 	}
-	return &t.stripes[h&(routeStripes-1)]
+	return h & (routeStripes - 1)
+}
+
+// stripeFor hashes the viewer ID (FNV-1a) onto its stripe.
+func (t *routeTable) stripeFor(id model.ViewerID) *routeStripe {
+	return &t.stripes[viewerStripe(id)]
 }
 
 // claim reserves a viewer ID, failing on any existing entry — bound, claimed,

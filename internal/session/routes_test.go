@@ -168,14 +168,7 @@ func TestBatchCancellationLeaksNoClaims(t *testing.T) {
 				t.Fatalf("route table holds %d entries, %d viewers admitted/rejected", got, admitted)
 			}
 			// Allocator totality: one node per surviving route.
-			c.nodes.mu.Lock()
-			taken := 0
-			for _, tk := range c.nodes.taken {
-				if tk {
-					taken++
-				}
-			}
-			c.nodes.mu.Unlock()
+			taken := c.nodes.takenCount()
 			if taken != admitted {
 				t.Fatalf("allocator holds %d nodes for %d routed viewers", taken, admitted)
 			}

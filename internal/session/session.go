@@ -128,57 +128,94 @@ type Controller struct {
 // per-region pools index the free nodes of every region, and the taken bitmap
 // lazily invalidates pool entries consumed through the other path, so a node
 // is never handed out twice no matter which pool it was pulled from.
+//
+// It is built for the striped batch-prepare path: the taken bitmap is atomic
+// and its CAS is the single allocation gate, each region's pools sit behind
+// their own lock, and the sequential cursor is a CAS loop — so W concurrent
+// prepare workers only contend when they chase the same region's pool or
+// drain the shared free list, never on one global mutex.
 type nodeAllocator struct {
-	mu    sync.Mutex
-	next  int
-	max   int
-	free  []int
-	taken []bool
+	// mu guards free, the LIFO of released indices the default path serves
+	// before the sequential cursor.
+	mu   sync.Mutex
+	free []int
+	// next is the sequential cursor over never-allocated indices, advanced
+	// by CAS; max bounds it.
+	next atomic.Int64
+	max  int
+	// taken is the allocation gate: an index is owned by exactly the path
+	// that wins its CompareAndSwap(false, true), however many pools still
+	// list it. Pool entries that lose the race go stale and are discarded
+	// lazily on the next acquisition that pops them.
+	taken []atomic.Bool
 	// regionOf labels node indices; nil disables region-aware allocation.
 	regionOf func(int) trace.Region
-	// regionSeq holds each region's never-allocated indices in ascending
-	// order; regionFree its released ones, most recent first.
-	regionSeq  map[trace.Region][]int
-	regionFree map[trace.Region][]int
+	// pools holds each region's free-node indexes behind a per-region lock.
+	pools map[trace.Region]*regionPool
+}
+
+// regionPool indexes one region's free nodes: seq holds the never-allocated
+// indices in ascending order, free the released ones most recent first.
+type regionPool struct {
+	mu   sync.Mutex
+	seq  []int
+	free []int
+}
+
+// init sets the allocatable range [start, max) and sizes the taken bitmap.
+// Must run before initRegions and before the first acquire.
+func (a *nodeAllocator) init(start, max int) {
+	a.next.Store(int64(start))
+	a.max = max
+	a.taken = make([]atomic.Bool, max)
 }
 
 // initRegions indexes the allocatable node range by region. Must run after
-// next/max are set and before the first acquire.
+// init and before the first acquire.
 func (a *nodeAllocator) initRegions(lat *trace.LatencyMatrix) {
-	a.taken = make([]bool, a.max)
 	a.regionOf = lat.RegionOf
-	a.regionSeq = make(map[trace.Region][]int, lat.NumRegions())
-	a.regionFree = make(map[trace.Region][]int, lat.NumRegions())
-	for idx := a.next; idx < a.max; idx++ {
+	a.pools = make(map[trace.Region]*regionPool, lat.NumRegions())
+	for idx := int(a.next.Load()); idx < a.max; idx++ {
 		r := lat.RegionOf(idx)
-		a.regionSeq[r] = append(a.regionSeq[r], idx)
+		p := a.pools[r]
+		if p == nil {
+			p = &regionPool{}
+			a.pools[r] = p
+		}
+		p.seq = append(p.seq, idx)
 	}
+}
+
+// claim wins an index for the caller; false means another path owns it and
+// the entry the caller popped was stale.
+func (a *nodeAllocator) claim(idx int) bool {
+	return a.taken[idx].CompareAndSwap(false, true)
 }
 
 func (a *nodeAllocator) acquire() (int, bool) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.acquireLocked()
-}
-
-func (a *nodeAllocator) acquireLocked() (int, bool) {
 	for n := len(a.free); n > 0; n = len(a.free) {
 		idx := a.free[n-1]
 		a.free = a.free[:n-1]
-		if !a.taken[idx] {
-			a.taken[idx] = true
+		if a.claim(idx) {
+			a.mu.Unlock()
 			return idx, true
 		}
 	}
-	for a.next < a.max {
-		idx := a.next
-		a.next++
-		if !a.taken[idx] {
-			a.taken[idx] = true
-			return idx, true
+	a.mu.Unlock()
+	for {
+		n := a.next.Load()
+		if n >= int64(a.max) {
+			return 0, false
 		}
+		if !a.next.CompareAndSwap(n, n+1) {
+			continue
+		}
+		if a.claim(int(n)) {
+			return int(n), true
+		}
+		// The cursor index was consumed through a region pool; advance.
 	}
-	return 0, false
 }
 
 // acquireIn prefers a node of the hinted region, falling back to the default
@@ -188,12 +225,10 @@ func (a *nodeAllocator) acquireIn(hint RegionHint) (int, bool) {
 	if !ok || a.regionOf == nil {
 		return a.acquire()
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if idx, ok := a.acquireRegionLocked(r); ok {
+	if idx, ok := a.acquireRegion(r); ok {
 		return idx, true
 	}
-	return a.acquireLocked()
+	return a.acquire()
 }
 
 // acquireInStrict hands out a node of exactly the given region, failing
@@ -205,51 +240,64 @@ func (a *nodeAllocator) acquireInStrict(r trace.Region) (int, bool) {
 	if a.regionOf == nil {
 		return a.acquire()
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.acquireRegionLocked(r)
+	return a.acquireRegion(r)
 }
 
-// acquireRegionLocked takes a free node of the region — released ones
-// first, then never-allocated ones — lazily discarding pool entries the
-// taken bitmap marks as consumed through another path. Callers hold mu.
-func (a *nodeAllocator) acquireRegionLocked(r trace.Region) (int, bool) {
-	pool := a.regionFree[r]
-	for n := len(pool); n > 0; n = len(pool) {
-		idx := pool[n-1]
-		pool = pool[:n-1]
-		if !a.taken[idx] {
-			a.taken[idx] = true
-			a.regionFree[r] = pool
+// acquireRegion takes a free node of the region — released ones first, then
+// never-allocated ones — lazily discarding pool entries the taken bitmap
+// marks as consumed through another path. Only the region's own lock is
+// held; the taken CAS arbitrates against every other acquisition path.
+func (a *nodeAllocator) acquireRegion(r trace.Region) (int, bool) {
+	p := a.pools[r]
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n := len(p.free); n > 0; n = len(p.free) {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		if a.claim(idx) {
 			return idx, true
 		}
 	}
-	a.regionFree[r] = pool
-	seq := a.regionSeq[r]
-	for len(seq) > 0 {
-		idx := seq[0]
-		seq = seq[1:]
-		if !a.taken[idx] {
-			a.taken[idx] = true
-			a.regionSeq[r] = seq
+	for len(p.seq) > 0 {
+		idx := p.seq[0]
+		p.seq = p.seq[1:]
+		if a.claim(idx) {
 			return idx, true
 		}
 	}
-	a.regionSeq[r] = seq
 	return 0, false
 }
 
+// takenCount reports how many indices are currently allocated (tests and
+// leak audits; assumes a quiescent allocator).
+func (a *nodeAllocator) takenCount() int {
+	n := 0
+	for i := range a.taken {
+		if a.taken[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
 func (a *nodeAllocator) release(idx int) {
+	// The order matters: the index must read free before any pool lists it
+	// again, or a concurrent acquirer could pop the fresh entry and lose the
+	// CAS against the stale taken bit.
+	a.taken[idx].Store(false)
 	a.mu.Lock()
-	if a.taken != nil {
-		a.taken[idx] = false
-	}
 	a.free = append(a.free, idx)
-	if a.regionOf != nil {
-		r := a.regionOf(idx)
-		a.regionFree[r] = append(a.regionFree[r], idx)
-	}
 	a.mu.Unlock()
+	if a.regionOf != nil {
+		if p := a.pools[a.regionOf(idx)]; p != nil {
+			p.mu.Lock()
+			p.free = append(p.free, idx)
+			p.mu.Unlock()
+		}
+	}
 }
 
 // NewControllerFromConfig builds the control plane from an explicit Config.
@@ -288,11 +336,10 @@ func NewControllerFromConfig(cfg Config) (*Controller, error) {
 	}
 	// Place one LSC at the first node of each region. Node indices
 	// 1..NumRegions are reserved; viewers start after them.
-	c.nodes.next = 1 + cfg.Latency.NumRegions()
-	c.nodes.max = cfg.Latency.Nodes()
-	if c.nodes.next > c.nodes.max {
+	if 1+cfg.Latency.NumRegions() > cfg.Latency.Nodes() {
 		return nil, fmt.Errorf("session: latency matrix too small for %d regions", cfg.Latency.NumRegions())
 	}
+	c.nodes.init(1+cfg.Latency.NumRegions(), cfg.Latency.Nodes())
 	c.nodes.initRegions(cfg.Latency)
 	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {

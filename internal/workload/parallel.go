@@ -15,12 +15,19 @@ import (
 // parallelRunner is the wall-clock executor: it streams the scenario in time
 // order, bins due events into windows of BatchWindow simulated time, and
 // dispatches each window as JoinBatch/DepartBatch fan-outs (and a bounded
-// view-change worker pool) across the LSC shards. Bins execute sequentially
-// and a viewer's events never reorder — within a bin, consecutive events of
-// one kind form a run, and runs execute in schedule order — so causality
-// holds while every fan-out runs R regions wide. This is the deployment
-// shape the paper's GSC/LSC split describes: many simultaneous arrivals hit
-// region shards concurrently, and the Result reports the achieved joins/s.
+// view-change worker pool) across the LSC shards.
+//
+// Bins are pipelined, not barriered: bin k+1 is dispatched as soon as its
+// viewer-ID set is disjoint from every bin still in flight, so its
+// prepare/routing phase overlaps bin k's shard admissions. Two events for
+// one viewer can therefore never reorder — a bin naming viewer X waits until
+// every earlier bin holding X has fully settled — and within a bin,
+// consecutive events of one kind form a run, and runs execute in schedule
+// order. The MaxInFlight option stays the global backpressure bound: the
+// pipeline admits a new bin only while the total in-flight event count has
+// room. This is the deployment shape the paper's GSC/LSC split describes:
+// many simultaneous arrivals hit region shards concurrently, and the Result
+// reports the achieved joins/s.
 type parallelRunner struct{}
 
 func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, producers *model.Session, sc Scenario, opts ...Option) (Result, error) {
@@ -29,7 +36,7 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 	stats := NewStatsSink()
 	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
 	t := newTally(sc.Name())
-	ex := &parallelExec{ctx: ctx, ctrl: ctrl, producers: producers, o: o, t: t}
+	ex := newParallelExec(ctx, ctrl, producers, o, t)
 
 	start := time.Now()
 	var (
@@ -39,12 +46,15 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 		nextSample = o.SampleEvery
 		horizon    time.Duration
 	)
+	// Sampling needs a quiescent control plane, so the pipeline is drained
+	// before any sample point is taken (samples are sparse relative to bins;
+	// the common bin boundary keeps the pipeline full).
 	sampleUpTo := func(limit time.Duration, inclusive bool) error {
 		for nextSample < limit || (inclusive && nextSample == limit) {
 			if mon := ctrl.Monitor(); mon != nil {
 				mon.Advance(nextSample)
 			}
-			sinks.Record(t.sample(nextSample, ctrl.Stats()))
+			sinks.Record(t.sample(nextSample, ctrl.SampleStats()))
 			if o.Validate {
 				if err := ctrl.Validate(); err != nil {
 					return fmt.Errorf("invariants at %v: %w", nextSample, err)
@@ -65,6 +75,7 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 			break
 		}
 		if ev.At < lastAt {
+			ex.drain()
 			return Result{}, fmt.Errorf("workload: scenario %s emitted %v at %v after %v: out of order",
 				sc.Name(), ev.Kind, ev.At, lastAt)
 		}
@@ -72,20 +83,29 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 		if len(bin) == 0 {
 			binStart = ev.At
 		} else if ev.At >= binStart+o.BatchWindow {
-			if err := ex.flush(bin); err != nil {
+			if err := ex.dispatch(bin); err != nil {
 				return Result{}, err
 			}
-			bin = bin[:0]
-			// Every event before ev has executed, so sample points up to
-			// (exclusively) ev.At see a settled, quiescent control plane.
-			if err := sampleUpTo(ev.At, false); err != nil {
-				return Result{}, err
+			bin = nil // the dispatched bin owns its backing array now
+			if nextSample < ev.At {
+				// Sample points before ev.At must see every earlier event
+				// settled and quiescent; bins without a due sample keep
+				// flowing through the pipeline un-barriered.
+				if err := ex.drain(); err != nil {
+					return Result{}, err
+				}
+				if err := sampleUpTo(ev.At, false); err != nil {
+					return Result{}, err
+				}
 			}
 			binStart = ev.At
 		}
 		bin = append(bin, ev)
 	}
-	if err := ex.flush(bin); err != nil {
+	if err := ex.dispatch(bin); err != nil {
+		return Result{}, err
+	}
+	if err := ex.drain(); err != nil {
 		return Result{}, err
 	}
 	horizon = o.Horizon
@@ -102,13 +122,117 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 	return t.finish(stats, sinks)
 }
 
-// parallelExec executes one bin at a time on behalf of the runner.
+// parallelExec executes bins on behalf of the runner, pipelining bins whose
+// viewer sets are disjoint.
 type parallelExec struct {
 	ctx       context.Context
 	ctrl      *session.Controller
 	producers *model.Session
 	o         Options
-	t         *tally
+
+	// t is the run tally; tmu guards it because concurrently in-flight bins
+	// record outcomes concurrently. (The runner itself reads the tally only
+	// after drain, under the happens-before edge mu provides.)
+	t   *tally
+	tmu sync.Mutex
+
+	// mu guards the pipeline state below; cond signals bins settling.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight []*binJob
+	events   int   // events across in-flight bins; MaxInFlight bounds it
+	err      error // first bin failure; fails every later dispatch
+}
+
+// binJob tracks one in-flight bin: its viewer-ID set (the disjointness rule)
+// and its event count (the backpressure bound).
+type binJob struct {
+	ids map[model.ViewerID]struct{}
+	n   int
+}
+
+func newParallelExec(ctx context.Context, ctrl *session.Controller, producers *model.Session, o Options, t *tally) *parallelExec {
+	ex := &parallelExec{ctx: ctx, ctrl: ctrl, producers: producers, o: o, t: t}
+	ex.cond = sync.NewCond(&ex.mu)
+	return ex
+}
+
+// dispatch hands one bin to the pipeline. It blocks while any in-flight bin
+// shares a viewer with this one — the disjointness rule that preserves
+// per-viewer event order — or while the bin would overflow the MaxInFlight
+// window, then executes the bin on its own goroutine so the next bin's
+// routing and view composition overlap this bin's shard admissions. A bin
+// larger than MaxInFlight on its own is admitted alone (its runs are chunked
+// internally). Dispatch takes ownership of the bin slice.
+func (ex *parallelExec) dispatch(bin []Event) error {
+	if len(bin) == 0 {
+		return nil
+	}
+	ids := make(map[model.ViewerID]struct{}, len(bin))
+	for _, ev := range bin {
+		ids[ev.Viewer] = struct{}{}
+	}
+	job := &binJob{ids: ids, n: len(bin)}
+	ex.mu.Lock()
+	for ex.err == nil && (ex.overlapsLocked(ids) || (ex.events > 0 && ex.events+job.n > ex.o.MaxInFlight)) {
+		ex.cond.Wait()
+	}
+	if ex.err != nil {
+		err := ex.err
+		ex.mu.Unlock()
+		return err
+	}
+	ex.inflight = append(ex.inflight, job)
+	ex.events += job.n
+	ex.mu.Unlock()
+	go func() {
+		err := ex.flush(bin)
+		ex.mu.Lock()
+		for i, j := range ex.inflight {
+			if j == job {
+				ex.inflight = append(ex.inflight[:i], ex.inflight[i+1:]...)
+				break
+			}
+		}
+		ex.events -= job.n
+		if err != nil && ex.err == nil {
+			ex.err = err
+		}
+		ex.cond.Broadcast()
+		ex.mu.Unlock()
+	}()
+	return nil
+}
+
+// overlapsLocked reports whether ids intersects any in-flight bin's viewer
+// set. Callers hold mu. Bins are adjacent windows of one schedule, so the
+// sets are small and the scan is cheap next to a batch dispatch.
+func (ex *parallelExec) overlapsLocked(ids map[model.ViewerID]struct{}) bool {
+	for _, job := range ex.inflight {
+		small, big := ids, job.ids
+		if len(big) < len(small) {
+			small, big = big, small
+		}
+		for id := range small {
+			if _, ok := big[id]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drain blocks until every in-flight bin has settled, returning the first
+// bin failure. After drain the control plane is quiescent (safe to sample
+// and validate) and the tally is safe to read from the runner goroutine.
+func (ex *parallelExec) drain() error {
+	ex.mu.Lock()
+	for len(ex.inflight) > 0 {
+		ex.cond.Wait()
+	}
+	err := ex.err
+	ex.mu.Unlock()
+	return err
 }
 
 // flush executes one bin: schedule-order runs of consecutive same-kind
@@ -157,39 +281,51 @@ func (ex *parallelExec) joinRun(run []Event) error {
 		if end > len(reqs) {
 			end = len(reqs)
 		}
-		for _, out := range ex.ctrl.JoinBatch(ex.ctx, reqs[at:end]) {
+		outs := ex.ctrl.JoinBatch(ex.ctx, reqs[at:end])
+		ex.tmu.Lock()
+		for _, out := range outs {
 			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
+				ex.tmu.Unlock()
 				return fmt.Errorf("workload join %s: %w", out.ID, out.Err)
 			}
 			ex.t.join(out.ID, out.Outcome, out.Err == nil)
 		}
+		ex.tmu.Unlock()
 	}
 	return nil
 }
 
 // departRun departs the still-routed viewers of a run through the sharded
 // batch path; events for already-departed viewers — including a duplicate
-// earlier in the same run — are stale and skipped.
+// earlier in the same run — are stale and skipped. Reading the routed set is
+// safe against concurrent bins because in-flight viewer sets are disjoint:
+// no other bin can route or unroute this run's viewers.
 func (ex *parallelExec) departRun(run []Event) error {
 	ids := make([]model.ViewerID, 0, len(run))
 	seen := make(map[model.ViewerID]bool, len(run))
+	ex.tmu.Lock()
 	for _, ev := range run {
 		if _, ok := ex.t.routed[ev.Viewer]; ok && !seen[ev.Viewer] {
 			seen[ev.Viewer] = true
 			ids = append(ids, ev.Viewer)
 		}
 	}
+	ex.tmu.Unlock()
 	for at := 0; at < len(ids); at += ex.o.MaxInFlight {
 		end := at + ex.o.MaxInFlight
 		if end > len(ids) {
 			end = len(ids)
 		}
-		for _, out := range ex.ctrl.DepartBatch(ex.ctx, ids[at:end]) {
+		outs := ex.ctrl.DepartBatch(ex.ctx, ids[at:end])
+		ex.tmu.Lock()
+		for _, out := range outs {
 			if out.Err != nil {
+				ex.tmu.Unlock()
 				return fmt.Errorf("workload leave %s: %w", out.ID, out.Err)
 			}
 			ex.t.leave(out.ID)
 		}
+		ex.tmu.Unlock()
 	}
 	return nil
 }
@@ -202,6 +338,7 @@ func (ex *parallelExec) departRun(run []Event) error {
 func (ex *parallelExec) migrateRun(run []Event) error {
 	last := make(map[model.ViewerID]int, len(run))
 	migs := make([]session.Migration, 0, len(run))
+	ex.tmu.Lock()
 	for _, ev := range run {
 		if _, ok := ex.t.routed[ev.Viewer]; !ok {
 			continue
@@ -218,17 +355,22 @@ func (ex *parallelExec) migrateRun(run []Event) error {
 		last[ev.Viewer] = len(migs)
 		migs = append(migs, mig)
 	}
+	ex.tmu.Unlock()
 	for at := 0; at < len(migs); at += ex.o.MaxInFlight {
 		end := at + ex.o.MaxInFlight
 		if end > len(migs) {
 			end = len(migs)
 		}
-		for _, out := range ex.ctrl.MigrateBatch(ex.ctx, migs[at:end]) {
+		outs := ex.ctrl.MigrateBatch(ex.ctx, migs[at:end])
+		ex.tmu.Lock()
+		for _, out := range outs {
 			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) && !errors.Is(out.Err, session.ErrMatrixExhausted) {
+				ex.tmu.Unlock()
 				return fmt.Errorf("workload migrate %s: %w", out.ID, out.Err)
 			}
 			ex.t.migrate(out.ID, out.Outcome)
 		}
+		ex.tmu.Unlock()
 	}
 	return nil
 }
@@ -241,11 +383,13 @@ func (ex *parallelExec) migrateRun(run []Event) error {
 // apply in schedule order and the later view always wins.
 func (ex *parallelExec) viewChangeRun(run []Event) error {
 	live := make([]Event, 0, len(run))
+	ex.tmu.Lock()
 	for _, ev := range run {
 		if _, ok := ex.t.routed[ev.Viewer]; ok {
 			live = append(live, ev)
 		}
 	}
+	ex.tmu.Unlock()
 	inWave := make(map[model.ViewerID]bool, len(live))
 	for start := 0; start < len(live); {
 		end := start
@@ -287,6 +431,8 @@ func (ex *parallelExec) viewChangeWave(wave []Event) error {
 		}(i, ev)
 	}
 	wg.Wait()
+	ex.tmu.Lock()
+	defer ex.tmu.Unlock()
 	for i, res := range results {
 		if res.err != nil {
 			return res.err

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+)
+
+// TestPipelinePreservesPerViewerOrder pins the pipelined executor's ordering
+// guarantee: two events for one viewer never reorder, even across adjacent
+// bins that execute concurrently. The schedule alternates join and leave for
+// every viewer across many small bins — so each viewer's correctness depends
+// entirely on cross-bin ordering — while different viewers land in different
+// bins, giving the pipeline real overlap to get wrong. Every viewer is
+// pinned to one region by hint, so the event stream's per-region sequence
+// numbers totally order each viewer's control-plane events; the test fails
+// if any viewer's observed history is not exactly join, depart, join,
+// depart, ... Run under -race in CI, this also sweeps the executor's tally
+// and pipeline state for data races.
+func TestPipelinePreservesPerViewerOrder(t *testing.T) {
+	const (
+		viewers = 32
+		regions = 8
+		cycles  = 16 // alternating join (even) / leave (odd)
+	)
+	producers, err := model.NewSession(
+		model.NewRingSite("A", 8, 2.0, 10),
+		model.NewRingSite("B", 8, 2.0, 10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversize the matrix so every region's pool always has a free node:
+	// the hint must never fall back cross-region, or the per-region event
+	// sequence stops totally ordering a viewer's history.
+	latCfg := trace.DefaultLatencyConfig(8*viewers+regions+1, 23)
+	latCfg.Regions = regions
+	lat, err := trace.GenerateLatencyMatrix(latCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := session.NewController(producers, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for c := 0; c < cycles; c++ {
+		for v := 0; v < viewers; v++ {
+			ev := Event{
+				At:     time.Duration(c*viewers+v) * 2 * time.Millisecond,
+				Viewer: model.ViewerID(string(rune('a'+v/26)) + string(rune('a'+v%26))),
+				Region: session.InRegion(trace.Region(v % regions)),
+			}
+			if c%2 == 0 {
+				ev.Kind = EventJoin
+				ev.OutboundMbps = 4
+			} else {
+				ev.Kind = EventLeave
+			}
+			events = append(events, ev)
+		}
+	}
+	sub := ctrl.Subscribe()
+	res, err := NewParallelRunner().Run(context.Background(), ctrl, producers,
+		Schedule("order-pin", events),
+		WithValidation(true),
+		WithBatchWindow(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	sub.Close()
+	if res.Joins != viewers*cycles/2 {
+		t.Fatalf("admitted %d joins, want %d", res.Joins, viewers*cycles/2)
+	}
+	if res.Leaves != viewers*cycles/2 {
+		t.Fatalf("executed %d leaves, want %d (a skipped leave means its join ran late)", res.Leaves, viewers*cycles/2)
+	}
+	if n := sub.Dropped(); n != 0 {
+		t.Fatalf("event stream dropped %d events; ordering unobservable", n)
+	}
+	history := make(map[model.ViewerID][]session.EventKind)
+	regionOf := make(map[model.ViewerID]trace.Region)
+	for ev := range sub.Events() {
+		switch ev.Kind {
+		case session.EventJoinAccepted, session.EventJoinRejected, session.EventDeparted:
+		default:
+			continue
+		}
+		if r, ok := regionOf[ev.Viewer]; ok && r != ev.Region {
+			t.Fatalf("viewer %s crossed regions (%d → %d); the hint pin failed", ev.Viewer, r, ev.Region)
+		}
+		regionOf[ev.Viewer] = ev.Region
+		history[ev.Viewer] = append(history[ev.Viewer], ev.Kind)
+	}
+	if len(history) != viewers {
+		t.Fatalf("observed %d viewers, want %d", len(history), viewers)
+	}
+	for id, kinds := range history {
+		if len(kinds) != cycles {
+			t.Fatalf("viewer %s: %d events, want %d: %v", id, len(kinds), cycles, kinds)
+		}
+		for i, k := range kinds {
+			want := session.EventJoinAccepted
+			if i%2 == 1 {
+				want = session.EventDeparted
+			}
+			if k != want {
+				t.Fatalf("viewer %s reordered: event %d is %v, want %v (history %v)", id, i, k, want, kinds)
+			}
+		}
+	}
+}
+
+// TestPipelineMobilityFineBins drives the mobility catalog scenario — whose
+// migrations touch the routing table, the allocator, and two shard
+// registries at once — through the pipelined executor with bins an order of
+// magnitude finer than the default, maximizing cross-bin concurrency, with
+// the invariant checker on at every sample.
+func TestPipelineMobilityFineBins(t *testing.T) {
+	const seed = 29
+	sc, err := FromCatalog("mobility", Knobs{Seed: seed, Audience: 180, Duration: 12 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := Collect(sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, producers := newScenarioController(t, events, seed)
+	res, err := NewParallelRunner().Run(context.Background(), ctrl, producers,
+		Schedule("mobility-fine", events),
+		WithSeed(seed),
+		WithValidation(true),
+		WithBatchWindow(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("mobility landed no migrations")
+	}
+	if err := ctrl.Validate(); err != nil {
+		t.Fatalf("invariants after run: %v", err)
+	}
+}

@@ -355,7 +355,7 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 			if mon := ctrl.Monitor(); mon != nil {
 				mon.Advance(at)
 			}
-			sinks.Record(t.sample(at, ctrl.Stats()))
+			sinks.Record(t.sample(at, ctrl.SampleStats()))
 			if o.Validate {
 				if err := ctrl.Validate(); err != nil {
 					fail(fmt.Errorf("invariants at %v: %w", at, err))
