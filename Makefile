@@ -18,7 +18,7 @@ BENCH_PKGS = . ./internal/session
 GUARD_BENCH = BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$$
 MAX_REGRESS = 0.25
 
-.PHONY: build test test-race bench bench-json bench-smoke vet lint
+.PHONY: build test test-race bench bench-json bench-smoke e2e-smoke vet lint
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,14 @@ test: vet
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu
+	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu ./internal/httpapi
+
+# e2e-smoke starts `telecast-node serve` on loopback (race-instrumented),
+# replays a catalog scenario against it over the wire, and fails unless the
+# client's acceptance counters match the server's /metricz totals and the
+# SIGTERM drain exits cleanly.
+e2e-smoke:
+	./scripts/e2e_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS)

@@ -1,27 +1,64 @@
-// Command telecast-node runs a live 4D TeleCast overlay on real TCP
-// sockets: producers, one CDN edge, and a fleet of viewer gateways exchange
-// S-RTP frames while the control plane maintains the per-view streaming
-// trees. It is the zero-to-streaming demonstration binary; the examples
-// directory shows the same machinery driven as a library.
+// Command telecast-node runs a 4D TeleCast node in one of three modes.
+//
+// The default mode is the zero-to-streaming demo: a live overlay on real TCP
+// sockets where producers, one CDN edge, and a fleet of viewer gateways
+// exchange S-RTP frames while the control plane maintains the per-view
+// streaming trees.
+//
+// The serve mode hosts the control plane as an HTTP/JSON service — the
+// networked GSC/LSC deployment shape — and the replay mode drives any
+// catalog workload scenario against such a server entirely over the wire,
+// reporting achieved joins/s and cross-checking its client-side counters
+// against the server's /metricz totals.
 //
 // Usage:
 //
 //	telecast-node -viewers 8 -duration 5s
 //	telecast-node -viewers 12 -seeds 3 -churn
+//	telecast-node serve -addr 127.0.0.1:7465
+//	telecast-node replay -addr 127.0.0.1:7465 -scenario regional-hotspot -verify
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"telecast"
+	"telecast/internal/cdn"
+	"telecast/internal/httpapi"
+	"telecast/internal/httpapi/client"
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+	"telecast/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "replay":
+			if err := runReplay(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
 	viewers := flag.Int("viewers", 6, "number of viewer gateways to launch")
 	seeds := flag.Int("seeds", 2, "viewers that donate outbound bandwidth")
 	duration := flag.Duration("duration", 4*time.Second, "streaming time before the report")
@@ -29,12 +66,239 @@ func main() {
 	dump := flag.Bool("dump", false, "print the dissemination trees before the report")
 	flag.Parse()
 
-	if err := run(*viewers, *seeds, *duration, *churn, *dump); err != nil {
+	if err := runDemo(*viewers, *seeds, *duration, *churn, *dump); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(viewers, seeds int, duration time.Duration, churn, dump bool) error {
+// runServe hosts the control plane behind the httpapi surface until SIGINT/
+// SIGTERM, then drains gracefully: health flips to draining, event feeds
+// terminate, in-flight batches finish, and the controller shuts down.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7465", "listen address")
+	seed := fs.Int64("seed", 42, "latency-matrix seed")
+	maxViewers := fs.Int("max-viewers", 2000, "latency-matrix capacity (max concurrent viewers)")
+	cdnMbps := fs.Float64("cdn-mbps", 6000, "CDN egress capacity in Mbps (0 = unbounded)")
+	sites := fs.Int("sites", 2, "producer sites")
+	streams := fs.Int("streams", 8, "camera streams per site")
+	cutoff := fs.Float64("cutoff", 0.5, "differentiation-function cutoff")
+	maxParallel := fs.Int("max-parallel", 0, "view-change worker pool bound (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	siteList := make([]model.Site, 0, *sites)
+	for i := 0; i < *sites; i++ {
+		id := model.SiteID(string(rune('A' + i)))
+		siteList = append(siteList, model.NewRingSite(id, *streams, 2.0, 10))
+	}
+	producers, err := model.NewSession(siteList...)
+	if err != nil {
+		return err
+	}
+	lat, err := trace.GenerateLatencyMatrix(trace.DefaultLatencyConfig(*maxViewers+16, *seed))
+	if err != nil {
+		return err
+	}
+	cdnCfg := cdn.DefaultConfig()
+	cdnCfg.OutboundCapacityMbps = *cdnMbps
+	ctrl, err := session.NewController(producers, lat,
+		session.WithCutoffDF(*cutoff),
+		session.WithCDN(cdnCfg))
+	if err != nil {
+		return err
+	}
+
+	api := httpapi.NewServer(ctrl, producers, *maxParallel)
+	hs := &http.Server{Addr: *addr, Handler: api.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("telecast-node serve: control plane on http://%s (%d regions, CDN %g Mbps)",
+			*addr, trace.DefaultRegions, *cdnMbps)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("telecast-node serve: draining")
+	api.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	ctrl.Close()
+	log.Printf("telecast-node serve: stopped")
+	return nil
+}
+
+// runReplay drives a catalog scenario against a serve instance over HTTP:
+// the wall-clock executor with its binning, disjoint-bin pipelining, and
+// MaxInFlight windows intact, just with the wire as the control plane.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7465", "server address (host:port or URL)")
+	scenario := fs.String("scenario", "flash-churn", "catalog scenario: "+strings.Join(workload.CatalogNames(), "|"))
+	audience := fs.Int("audience", 1000, "scenario audience size")
+	duration := fs.Duration("duration", 30*time.Second, "scenario horizon (simulated time)")
+	seed := fs.Int64("seed", 42, "scenario seed")
+	inbound := fs.Float64("inbound", 12, "per-viewer inbound capacity in Mbps")
+	window := fs.Duration("window", 250*time.Millisecond, "executor batch window (simulated time)")
+	maxInFlight := fs.Int("max-inflight", 512, "executor in-flight request bound")
+	samples := fs.String("samples", "", "write the per-second time series to this file (.json for JSON Lines, CSV otherwise)")
+	verify := fs.Bool("verify", false, "fail unless client-side counters match the server's /metricz totals")
+	waitReady := fs.Duration("wait-ready", 10*time.Second, "how long to wait for the server's /healthz")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := client.New(base)
+	ctx := context.Background()
+	if err := awaitReady(ctx, cl, *waitReady); err != nil {
+		return err
+	}
+
+	sc, err := workload.FromCatalog(*scenario, workload.Knobs{
+		Seed:       *seed,
+		Audience:   *audience,
+		Duration:   *duration,
+		ViewAngles: []float64{0, math.Pi / 2, math.Pi},
+	})
+	if err != nil {
+		return err
+	}
+
+	opts := []workload.Option{
+		workload.WithSeed(*seed),
+		workload.WithInbound(*inbound),
+		workload.WithBatchWindow(*window),
+		workload.WithMaxInFlight(*maxInFlight),
+	}
+	if *samples != "" {
+		f, err := os.Create(*samples)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*samples, ".json") {
+			opts = append(opts, workload.WithSink(workload.NewJSONSink(f)))
+		} else {
+			opts = append(opts, workload.WithSink(workload.NewCSVSink(f)))
+		}
+	}
+
+	// Totals are cumulative for the server's lifetime; delta against a
+	// pre-run snapshot so replaying against a warm server still verifies.
+	before, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metricz before run: %w", err)
+	}
+	res, err := workload.RunRemote(ctx, cl, sc, opts...)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", *scenario, err)
+	}
+	after, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metricz after run: %w", err)
+	}
+
+	fmt.Printf("replay %q over %s\n", *scenario, base)
+	fmt.Printf("  joins %d (rejected %d), leaves %d, view changes %d (%d rejected), migrations %d (%d bounced)\n",
+		res.Joins, res.Rejected, res.Leaves, res.ViewChanges, res.ViewChangesRejected,
+		res.Migrations, res.MigrationsBounced)
+	fmt.Printf("  peak audience %d across %d regions; elapsed %v; achieved %.0f joins/s\n",
+		res.PeakViewers, res.Regions, res.Elapsed.Round(time.Millisecond), res.JoinsPerSec)
+	fmt.Printf("  acceptance: final %.3f, minimum %.3f\n", res.FinalAcceptance, res.MinAcceptance)
+	if *samples != "" {
+		fmt.Printf("  samples written to %s\n", *samples)
+	}
+
+	if *verify {
+		if err := verifyTotals(res, delta(before.Totals, after.Totals)); err != nil {
+			return err
+		}
+		fmt.Println("  verify: client counters match server /metricz totals")
+	}
+	return nil
+}
+
+// awaitReady polls /healthz until the server answers ok.
+func awaitReady(ctx context.Context, cl *client.Client, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		h, err := cl.Health(ctx)
+		if err == nil && h.Status == "ok" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("status %q", h.Status)
+			}
+			return fmt.Errorf("server not ready after %v: %w", patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// delta subtracts the pre-run totals snapshot.
+func delta(before, after httpapi.Totals) httpapi.Totals {
+	return httpapi.Totals{
+		JoinsAccepted:       after.JoinsAccepted - before.JoinsAccepted,
+		JoinsRejected:       after.JoinsRejected - before.JoinsRejected,
+		Leaves:              after.Leaves - before.Leaves,
+		ViewChanges:         after.ViewChanges - before.ViewChanges,
+		ViewChangesRejected: after.ViewChangesRejected - before.ViewChangesRejected,
+		MigrationsLanded:    after.MigrationsLanded - before.MigrationsLanded,
+		MigrationsBounced:   after.MigrationsBounced - before.MigrationsBounced,
+		Requests:            after.Requests - before.Requests,
+		Batches:             after.Batches - before.Batches,
+	}
+}
+
+// verifyTotals cross-checks the replay's client-side tally against the
+// server's outcome totals — both ends counted independently from the same
+// wire traffic, so any lost request, duplicated dispatch, or decode skew
+// breaks an equality.
+func verifyTotals(res workload.Result, tot httpapi.Totals) error {
+	checks := []struct {
+		name           string
+		client, server uint64
+	}{
+		{"joins accepted", uint64(res.Joins), tot.JoinsAccepted},
+		{"joins rejected", uint64(res.Rejected), tot.JoinsRejected},
+		{"leaves", uint64(res.Leaves), tot.Leaves},
+		{"view changes", uint64(res.ViewChanges), tot.ViewChanges},
+		{"view changes rejected", uint64(res.ViewChangesRejected), tot.ViewChangesRejected},
+		{"migrations landed", uint64(res.Migrations), tot.MigrationsLanded},
+		{"migrations bounced", uint64(res.MigrationsBounced), tot.MigrationsBounced},
+	}
+	var bad []string
+	for _, c := range checks {
+		if c.client != c.server {
+			bad = append(bad, fmt.Sprintf("%s: client %d vs server %d", c.name, c.client, c.server))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("verify failed: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+func runDemo(viewers, seeds int, duration time.Duration, churn, dump bool) error {
 	if viewers < 1 {
 		return fmt.Errorf("need at least one viewer, got %d", viewers)
 	}

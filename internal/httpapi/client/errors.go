@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"telecast/internal/httpapi"
+	"telecast/internal/model"
+	"telecast/internal/session"
+)
+
+// Error is a decoded wire error. It wraps the reconstructed typed value —
+// the session sentinel, a rebuilt *session.RejectionError, or a context
+// error — so errors.Is and errors.As match across the wire exactly as they
+// would in-process.
+type Error struct {
+	Code    string
+	Message string
+	under   error
+}
+
+// Error renders the server's message, which already names the operation.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return fmt.Sprintf("httpapi: %s", e.Code)
+}
+
+// Unwrap exposes the reconstructed typed error.
+func (e *Error) Unwrap() error { return e.under }
+
+// DecodeError reconstructs the typed error a wire body encodes. nil stays
+// nil. Rejections rebuild the *session.RejectionError with the exact viewer
+// and numeric reason, so errors.As recovers the full value.
+func DecodeError(we *httpapi.WireError) error {
+	if we == nil {
+		return nil
+	}
+	var under error
+	switch we.Code {
+	case httpapi.CodeRejected:
+		under = &session.RejectionError{
+			Viewer: model.ViewerID(we.Viewer),
+			Reason: session.RejectReason(we.Reason),
+		}
+	case httpapi.CodeViewerExists:
+		under = session.ErrViewerExists
+	case httpapi.CodeUnknownViewer:
+		under = session.ErrUnknownViewer
+	case httpapi.CodeMigrating:
+		under = session.ErrMigrating
+	case httpapi.CodeMatrixExhausted:
+		under = session.ErrMatrixExhausted
+	case httpapi.CodeUnknownRegion:
+		under = session.ErrUnknownRegion
+	case httpapi.CodeCanceled:
+		under = context.Canceled
+	}
+	return &Error{Code: we.Code, Message: we.Message, under: under}
+}
+
+// CodeOf extracts the wire code from a decoded error ("" when err carries
+// none).
+func CodeOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}

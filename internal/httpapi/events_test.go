@@ -1,0 +1,276 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"telecast/internal/httpapi"
+	"telecast/internal/httpapi/client"
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/workload"
+)
+
+// flushBus runs one pump barrier so every event published before the call
+// is in the subscriber channels (or counted dropped) when it returns.
+func flushBus(ctrl *session.Controller) {
+	s := ctrl.Subscribe()
+	s.Flush()
+	s.Close()
+}
+
+// joinBatch admits n viewers with a name prefix and returns how many were
+// accepted.
+func joinBatch(t *testing.T, cl *client.Client, prefix string, n int) int {
+	t.Helper()
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		reqs[i] = workload.Request{
+			Kind:         workload.EventJoin,
+			ID:           model.ViewerID(fmt.Sprintf("%s%03d", prefix, i)),
+			InboundMbps:  12,
+			OutboundMbps: 4,
+		}
+	}
+	outs, err := cl.Exec(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("join batch %s: %v", prefix, err)
+	}
+	accepted := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// TestEventFeedOverWire connects a subscriber mid-churn and asserts the
+// wire feed preserves per-region admission order (Seq strictly increasing
+// per region) and delivers exactly the post-subscribe churn when nothing is
+// dropped — cross-checked against a server-side AcceptanceTracker.
+func TestEventFeedOverWire(t *testing.T) {
+	ts, ctrl, api := newTestServer(t, 400)
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	tracker := workload.TrackAcceptance(ctrl)
+
+	// Churn before the subscriber exists: its events must never reach the
+	// feed (a fresh subscription observes the stream from now on).
+	preAccepted := joinBatch(t, cl, "pre-", 40)
+	if preAccepted == 0 {
+		t.Fatal("no pre-churn admissions")
+	}
+	flushBus(ctrl)
+
+	feed, err := cl.Subscribe(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+	type feedResult struct {
+		events  []httpapi.WireEvent
+		dropped uint64
+		err     error
+	}
+	resc := make(chan feedResult, 1)
+	go func() {
+		var fr feedResult
+		for {
+			ev, err := feed.Next()
+			if err != nil {
+				if err != io.EOF {
+					fr.err = err
+				}
+				resc <- fr
+				return
+			}
+			if ev.Kind == httpapi.KindFeedDropped {
+				fr.dropped += ev.Dropped
+				continue
+			}
+			fr.events = append(fr.events, ev)
+		}
+	}()
+
+	// Mid-churn load: joins, view changes, leaves.
+	accepted := joinBatch(t, cl, "mid-", 60)
+	vcs, err := cl.Exec(ctx, []workload.Request{
+		{Kind: workload.EventViewChange, ID: "mid-000", ViewAngle: 1.5},
+		{Kind: workload.EventViewChange, ID: "mid-001", ViewAngle: 3.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcOK := 0
+	for _, o := range vcs {
+		if o.Err == nil && o.Admitted {
+			vcOK++
+		}
+	}
+	leaves, err := cl.Exec(ctx, []workload.Request{
+		{Kind: workload.EventLeave, ID: "mid-002"},
+		{Kind: workload.EventLeave, ID: "mid-003"},
+		{Kind: workload.EventLeave, ID: "pre-000"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	departed := 0
+	for _, o := range leaves {
+		if o.Err == nil {
+			departed++
+		}
+	}
+
+	// Deliver everything, then end the stream via graceful drain.
+	flushBus(ctrl)
+	api.Drain()
+	fr := <-resc
+	if fr.err != nil {
+		t.Fatalf("feed error: %v", fr.err)
+	}
+	totals := tracker.Stop()
+	if totals.EventsDropped != 0 {
+		t.Fatalf("tracker dropped %d events; sizing bug in test", totals.EventsDropped)
+	}
+	if fr.dropped != 0 {
+		t.Fatalf("feed reported %d drops; expected a lossless run", fr.dropped)
+	}
+
+	// Per-region admission order: Seq strictly increasing within a region.
+	lastSeq := map[int]uint64{}
+	var joinsSeen, departsSeen, vcSeen int
+	for _, ev := range fr.events {
+		if ev.Seq <= lastSeq[ev.Region] {
+			t.Fatalf("region %d: seq %d after %d — per-region order broken",
+				ev.Region, ev.Seq, lastSeq[ev.Region])
+		}
+		lastSeq[ev.Region] = ev.Seq
+		switch ev.Kind {
+		case session.EventJoinAccepted.String():
+			joinsSeen++
+		case session.EventDeparted.String():
+			departsSeen++
+		case session.EventViewChanged.String():
+			vcSeen++
+		}
+	}
+	if joinsSeen != accepted {
+		t.Fatalf("feed saw %d admissions, client accepted %d mid-churn joins (pre-churn %d must be invisible)",
+			joinsSeen, accepted, preAccepted)
+	}
+	if departsSeen != departed {
+		t.Fatalf("feed saw %d departures, client executed %d", departsSeen, departed)
+	}
+	if vcSeen != vcOK {
+		t.Fatalf("feed saw %d view changes, client executed %d", vcSeen, vcOK)
+	}
+}
+
+// blockingWriter is an http.ResponseWriter whose first Write blocks until
+// the gate opens — wedging the feed handler deterministically so the pump
+// must drop events for this subscriber.
+type blockingWriter struct {
+	gate       chan struct{}
+	firstWrite chan struct{}
+	once       sync.Once
+
+	mu  sync.Mutex
+	buf bytes.Buffer
+	hdr http.Header
+}
+
+func newBlockingWriter() *blockingWriter {
+	return &blockingWriter{
+		gate:       make(chan struct{}),
+		firstWrite: make(chan struct{}),
+		hdr:        make(http.Header),
+	}
+}
+
+func (w *blockingWriter) Header() http.Header { return w.hdr }
+func (w *blockingWriter) WriteHeader(int)     {}
+func (w *blockingWriter) Flush()              {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.firstWrite) })
+	<-w.gate
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *blockingWriter) lines() [][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return bytes.Split(bytes.TrimSpace(w.buf.Bytes()), []byte("\n"))
+}
+
+// TestEventFeedSurfacesDrops wedges a feed consumer mid-churn and asserts
+// the missed events surface as an explicit feed-dropped notice — never as a
+// silent gap — while per-region order still holds for what was delivered.
+func TestEventFeedSurfacesDrops(t *testing.T) {
+	// A tiny event buffer makes the subscriber channel overflow fast.
+	ts, ctrl, api := newTestServer(t, 400, session.WithEventBuffer(8))
+	cl := client.New(ts.URL)
+
+	bw := newBlockingWriter()
+	req := httptest.NewRequest(http.MethodGet, httpapi.PathEvents, nil)
+	served := make(chan struct{})
+	go func() {
+		api.Handler().ServeHTTP(bw, req)
+		close(served)
+	}()
+
+	// First admission: its event delivery wedges the handler in Write.
+	if n := joinBatch(t, cl, "w-", 1); n != 1 {
+		t.Fatal("first join not accepted")
+	}
+	<-bw.firstWrite
+
+	// With the handler wedged and an 8-slot channel, this churn must
+	// overflow the subscription.
+	joinBatch(t, cl, "x-", 80)
+	flushBus(ctrl)
+
+	close(bw.gate)
+	flushBus(ctrl)
+	api.Drain()
+	<-served
+
+	var dropped uint64
+	var delivered int
+	lastSeq := map[int]uint64{}
+	for _, line := range bw.lines() {
+		if len(line) == 0 {
+			continue
+		}
+		var ev httpapi.WireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad feed line %q: %v", line, err)
+		}
+		if ev.Kind == httpapi.KindFeedDropped {
+			if ev.Dropped == 0 {
+				t.Fatal("feed-dropped notice with zero count")
+			}
+			dropped += ev.Dropped
+			continue
+		}
+		delivered++
+		if ev.Seq <= lastSeq[ev.Region] {
+			t.Fatalf("region %d: seq %d after %d", ev.Region, ev.Seq, lastSeq[ev.Region])
+		}
+		lastSeq[ev.Region] = ev.Seq
+	}
+	if dropped == 0 {
+		t.Fatalf("handler delivered %d events and no drop notice; expected explicit drops", delivered)
+	}
+}

@@ -1,0 +1,290 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/workload"
+)
+
+// Server hosts one session.Controller behind the HTTP surface. All four
+// operation endpoints dispatch through the same workload.ControlPlane the
+// in-process executor uses, so the wire path and the function-call path
+// share one vocabulary and one classification of outcomes.
+type Server struct {
+	ctrl  *session.Controller
+	plane workload.ControlPlane
+	mux   *http.ServeMux
+
+	totals   totals
+	draining atomic.Bool
+	done     chan struct{} // closed by Drain; event feeds exit on it
+	drainOne sync.Once
+}
+
+// totals counts outcomes with the replay tally's classification (see
+// Totals). Atomics, not a mutex: batches from concurrent bins land here.
+type totals struct {
+	joinsAccepted, joinsRejected        atomic.Uint64
+	leaves, viewChanges, viewChangesRej atomic.Uint64
+	migrationsLanded, migrationsBounced atomic.Uint64
+	requests, batches                   atomic.Uint64
+}
+
+// NewServer wraps a controller. producers is the producer session views are
+// composed against (the wire carries view angles, not views); maxParallel
+// bounds the view-change worker pool (≤0 means the plane's default).
+func NewServer(ctrl *session.Controller, producers *model.Session, maxParallel int) *Server {
+	s := &Server{
+		ctrl:  ctrl,
+		plane: workload.NewLocalPlane(ctrl, producers, maxParallel),
+		done:  make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST "+PathBatch, s.handleBatch)
+	s.mux.HandleFunc("POST "+PathJoin, s.single(workload.EventJoin))
+	s.mux.HandleFunc("POST "+PathLeave, s.single(workload.EventLeave))
+	s.mux.HandleFunc("POST "+PathView, s.single(workload.EventViewChange))
+	s.mux.HandleFunc("POST "+PathMigrate, s.single(workload.EventMigrate))
+	s.mux.HandleFunc("GET "+PathEvents, s.handleEvents)
+	s.mux.HandleFunc("GET "+PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc("GET "+PathMetricz, s.handleMetricz)
+	return s
+}
+
+// Handler is the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain begins a graceful shutdown: /healthz flips to draining (load
+// balancers stop routing here) and every streaming feed terminates so
+// http.Server.Shutdown — which waits for active handlers — can finish once
+// the in-flight batches settle. Safe to call more than once.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOne.Do(func() { close(s.done) })
+}
+
+// Metrics snapshots the /metricz body.
+func (s *Server) Metrics() Metrics {
+	counters, _ := s.plane.Counters(context.Background())
+	return Metrics{
+		Overlay: counters,
+		Totals: Totals{
+			JoinsAccepted:       s.totals.joinsAccepted.Load(),
+			JoinsRejected:       s.totals.joinsRejected.Load(),
+			Leaves:              s.totals.leaves.Load(),
+			ViewChanges:         s.totals.viewChanges.Load(),
+			ViewChangesRejected: s.totals.viewChangesRej.Load(),
+			MigrationsLanded:    s.totals.migrationsLanded.Load(),
+			MigrationsBounced:   s.totals.migrationsBounced.Load(),
+			Requests:            s.totals.requests.Load(),
+			Batches:             s.totals.batches.Load(),
+		},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, we *WireError) {
+	writeJSON(w, StatusFor(we.Code), we)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeError(w, &WireError{Code: CodeBadRequest, Message: err.Error()})
+}
+
+// count folds one executed outcome into the totals, mirroring the replay
+// tally: joins split accepted/rejected, view changes count executions and
+// refusals separately, migrations classify by where the viewer ended up.
+func (s *Server) count(kind workload.EventKind, o workload.Outcome) {
+	s.totals.requests.Add(1)
+	switch kind {
+	case workload.EventJoin:
+		if o.Err == nil {
+			s.totals.joinsAccepted.Add(1)
+		} else if errors.Is(o.Err, session.ErrRejected) {
+			s.totals.joinsRejected.Add(1)
+		}
+	case workload.EventLeave:
+		if o.Err == nil {
+			s.totals.leaves.Add(1)
+		}
+	case workload.EventViewChange:
+		if o.Err == nil || errors.Is(o.Err, session.ErrRejected) {
+			s.totals.viewChanges.Add(1)
+			if !o.Admitted {
+				s.totals.viewChangesRej.Add(1)
+			}
+		}
+	case workload.EventMigrate:
+		switch {
+		case o.Landed:
+			s.totals.migrationsLanded.Add(1)
+		case o.Restored, o.Departed:
+			s.totals.migrationsBounced.Add(1)
+		}
+	}
+}
+
+// handleBatch executes a mixed-kind batch and always answers 200 with
+// per-outcome errors embedded — request-level failures are 400s, operation
+// results are data.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		badRequest(w, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	reqs := make([]workload.Request, len(br.Requests))
+	for i, wr := range br.Requests {
+		rq, err := wr.ToRequest(0)
+		if err != nil {
+			badRequest(w, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		reqs[i] = rq
+	}
+	outs, err := s.plane.Exec(r.Context(), reqs)
+	if err != nil {
+		writeError(w, EncodeError(err))
+		return
+	}
+	s.totals.batches.Add(1)
+	resp := BatchResponse{Outcomes: make([]WireOutcome, len(outs))}
+	for i, o := range outs {
+		s.count(reqs[i].Kind, o)
+		resp.Outcomes[i] = ToWireOutcome(o)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// single builds the one-operation handler for a kind: one WireRequest in,
+// one WireOutcome out, with operation errors promoted to HTTP statuses.
+func (s *Server) single(kind workload.EventKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var wr WireRequest
+		if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+			badRequest(w, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		rq, err := wr.ToRequest(kind)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		outs, err := s.plane.Exec(r.Context(), []workload.Request{rq})
+		if err != nil {
+			writeError(w, EncodeError(err))
+			return
+		}
+		o := outs[0]
+		s.count(kind, o)
+		if o.Err != nil {
+			writeError(w, EncodeError(o.Err))
+			return
+		}
+		writeJSON(w, http.StatusOK, ToWireOutcome(o))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok"})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleEvents streams the controller's event feed: NDJSON by default,
+// server-sent events with ?format=sse. Per-region order is the
+// subscription's (Seq strictly increasing per region); events this
+// subscriber misses surface as explicit feed-dropped notices, never as
+// silent gaps.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &WireError{Code: CodeInternal, Message: "httpapi: streaming unsupported"})
+		return
+	}
+	sse := r.URL.Query().Get("format") == "sse"
+	sub := s.ctrl.Subscribe()
+	defer sub.Close()
+
+	h := w.Header()
+	if sse {
+		h.Set("Content-Type", "text/event-stream")
+	} else {
+		h.Set("Content-Type", "application/x-ndjson")
+	}
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var reported uint64
+	writeLine := func(ev WireEvent) bool {
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", buf)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", buf)
+		}
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	// deliver writes one event, preceded by a drop notice when this
+	// subscriber has missed events since the last one — a consumer tracking
+	// per-region Seq can attribute any gap instead of reading it as silence.
+	deliver := func(ev session.Event) bool {
+		if d := sub.Dropped(); d > reported {
+			if !writeLine(WireEvent{Kind: KindFeedDropped, Dropped: d - reported}) {
+				return false
+			}
+			reported = d
+		}
+		return writeLine(ToWireEvent(ev))
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Graceful drain: deliver what the pump already queued, then
+			// end the stream.
+			for {
+				select {
+				case ev, ok := <-sub.Events():
+					if !ok || !deliver(ev) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case ev, ok := <-sub.Events():
+			if !ok || !deliver(ev) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"context"
+	"sync"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+)
+
+// This file defines the controller-facing seam of the wall-clock executor:
+// one request vocabulary covering every event kind, one batched Exec verb,
+// and one cheap counter snapshot. The executor builds same-kind runs of
+// Requests and never cares who executes them — NewLocalPlane dispatches into
+// a *session.Controller in-process, and the HTTP client implements the same
+// interface over the wire, which is what lets `telecast-node replay` drive
+// any catalog scenario through a socket with the pipeline semantics intact.
+
+// Request is one control-plane operation in the executor's unified batch
+// vocabulary. Kind selects the operation; the other fields apply per kind
+// exactly as the corresponding Event fields do.
+type Request struct {
+	Kind EventKind
+	ID   model.ViewerID
+	// InboundMbps and OutboundMbps apply to joins.
+	InboundMbps  float64
+	OutboundMbps float64
+	// ViewAngle applies to joins and view changes (uniform views).
+	ViewAngle float64
+	// Region hints a join's placement or names a migration's destination.
+	Region session.RegionHint
+	// Cause labels a migration on the event stream.
+	Cause string
+	// DepartOnReject selects the migration failure policy.
+	DepartOnReject bool
+}
+
+// Outcome is the per-request result of a dispatched run, in input order.
+type Outcome struct {
+	ID model.ViewerID
+	// Region is the LSC region that processed a join; -1 when the request
+	// never reached a shard or the operation carries no region.
+	Region int
+	// Admitted reports the viewer's admission state after the operation:
+	// accepted joins and view changes, and for migrations the state the
+	// viewer ended in (landed, or restored-and-readmitted).
+	Admitted bool
+	// Landed, Restored, Departed classify migrations: landed on the
+	// destination shard, restored on the source after a destination
+	// refusal, or departed under the DepartOnReject policy. All false for
+	// a same-region no-op or an early typed failure.
+	Landed, Restored, Departed bool
+	// Err is the per-request error. Typed values — the session sentinels
+	// and *RejectionError — survive the HTTP wire and stay matchable with
+	// errors.Is / errors.As.
+	Err error
+}
+
+// Counters is the cheap counter snapshot the periodic sampler reads: the
+// SampleStats path over a local controller, /metricz over the wire. No
+// sorted distributions, no CDFs — safe to poll every simulated second.
+type Counters struct {
+	Viewers, Admitted, Rejected         int
+	StreamsRequested, StreamsAccepted   int
+	LiveStreams, ViaCDN, ViaP2P, Groups int
+	CDNOutMbps, CDNPeakMbps, CDNInMbps  float64
+}
+
+// AcceptanceRatio returns ρ = accepted/requested streams (1 before any
+// request).
+func (c Counters) AcceptanceRatio() float64 {
+	if c.StreamsRequested == 0 {
+		return 1
+	}
+	return float64(c.StreamsAccepted) / float64(c.StreamsRequested)
+}
+
+// CDNFraction returns the fraction of live subscriptions served directly by
+// the CDN (1 when nothing is live).
+func (c Counters) CDNFraction() float64 {
+	if c.LiveStreams == 0 {
+		return 1
+	}
+	return float64(c.ViaCDN) / float64(c.LiveStreams)
+}
+
+// ControlPlane is what the wall-clock executor needs from a control plane.
+// Exec executes a batch of requests and returns outcomes in input order;
+// consecutive same-kind requests form a run and runs execute in input order,
+// so a mixed batch behaves exactly like the per-kind calls it replaces.
+// Callers bound batch sizes themselves (the executor chunks by MaxInFlight).
+type ControlPlane interface {
+	Exec(ctx context.Context, reqs []Request) ([]Outcome, error)
+	Counters(ctx context.Context) (Counters, error)
+}
+
+// NewLocalPlane binds the unified vocabulary to an in-process controller:
+// join runs dispatch through JoinBatch, leaves through DepartBatch,
+// migrations through MigrateBatch, and view changes through a bounded
+// worker pool (at most maxParallel wide, ≤0 means 256) with same-viewer
+// changes split into ordered waves.
+func NewLocalPlane(ctrl *session.Controller, producers *model.Session, maxParallel int) ControlPlane {
+	if maxParallel <= 0 {
+		maxParallel = 256
+	}
+	return &localPlane{ctrl: ctrl, producers: producers, maxParallel: maxParallel}
+}
+
+type localPlane struct {
+	ctrl        *session.Controller
+	producers   *model.Session
+	maxParallel int
+}
+
+// Exec splits the batch into consecutive same-kind runs and dispatches each
+// through the controller's batch entry points.
+func (p *localPlane) Exec(ctx context.Context, reqs []Request) ([]Outcome, error) {
+	outs := make([]Outcome, len(reqs))
+	for start := 0; start < len(reqs); {
+		end := start + 1
+		for end < len(reqs) && reqs[end].Kind == reqs[start].Kind {
+			end++
+		}
+		run := reqs[start:end]
+		switch run[0].Kind {
+		case EventJoin:
+			p.execJoins(ctx, run, outs[start:end])
+		case EventLeave:
+			p.execLeaves(ctx, run, outs[start:end])
+		case EventViewChange:
+			p.execViewChanges(ctx, run, outs[start:end])
+		case EventMigrate:
+			p.execMigrations(ctx, run, outs[start:end])
+		default:
+			for i := range run {
+				outs[start+i] = Outcome{ID: run[i].ID, Region: -1}
+			}
+		}
+		start = end
+	}
+	return outs, nil
+}
+
+func (p *localPlane) execJoins(ctx context.Context, run []Request, outs []Outcome) {
+	joins := make([]session.JoinRequest, len(run))
+	for i, rq := range run {
+		joins[i] = session.JoinRequest{
+			ID:           rq.ID,
+			InboundMbps:  rq.InboundMbps,
+			OutboundMbps: rq.OutboundMbps,
+			View:         model.NewUniformView(p.producers, rq.ViewAngle),
+			Region:       rq.Region,
+		}
+	}
+	for i, b := range p.ctrl.JoinBatch(ctx, joins) {
+		o := Outcome{ID: b.ID, Region: -1, Admitted: b.Err == nil, Err: b.Err}
+		if b.Outcome != nil {
+			o.Region = b.Outcome.LSCRegion
+		}
+		outs[i] = o
+	}
+}
+
+func (p *localPlane) execLeaves(ctx context.Context, run []Request, outs []Outcome) {
+	ids := make([]model.ViewerID, len(run))
+	for i, rq := range run {
+		ids[i] = rq.ID
+	}
+	for i, b := range p.ctrl.DepartBatch(ctx, ids) {
+		outs[i] = Outcome{ID: b.ID, Region: -1, Departed: b.Err == nil, Err: b.Err}
+	}
+}
+
+func (p *localPlane) execMigrations(ctx context.Context, run []Request, outs []Outcome) {
+	migs := make([]session.Migration, len(run))
+	for i, rq := range run {
+		to, _ := rq.Region.Region()
+		migs[i] = session.Migration{ID: rq.ID, Req: session.MigrateRequest{
+			To: to, Reason: rq.Cause, DepartOnReject: rq.DepartOnReject,
+		}}
+	}
+	for i, b := range p.ctrl.MigrateBatch(ctx, migs) {
+		outs[i] = migrationOutcome(b.ID, b.Outcome, b.Err)
+	}
+}
+
+// migrationOutcome folds a MigrateOutcome into the unified vocabulary. The
+// discrete-event runner and the HTTP server share it with the local plane so
+// every executor classifies handoffs identically.
+func migrationOutcome(id model.ViewerID, out *session.MigrateOutcome, err error) Outcome {
+	o := Outcome{ID: id, Region: -1, Err: err}
+	if out == nil {
+		return o
+	}
+	o.Region = int(out.To)
+	switch {
+	case out.Departed:
+		o.Departed = true
+	case out.Restored:
+		o.Restored = true
+		o.Admitted = out.Result != nil && out.Result.Admitted
+	case out.Result != nil:
+		o.Landed = true
+		o.Admitted = true
+	}
+	return o
+}
+
+// execViewChanges dispatches distinct-viewer changes concurrently on a
+// bounded pool; a run naming one viewer twice is split into waves with a
+// barrier between them so the later view always wins.
+func (p *localPlane) execViewChanges(ctx context.Context, run []Request, outs []Outcome) {
+	inWave := make(map[model.ViewerID]bool, len(run))
+	for start := 0; start < len(run); {
+		end := start
+		for end < len(run) && !inWave[run[end].ID] {
+			inWave[run[end].ID] = true
+			end++
+		}
+		p.viewChangeWave(ctx, run[start:end], outs[start:end])
+		clear(inWave)
+		start = end
+	}
+}
+
+func (p *localPlane) viewChangeWave(ctx context.Context, wave []Request, outs []Outcome) {
+	sem := make(chan struct{}, p.maxParallel)
+	var wg sync.WaitGroup
+	for i, rq := range wave {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, rq Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, err := p.ctrl.ChangeView(ctx, rq.ID, model.NewUniformView(p.producers, rq.ViewAngle))
+			outs[i] = Outcome{
+				ID:       rq.ID,
+				Region:   -1,
+				Admitted: out != nil && out.Result.Admitted,
+				Err:      err,
+			}
+		}(i, rq)
+	}
+	wg.Wait()
+}
+
+// Counters reads the controller's cheap snapshot path (no sorted CDFs).
+func (p *localPlane) Counters(context.Context) (Counters, error) {
+	return localCounters(p.ctrl), nil
+}
+
+// localCounters folds Controller.SampleStats into the seam's counter type.
+func localCounters(ctrl *session.Controller) Counters {
+	st := ctrl.SampleStats()
+	return Counters{
+		Viewers:          st.Overlay.Viewers,
+		Admitted:         st.Overlay.Admitted,
+		Rejected:         st.Overlay.Rejected,
+		StreamsRequested: st.Overlay.StreamsRequested,
+		StreamsAccepted:  st.Overlay.StreamsAccepted,
+		LiveStreams:      st.Overlay.LiveStreams,
+		ViaCDN:           st.Overlay.ViaCDN,
+		ViaP2P:           st.Overlay.ViaP2P,
+		Groups:           st.Overlay.Groups,
+		CDNOutMbps:       st.Overlay.CDNUsage.OutTotalMbps,
+		CDNPeakMbps:      st.Overlay.CDNUsage.PeakOutMbps,
+		CDNInMbps:        st.Overlay.CDNUsage.InTotalMbps,
+	}
+}

@@ -14,8 +14,9 @@ import (
 
 // parallelRunner is the wall-clock executor: it streams the scenario in time
 // order, bins due events into windows of BatchWindow simulated time, and
-// dispatches each window as JoinBatch/DepartBatch fan-outs (and a bounded
-// view-change worker pool) across the LSC shards.
+// dispatches each window through the unified ControlPlane seam — same-kind
+// runs of Requests executed by JoinBatch/DepartBatch/MigrateBatch fan-outs
+// (and a bounded view-change pool) across the LSC shards.
 //
 // Bins are pipelined, not barriered: bin k+1 is dispatched as soon as its
 // viewer-ID set is disjoint from every bin still in flight, so its
@@ -32,11 +33,28 @@ type parallelRunner struct{}
 
 func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, producers *model.Session, sc Scenario, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
+	cp := NewLocalPlane(ctrl, producers, o.MaxInFlight)
+	return runParallel(ctx, cp, ctrl, sc, o)
+}
+
+// RunRemote executes a scenario against an arbitrary ControlPlane — the seam
+// `telecast-node replay` uses to drive a catalog scenario over the HTTP wire
+// with the pipeline semantics (binning, disjoint-bin dispatch, MaxInFlight
+// windows) intact. Sampling reads ControlPlane.Counters; the local-only
+// monitor advance and invariant validation are skipped.
+func RunRemote(ctx context.Context, cp ControlPlane, sc Scenario, opts ...Option) (Result, error) {
+	return runParallel(ctx, cp, nil, sc, buildOptions(opts))
+}
+
+// runParallel is the shared wall-clock engine. local is non-nil only when
+// the plane wraps an in-process controller, which unlocks the monitor
+// advance and the per-sample invariant checker.
+func runParallel(ctx context.Context, cp ControlPlane, local *session.Controller, sc Scenario, o Options) (Result, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
 	stats := NewStatsSink()
 	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
 	t := newTally(sc.Name())
-	ex := newParallelExec(ctx, ctrl, producers, o, t)
+	ex := newParallelExec(ctx, cp, o, t)
 
 	start := time.Now()
 	var (
@@ -51,12 +69,18 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 	// the common bin boundary keeps the pipeline full).
 	sampleUpTo := func(limit time.Duration, inclusive bool) error {
 		for nextSample < limit || (inclusive && nextSample == limit) {
-			if mon := ctrl.Monitor(); mon != nil {
-				mon.Advance(nextSample)
+			if local != nil {
+				if mon := local.Monitor(); mon != nil {
+					mon.Advance(nextSample)
+				}
 			}
-			sinks.Record(t.sample(nextSample, ctrl.SampleStats()))
-			if o.Validate {
-				if err := ctrl.Validate(); err != nil {
+			counters, err := cp.Counters(ctx)
+			if err != nil {
+				return fmt.Errorf("counters at %v: %w", nextSample, err)
+			}
+			sinks.Record(t.sample(nextSample, counters))
+			if o.Validate && local != nil {
+				if err := local.Validate(); err != nil {
 					return fmt.Errorf("invariants at %v: %w", nextSample, err)
 				}
 			}
@@ -125,10 +149,9 @@ func (parallelRunner) Run(ctx context.Context, ctrl *session.Controller, produce
 // parallelExec executes bins on behalf of the runner, pipelining bins whose
 // viewer sets are disjoint.
 type parallelExec struct {
-	ctx       context.Context
-	ctrl      *session.Controller
-	producers *model.Session
-	o         Options
+	ctx context.Context
+	cp  ControlPlane
+	o   Options
 
 	// t is the run tally; tmu guards it because concurrently in-flight bins
 	// record outcomes concurrently. (The runner itself reads the tally only
@@ -151,8 +174,8 @@ type binJob struct {
 	n   int
 }
 
-func newParallelExec(ctx context.Context, ctrl *session.Controller, producers *model.Session, o Options, t *tally) *parallelExec {
-	ex := &parallelExec{ctx: ctx, ctrl: ctrl, producers: producers, o: o, t: t}
+func newParallelExec(ctx context.Context, cp ControlPlane, o Options, t *tally) *parallelExec {
+	ex := &parallelExec{ctx: ctx, cp: cp, o: o, t: t}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
 }
@@ -236,208 +259,121 @@ func (ex *parallelExec) drain() error {
 }
 
 // flush executes one bin: schedule-order runs of consecutive same-kind
-// events, each fanned out across shards.
+// events, each translated into the unified request vocabulary and handed to
+// the ControlPlane a MaxInFlight window at a time. No per-kind dispatch
+// lives here anymore — stale-event filtering and dedup are the only
+// kind-specific steps, and they are runner state, not control-plane calls.
 func (ex *parallelExec) flush(bin []Event) error {
 	for start := 0; start < len(bin); {
 		end := start + 1
 		for end < len(bin) && bin[end].Kind == bin[start].Kind {
 			end++
 		}
-		run := bin[start:end]
-		var err error
-		switch run[0].Kind {
-		case EventJoin:
-			err = ex.joinRun(run)
-		case EventLeave:
-			err = ex.departRun(run)
-		case EventViewChange:
-			err = ex.viewChangeRun(run)
-		case EventMigrate:
-			err = ex.migrateRun(run)
-		}
-		if err != nil {
-			return err
+		run := ex.buildRun(bin[start:end])
+		for at := 0; at < len(run); at += ex.o.MaxInFlight {
+			chunk := run[at:min(at+ex.o.MaxInFlight, len(run))]
+			outs, err := ex.cp.Exec(ex.ctx, chunk)
+			if err != nil {
+				return fmt.Errorf("workload %s run: %w", chunk[0].Kind, err)
+			}
+			if err := ex.apply(chunk[0].Kind, outs); err != nil {
+				return err
+			}
 		}
 		start = end
 	}
 	return nil
 }
 
-// joinRun admits a run of joins through the sharded batch path, a bounded
-// in-flight window at a time.
-func (ex *parallelExec) joinRun(run []Event) error {
-	reqs := make([]session.JoinRequest, len(run))
-	for i, ev := range run {
-		reqs[i] = session.JoinRequest{
-			ID:           ev.Viewer,
-			InboundMbps:  ex.o.InboundMbps,
-			OutboundMbps: ev.OutboundMbps,
-			View:         model.NewUniformView(ex.producers, ev.ViewAngle),
-			Region:       ev.Region,
+// buildRun translates one same-kind event run into Requests, applying the
+// runner-side filters that need the tally: leaves and migrations of viewers
+// the run never routed are stale and skipped (a duplicate inside the run
+// counts), and a migration run targeting one viewer twice keeps only the
+// last destination — the intermediate hop is unobservable at batch
+// granularity, and dedup keeps MigrateBatch from racing a viewer against
+// itself. Reading the routed set is safe against concurrent bins because
+// in-flight viewer sets are disjoint.
+func (ex *parallelExec) buildRun(run []Event) []Request {
+	kind := run[0].Kind
+	reqs := make([]Request, 0, len(run))
+	ex.tmu.Lock()
+	defer ex.tmu.Unlock()
+	switch kind {
+	case EventJoin:
+		for _, ev := range run {
+			reqs = append(reqs, Request{
+				Kind:         EventJoin,
+				ID:           ev.Viewer,
+				InboundMbps:  ex.o.InboundMbps,
+				OutboundMbps: ev.OutboundMbps,
+				ViewAngle:    ev.ViewAngle,
+				Region:       ev.Region,
+			})
 		}
-	}
-	for at := 0; at < len(reqs); at += ex.o.MaxInFlight {
-		end := at + ex.o.MaxInFlight
-		if end > len(reqs) {
-			end = len(reqs)
-		}
-		outs := ex.ctrl.JoinBatch(ex.ctx, reqs[at:end])
-		ex.tmu.Lock()
-		for _, out := range outs {
-			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
-				ex.tmu.Unlock()
-				return fmt.Errorf("workload join %s: %w", out.ID, out.Err)
+	case EventLeave:
+		seen := make(map[model.ViewerID]bool, len(run))
+		for _, ev := range run {
+			if _, ok := ex.t.routed[ev.Viewer]; ok && !seen[ev.Viewer] {
+				seen[ev.Viewer] = true
+				reqs = append(reqs, Request{Kind: EventLeave, ID: ev.Viewer})
 			}
-			ex.t.join(out.ID, out.Outcome, out.Err == nil)
 		}
-		ex.tmu.Unlock()
+	case EventViewChange:
+		for _, ev := range run {
+			if _, ok := ex.t.routed[ev.Viewer]; ok {
+				reqs = append(reqs, Request{Kind: EventViewChange, ID: ev.Viewer, ViewAngle: ev.ViewAngle})
+			}
+		}
+	case EventMigrate:
+		last := make(map[model.ViewerID]int, len(run))
+		for _, ev := range run {
+			if _, ok := ex.t.routed[ev.Viewer]; !ok {
+				continue
+			}
+			if _, ok := ev.Region.Region(); !ok {
+				continue
+			}
+			rq := Request{Kind: EventMigrate, ID: ev.Viewer, Region: ev.Region, Cause: "mobility"}
+			if i, dup := last[ev.Viewer]; dup {
+				reqs[i] = rq
+				continue
+			}
+			last[ev.Viewer] = len(reqs)
+			reqs = append(reqs, rq)
+		}
 	}
-	return nil
+	return reqs
 }
 
-// departRun departs the still-routed viewers of a run through the sharded
-// batch path; events for already-departed viewers — including a duplicate
-// earlier in the same run — are stale and skipped. Reading the routed set is
-// safe against concurrent bins because in-flight viewer sets are disjoint:
-// no other bin can route or unroute this run's viewers.
-func (ex *parallelExec) departRun(run []Event) error {
-	ids := make([]model.ViewerID, 0, len(run))
-	seen := make(map[model.ViewerID]bool, len(run))
+// apply folds one chunk of outcomes into the tally, failing the run on any
+// protocol error. Admission rejections (and, for migrations, an exhausted
+// destination node pool) are workload outcomes, not run errors.
+func (ex *parallelExec) apply(kind EventKind, outs []Outcome) error {
 	ex.tmu.Lock()
-	for _, ev := range run {
-		if _, ok := ex.t.routed[ev.Viewer]; ok && !seen[ev.Viewer] {
-			seen[ev.Viewer] = true
-			ids = append(ids, ev.Viewer)
-		}
-	}
-	ex.tmu.Unlock()
-	for at := 0; at < len(ids); at += ex.o.MaxInFlight {
-		end := at + ex.o.MaxInFlight
-		if end > len(ids) {
-			end = len(ids)
-		}
-		outs := ex.ctrl.DepartBatch(ex.ctx, ids[at:end])
-		ex.tmu.Lock()
-		for _, out := range outs {
+	defer ex.tmu.Unlock()
+	for _, out := range outs {
+		switch kind {
+		case EventJoin:
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
+				return fmt.Errorf("workload join %s: %w", out.ID, out.Err)
+			}
+			ex.t.join(out.ID, out.Region, out.Err == nil)
+		case EventLeave:
 			if out.Err != nil {
-				ex.tmu.Unlock()
 				return fmt.Errorf("workload leave %s: %w", out.ID, out.Err)
 			}
 			ex.t.leave(out.ID)
-		}
-		ex.tmu.Unlock()
-	}
-	return nil
-}
-
-// migrateRun re-homes the still-routed viewers of a run through the batch
-// handoff path, which fans out by destination shard. A run targeting the
-// same viewer more than once (two random-walk steps binned together) keeps
-// only the last target — the intermediate hop is unobservable at batch
-// granularity — so MigrateBatch never races a viewer against itself.
-func (ex *parallelExec) migrateRun(run []Event) error {
-	last := make(map[model.ViewerID]int, len(run))
-	migs := make([]session.Migration, 0, len(run))
-	ex.tmu.Lock()
-	for _, ev := range run {
-		if _, ok := ex.t.routed[ev.Viewer]; !ok {
-			continue
-		}
-		to, ok := ev.Region.Region()
-		if !ok {
-			continue
-		}
-		mig := session.Migration{ID: ev.Viewer, Req: session.MigrateRequest{To: to, Reason: "mobility"}}
-		if i, dup := last[ev.Viewer]; dup {
-			migs[i] = mig
-			continue
-		}
-		last[ev.Viewer] = len(migs)
-		migs = append(migs, mig)
-	}
-	ex.tmu.Unlock()
-	for at := 0; at < len(migs); at += ex.o.MaxInFlight {
-		end := at + ex.o.MaxInFlight
-		if end > len(migs) {
-			end = len(migs)
-		}
-		outs := ex.ctrl.MigrateBatch(ex.ctx, migs[at:end])
-		ex.tmu.Lock()
-		for _, out := range outs {
+		case EventViewChange:
+			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
+				return fmt.Errorf("workload view change %s: %w", out.ID, out.Err)
+			}
+			ex.t.viewChange(out.ID, out.Admitted)
+		case EventMigrate:
 			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) && !errors.Is(out.Err, session.ErrMatrixExhausted) {
-				ex.tmu.Unlock()
 				return fmt.Errorf("workload migrate %s: %w", out.ID, out.Err)
 			}
-			ex.t.migrate(out.ID, out.Outcome)
+			ex.t.migrate(out.ID, out)
 		}
-		ex.tmu.Unlock()
-	}
-	return nil
-}
-
-// viewChangeRun fans view changes out on a bounded worker pool; per-shard
-// serialization happens on the LSC locks, concurrency comes from spanning
-// shards — exactly how synchronized view sweeps hit a deployment. A run
-// that targets the same viewer more than once (two sweeps binned together)
-// is split into waves with a barrier between them, so one viewer's changes
-// apply in schedule order and the later view always wins.
-func (ex *parallelExec) viewChangeRun(run []Event) error {
-	live := make([]Event, 0, len(run))
-	ex.tmu.Lock()
-	for _, ev := range run {
-		if _, ok := ex.t.routed[ev.Viewer]; ok {
-			live = append(live, ev)
-		}
-	}
-	ex.tmu.Unlock()
-	inWave := make(map[model.ViewerID]bool, len(live))
-	for start := 0; start < len(live); {
-		end := start
-		for end < len(live) && !inWave[live[end].Viewer] {
-			inWave[live[end].Viewer] = true
-			end++
-		}
-		if err := ex.viewChangeWave(live[start:end]); err != nil {
-			return err
-		}
-		clear(inWave)
-		start = end
-	}
-	return nil
-}
-
-// viewChangeWave dispatches view changes for distinct viewers concurrently.
-func (ex *parallelExec) viewChangeWave(wave []Event) error {
-	type vcResult struct {
-		admitted bool
-		err      error
-	}
-	results := make([]vcResult, len(wave))
-	sem := make(chan struct{}, ex.o.MaxInFlight)
-	var wg sync.WaitGroup
-	for i, ev := range wave {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, ev Event) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			view := model.NewUniformView(ex.producers, ev.ViewAngle)
-			out, err := ex.ctrl.ChangeView(ex.ctx, ev.Viewer, view)
-			if err != nil && !errors.Is(err, session.ErrRejected) {
-				results[i] = vcResult{err: fmt.Errorf("workload view change %s: %w", ev.Viewer, err)}
-				return
-			}
-			results[i] = vcResult{admitted: out != nil && out.Result.Admitted}
-		}(i, ev)
-	}
-	wg.Wait()
-	ex.tmu.Lock()
-	defer ex.tmu.Unlock()
-	for i, res := range results {
-		if res.err != nil {
-			return res.err
-		}
-		ex.t.viewChange(wave[i].Viewer, res.admitted)
 	}
 	return nil
 }

@@ -100,8 +100,10 @@ type Result struct {
 	// admission control — kept apart so Joins/(Joins+Rejected) agrees with
 	// the overlay's acceptance accounting instead of conflating the two.
 	Joins, Rejected int
-	// Leaves and ViewChanges count executed events.
-	Leaves, ViewChanges int
+	// Leaves and ViewChanges count executed events; ViewChangesRejected
+	// counts the view changes whose re-admission was refused (a subset of
+	// ViewChanges — those viewers are demoted, not departed).
+	Leaves, ViewChanges, ViewChangesRejected int
 	// Migrations counts cross-region handoffs that landed on their
 	// destination; MigrationsBounced those the destination refused (viewer
 	// restored on its source shard or departed under policy).
@@ -155,12 +157,12 @@ func newTally(scenario string) *tally {
 	}
 }
 
-// join records an admission outcome. out may carry a *RejectionError
-// alongside; admitted tells which way it went.
-func (t *tally) join(id model.ViewerID, out *session.JoinOutcome, admitted bool) {
+// join records an admission outcome; region is the LSC shard that processed
+// the join (negative when the request never reached one).
+func (t *tally) join(id model.ViewerID, region int, admitted bool) {
 	t.routed[id] = admitted
-	if out != nil {
-		t.regions[out.LSCRegion] = struct{}{}
+	if region >= 0 {
+		t.regions[region] = struct{}{}
 	}
 	if admitted {
 		t.res.Joins++
@@ -185,16 +187,17 @@ func (t *tally) leave(id model.ViewerID) {
 // the viewer, a successful one can re-admit a previously rejected viewer.
 func (t *tally) viewChange(id model.ViewerID, admitted bool) {
 	t.res.ViewChanges++
+	if !admitted {
+		t.res.ViewChangesRejected++
+	}
 	t.setAdmitted(id, admitted)
 }
 
-// migrate records a handoff outcome. A nil outcome (typed early failure,
-// e.g. the destination region's node pool was exhausted) changes nothing; a
-// same-region no-op neither.
-func (t *tally) migrate(id model.ViewerID, out *session.MigrateOutcome) {
-	if out == nil {
-		return
-	}
+// migrate records a handoff outcome in the unified vocabulary. An outcome
+// with none of the classification flags set (typed early failure, e.g. the
+// destination region's node pool was exhausted, or a same-region no-op)
+// changes nothing.
+func (t *tally) migrate(id model.ViewerID, out Outcome) {
 	switch {
 	case out.Departed:
 		t.res.MigrationsBounced++
@@ -204,8 +207,8 @@ func (t *tally) migrate(id model.ViewerID, out *session.MigrateOutcome) {
 		delete(t.routed, id)
 	case out.Restored:
 		t.res.MigrationsBounced++
-		t.setAdmitted(id, out.Result != nil && out.Result.Admitted)
-	case out.Result != nil:
+		t.setAdmitted(id, out.Admitted)
+	case out.Landed:
 		t.res.Migrations++
 		t.setAdmitted(id, true)
 	}
@@ -229,14 +232,14 @@ func (t *tally) setAdmitted(id model.ViewerID, admitted bool) {
 	}
 }
 
-func (t *tally) sample(at time.Duration, st session.Stats) Sample {
+func (t *tally) sample(at time.Duration, c Counters) Sample {
 	return Sample{
 		At:          at,
 		Viewers:     t.live,
-		LiveStreams: st.Overlay.LiveStreams,
-		Acceptance:  st.Overlay.AcceptanceRatio(),
-		CDNMbps:     st.Overlay.CDNUsage.OutTotalMbps,
-		CDNFraction: st.Overlay.CDNFraction(),
+		LiveStreams: c.LiveStreams,
+		Acceptance:  c.AcceptanceRatio(),
+		CDNMbps:     c.CDNOutMbps,
+		CDNFraction: c.CDNFraction(),
 	}
 }
 
@@ -299,7 +302,11 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
-				t.join(ev.Viewer, out, err == nil)
+				region := -1
+				if out != nil {
+					region = out.LSCRegion
+				}
+				t.join(ev.Viewer, region, err == nil)
 			case EventLeave:
 				if _, ok := t.routed[ev.Viewer]; !ok {
 					return
@@ -337,7 +344,7 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 					fail(fmt.Errorf("migrate %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
-				t.migrate(ev.Viewer, out)
+				t.migrate(ev.Viewer, migrationOutcome(ev.Viewer, out, err))
 			}
 		})
 		if err != nil {
@@ -355,7 +362,7 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 			if mon := ctrl.Monitor(); mon != nil {
 				mon.Advance(at)
 			}
-			sinks.Record(t.sample(at, ctrl.SampleStats()))
+			sinks.Record(t.sample(at, localCounters(ctrl)))
 			if o.Validate {
 				if err := ctrl.Validate(); err != nil {
 					fail(fmt.Errorf("invariants at %v: %w", at, err))
