@@ -10,7 +10,7 @@ SHELL := bash
 # (BENCH_control_plane.json) tracks. BenchmarkBatchPrepare lives in
 # internal/session (it drives the unexported prepare phase directly), so the
 # bench targets cover that package alongside the root.
-HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare
+HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare|BenchmarkFootprint/100k$$
 BENCH_PKGS = . ./internal/session
 
 # bench-smoke fails when a guarded benchmark's joins/s falls more than
@@ -18,7 +18,14 @@ BENCH_PKGS = . ./internal/session
 GUARD_BENCH = BenchmarkConcurrentJoin/|BenchmarkWorkloadParallel$$
 MAX_REGRESS = 0.25
 
-.PHONY: build test test-race bench bench-json bench-smoke e2e-smoke vet lint
+# The memory guard covers the per-join allocation profile and the 100k
+# steady-state footprint benchmark. Unlike joins/s, B/op and allocs/op are
+# near-deterministic even at -benchtime=5x, so the same 25% bar catches far
+# smaller real regressions (one new alloc on the join path is +4%).
+MEMGUARD_BENCH = BenchmarkJoin$$|BenchmarkFootprint/100k$$
+MAX_MEM_GROWTH = 0.25
+
+.PHONY: build test test-race bench bench-json bench-smoke soak soak-smoke e2e-smoke vet lint
 
 build:
 	$(GO) build ./...
@@ -62,4 +69,14 @@ bench-json:
 bench-smoke:
 	$(GO) test -bench='$(HOT_BENCH)' -benchtime=5x -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json \
-			-baseline BENCH_control_plane.json -guard '$(GUARD_BENCH)' -max-regress $(MAX_REGRESS)
+			-baseline BENCH_control_plane.json -guard '$(GUARD_BENCH)' -max-regress $(MAX_REGRESS) \
+			-memguard '$(MEMGUARD_BENCH)' -max-mem-growth $(MAX_MEM_GROWTH)
+
+# The soak tier (build tag `soak`): days of diurnal model time in which the
+# audience fully turns over every cycle, heap snapshotted at day boundaries,
+# failing on any post-warm-up growth. soak-smoke is the CI-sized cut.
+soak:
+	$(GO) test -tags soak -run 'TestSoakHeapTrajectory' -v ./internal/workload
+
+soak-smoke:
+	$(GO) test -tags soak -short -run 'TestSoakHeapTrajectory' -v ./internal/workload

@@ -1,0 +1,13 @@
+//go:build heavy
+
+// The million-viewer footprint tier. It shares BenchmarkFootprint's fixture
+// machinery but is kept out of the default suite: building a 1M-viewer
+// steady state takes minutes and gigabytes, which is exactly the scale
+// claim it exists to check. Run it explicitly:
+//
+//	go test -tags heavy -run xxx -bench 'BenchmarkFootprint/1M' -benchmem .
+package telecast_test
+
+func init() {
+	footprintSizes = append(footprintSizes, footprintSize{"1M", 1_000_000})
+}

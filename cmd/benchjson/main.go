@@ -53,6 +53,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to guard throughput against")
 	guard := flag.String("guard", "", "regexp of benchmark names whose joins/s the guard checks")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional joins/s regression vs the baseline")
+	memGuard := flag.String("memguard", "", "regexp of benchmark names whose B/op and allocs/op the guard checks")
+	maxMemGrowth := flag.Float64("max-mem-growth", 0.25, "maximum allowed fractional B/op or allocs/op growth vs the baseline")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin), *suite)
@@ -81,6 +83,12 @@ func main() {
 	}
 	if *baseline != "" && *guard != "" {
 		if err := guardThroughput(report, *baseline, *guard, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" && *memGuard != "" {
+		if err := guardMemory(report, *baseline, *memGuard, *maxMemGrowth); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -114,13 +122,9 @@ func guardThroughput(report *Report, baselinePath, guardPattern string, maxRegre
 	if err != nil {
 		return fmt.Errorf("bad -guard pattern: %w", err)
 	}
-	blob, err := os.ReadFile(baselinePath)
+	base, err := loadBaseline(baselinePath)
 	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base Report
-	if err := json.Unmarshal(blob, &base); err != nil {
-		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		return err
 	}
 	baseline := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -160,6 +164,90 @@ func guardThroughput(report *Report, baselinePath, guardPattern string, maxRegre
 	if len(failures) > 0 {
 		return fmt.Errorf("throughput regression beyond %.0f%%:\n  %s",
 			maxRegress*100, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// loadBaseline reads and parses a baseline BENCH_*.json.
+func loadBaseline(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// guardMemory compares the fresh B/op and allocs/op of every benchmark
+// matching the pattern against the baseline report, and fails when either
+// grows by more than the allowed fraction. Unlike joins/s — which wobbles
+// with scheduler noise at short -benchtime — the allocation profile of a
+// benchmark iteration is near-deterministic, so the same 25% bar catches
+// much smaller real regressions (a single new alloc on a 23-alloc path is
+// +4%, three are +13%, a per-viewer slice copy blows straight through).
+// Benchmarks absent from the baseline or run without -benchmem are skipped.
+func guardMemory(report *Report, baselinePath, guardPattern string, maxGrowth float64) error {
+	pat, err := regexp.Compile(guardPattern)
+	if err != nil {
+		return fmt.Errorf("bad -memguard pattern: %w", err)
+	}
+	base, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	type memProfile struct{ bytes, allocs *float64 }
+	baseline := make(map[string]memProfile, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[stripCPUSuffix(b.Name)] = memProfile{bytes: b.BytesPerOp, allocs: b.AllocsPerOp}
+	}
+	check := func(name, unit string, fresh, want *float64) (string, bool) {
+		if fresh == nil || want == nil {
+			return "", true
+		}
+		ceiling := *want * (1 + maxGrowth)
+		if *fresh > ceiling {
+			return fmt.Sprintf("%s: %.0f %s, baseline %.0f (ceiling %.0f)",
+				name, *fresh, unit, *want, ceiling), false
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: memguard: %s %.0f %s vs baseline %.0f ok\n",
+			name, *fresh, unit, *want)
+		return "", true
+	}
+	var failures []string
+	checked := 0
+	for _, b := range report.Benchmarks {
+		name := stripCPUSuffix(b.Name)
+		if !pat.MatchString(name) {
+			continue
+		}
+		want, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: memguard: %s not in baseline, skipping\n", name)
+			continue
+		}
+		if b.BytesPerOp == nil && b.AllocsPerOp == nil {
+			continue
+		}
+		if msg, ok := check(name, "B/op", b.BytesPerOp, want.bytes); !ok {
+			failures = append(failures, msg)
+		} else if msg == "" && b.BytesPerOp != nil && want.bytes != nil {
+			checked++
+		}
+		if msg, ok := check(name, "allocs/op", b.AllocsPerOp, want.allocs); !ok {
+			failures = append(failures, msg)
+		} else if msg == "" && b.AllocsPerOp != nil && want.allocs != nil {
+			checked++
+		}
+	}
+	if checked == 0 && len(failures) == 0 {
+		return fmt.Errorf("memguard %q matched no benchmark with B/op or allocs/op in both runs", guardPattern)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("memory growth beyond %.0f%%:\n  %s",
+			maxGrowth*100, strings.Join(failures, "\n  "))
 	}
 	return nil
 }

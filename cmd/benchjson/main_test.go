@@ -130,6 +130,59 @@ func TestGuardSkipsBenchmarksMissingFromBaseline(t *testing.T) {
 	}
 }
 
+func memReport(names []string, bytesPerOp, allocsPerOp []float64) *Report {
+	r := &Report{Suite: "s"}
+	for i, name := range names {
+		b, a := bytesPerOp[i], allocsPerOp[i]
+		r.Benchmarks = append(r.Benchmarks, Result{Name: name, NsPerOp: 1, BytesPerOp: &b, AllocsPerOp: &a})
+	}
+	return r
+}
+
+func TestGuardMemory(t *testing.T) {
+	base := writeBaseline(t, memReport(
+		[]string{"BenchmarkJoin-4", "BenchmarkFootprint/100k-4"},
+		[]float64{3000, 2500}, []float64{29, 22}))
+	fresh := []string{"BenchmarkJoin-8", "BenchmarkFootprint/100k-8"}
+
+	// Within the allowed growth on both axes: passes.
+	ok := memReport(fresh, []float64{3400, 2600}, []float64{30, 22})
+	if err := guardMemory(ok, base, "BenchmarkJoin$|BenchmarkFootprint/", 0.25); err != nil {
+		t.Fatalf("in-bounds run failed the memguard: %v", err)
+	}
+	// allocs/op past the ceiling: fails and names benchmark and unit.
+	badAllocs := memReport(fresh, []float64{3000, 2500}, []float64{40, 22})
+	err := guardMemory(badAllocs, base, "BenchmarkJoin$|BenchmarkFootprint/", 0.25)
+	if err == nil {
+		t.Fatal("25%+ allocs/op growth passed the memguard")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkJoin") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("failure does not name benchmark and unit: %v", err)
+	}
+	// B/op past the ceiling alone also fails.
+	badBytes := memReport(fresh, []float64{3000, 4000}, []float64{29, 22})
+	if err := guardMemory(badBytes, base, "BenchmarkJoin$|BenchmarkFootprint/", 0.25); err == nil {
+		t.Fatal("25%+ B/op growth passed the memguard")
+	}
+}
+
+func TestGuardMemorySkipsMissingData(t *testing.T) {
+	// Baseline without memory columns (run without -benchmem): skipped, and
+	// with nothing checked the guard must fail loudly.
+	base := writeBaseline(t, guardReport([]string{"BenchmarkJoin-1"}, []float64{1000}))
+	fresh := memReport([]string{"BenchmarkJoin-4"}, []float64{9999}, []float64{999})
+	if err := guardMemory(fresh, base, "BenchmarkJoin$", 0.25); err == nil {
+		t.Fatal("memguard with no comparable data must fail rather than silently pass")
+	}
+	// A benchmark new to the baseline is skipped while others are checked.
+	base = writeBaseline(t, memReport([]string{"BenchmarkJoin-1"}, []float64{3000}, []float64{29}))
+	fresh = memReport([]string{"BenchmarkJoin-4", "BenchmarkFootprint/100k-4"},
+		[]float64{3000, 9999}, []float64{29, 999})
+	if err := guardMemory(fresh, base, "BenchmarkJoin$|BenchmarkFootprint/", 0.25); err != nil {
+		t.Fatalf("new benchmark absent from the baseline failed the memguard: %v", err)
+	}
+}
+
 func TestGuardFailsWhenNothingChecked(t *testing.T) {
 	base := writeBaseline(t, guardReport([]string{"BenchmarkJoin"}, []float64{1000}))
 	fresh := guardReport([]string{"BenchmarkJoin"}, []float64{1000})

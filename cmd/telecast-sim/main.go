@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -41,6 +42,7 @@ func main() {
 	samples := flag.String("samples", "", "write the scenario's per-second time series to this file (.json for JSON Lines, CSV otherwise)")
 	simMode := flag.Bool("sim", false, "replay -exp scenario on the deterministic discrete-event engine instead of the wall-clock parallel executor")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the experiment run; use -sample_index=alloc_space to see allocation sites (the run's state is torn down by then, so inuse is near-zero)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -61,6 +63,20 @@ func main() {
 		// The deferred profile writer must run; don't log.Fatal past it.
 		pprof.StopCPUProfile()
 		log.Fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		// GC first so the inuse view holds only genuinely retained bytes;
+		// the run's state is already torn down, so the useful view is
+		// alloc_space (allocation sites across the whole run).
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
 	}
 }
 

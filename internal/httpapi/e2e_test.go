@@ -104,6 +104,12 @@ func TestLoopbackReplay(t *testing.T) {
 		}
 	}
 
+	// /metricz reports process heap health alongside control-plane counters;
+	// a zeroed struct means the server stopped filling it in.
+	if after.Heap.HeapAllocBytes == 0 || after.Heap.HeapSysBytes == 0 {
+		t.Errorf("heap stats missing from /metricz: %+v", after.Heap)
+	}
+
 	// The overlay's cumulative admission counter also covers re-admissions
 	// (view changes, migration landings), so it can only exceed the join
 	// count — a sanity bound, not an equality; the exact cross-check is the

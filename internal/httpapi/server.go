@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -74,8 +75,21 @@ func (s *Server) Drain() {
 // Metrics snapshots the /metricz body.
 func (s *Server) Metrics() Metrics {
 	counters, _ := s.plane.Counters(context.Background())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap := HeapStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		NumGC:          ms.NumGC,
+		GCPauseTotalMs: float64(ms.PauseTotalNs) / 1e6,
+	}
+	if ms.NumGC > 0 {
+		heap.LastGCPauseMs = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
 	return Metrics{
 		Overlay: counters,
+		Heap:    heap,
 		Totals: Totals{
 			JoinsAccepted:       s.totals.joinsAccepted.Load(),
 			JoinsRejected:       s.totals.joinsRejected.Load(),

@@ -304,12 +304,27 @@ type Totals struct {
 	Batches             uint64 `json:"batches"`
 }
 
+// HeapStats is the process-level memory health of the node: live heap and
+// GC pressure, so an operator watching /metricz sees the bytes/viewer
+// trajectory of a running node, not just its admission counters.
+type HeapStats struct {
+	// HeapAllocBytes is the live heap after the most recent GC grew it;
+	// divided by the overlay's viewer count it is the node's bytes/viewer.
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	LastGCPauseMs  float64 `json:"last_gc_pause_ms"`
+}
+
 // Metrics is the /metricz body: the cheap overlay counter snapshot (the
 // SampleStats path — no sorted CDFs on the request path) plus the server's
-// outcome totals.
+// outcome totals and the process heap health.
 type Metrics struct {
 	Overlay workload.Counters `json:"overlay"`
 	Totals  Totals            `json:"totals"`
+	Heap    HeapStats         `json:"heap"`
 }
 
 // Health is the /healthz body.

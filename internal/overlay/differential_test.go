@@ -60,7 +60,7 @@ func dumpLevels(tree *Tree) string {
 	out := ""
 	tree.Walk(func(n *Node) {
 		out += fmt.Sprintf("  %s deg=%d cap=%v depth=%d free=%d\n",
-			n.Viewer, n.OutDeg, n.OutCap, n.depth, n.FreeSlots())
+			n.Viewer, n.OutDeg, n.OutCap, tree.depthOf(n), n.FreeSlots())
 	})
 	return out
 }
@@ -177,7 +177,7 @@ func treeShape(t *Tree) string {
 		if n.Parent != nil {
 			parent = string(n.Parent.Viewer)
 		}
-		out += fmt.Sprintf("%s->%s@%d layer=%d eff=%v\n", n.Viewer, parent, n.depth, n.Layer, n.EffE2E)
+		out += fmt.Sprintf("%s->%s@%d layer=%d eff=%v\n", n.Viewer, parent, t.depthOf(n), n.Layer, n.EffE2E)
 	})
 	return out
 }

@@ -1,21 +1,25 @@
 package overlay
 
 // The admission index: every attached node is filed, by depth, into
-// per-level out-degree buckets (intrusive doubly-linked lists hanging off
-// the Node itself, so membership changes never allocate). The index exists
-// to answer the two questions Algorithm 1 asks at every BFS level —
-// "what is the weakest candidate here?" and "who has a free slot here?" —
-// without sorting or even visiting the level. findPosition walks levels
-// instead of nodes; only the single bucket that can contain the answer is
-// scanned, and the common "some parent at this level has a free slot" case
-// short-circuits on a counter.
+// per-level out-degree buckets. The buckets are intrusive doubly-linked
+// lists threaded through the slab's prev/next arrays (slab.go), so
+// membership changes never allocate and bucket walks touch dense SoA memory
+// — degree, capacity, and effective delay are read from flat arrays and a
+// Node is only dereferenced once a scan has settled on its answer. The
+// index exists to answer the two questions Algorithm 1 asks at every BFS
+// level — "what is the weakest candidate here?" and "who has a free slot
+// here?" — without sorting or even visiting the level. findPosition walks
+// levels instead of nodes; only the single bucket that can contain the
+// answer is scanned, and the common "some parent at this level has a free
+// slot" case short-circuits on a counter.
 //
 // The index is maintained incrementally by the attach/detach primitives in
 // tree.go (linkChild, unlinkChild, indexSubtree, unindexSubtree). OutDeg
 // and OutCap are immutable per node, so bucket membership only changes when
 // a node attaches, detaches, or changes depth; free-slot membership only
-// changes when a child count changes. EffE2E — a tie-breaker — is read live
-// during bucket scans and needs no maintenance at all.
+// changes when a child count changes. EffE2E — a tie-breaker — is mirrored
+// into the store by every delay refresh and read straight from the array
+// during bucket scans.
 
 // levelIndex holds the attached nodes of one tree depth (0 = CDN children).
 type levelIndex struct {
@@ -23,8 +27,9 @@ type levelIndex struct {
 	count int
 	// free is the number of those with at least one free child slot.
 	free int
-	// heads are the bucket list heads, indexed by OutDeg.
-	heads []*Node
+	// heads are the bucket list heads, indexed by OutDeg; -1 = empty.
+	// Entries are slab slots, chained through the store's next links.
+	heads []int32
 	// freeByDeg counts the free-slot nodes per bucket, so the minimum
 	// degree with supply is found without touching any node.
 	freeByDeg []int
@@ -34,7 +39,9 @@ type levelIndex struct {
 // ascending out-degree, then out capacity, then descending effective delay
 // (prefer displacing high-delay nodes), then viewer ID. Viewer IDs are
 // unique, so the order is total and every argmin below is deterministic
-// regardless of bucket iteration order.
+// regardless of bucket iteration order. Bucket scans use the slot-level
+// restriction nodeStore.lessSlot; this form remains for whole-node
+// comparisons in tests and the reference scan.
 func lessCandidate(a, b *Node) bool {
 	if a.OutDeg != b.OutDeg {
 		return a.OutDeg < b.OutDeg
@@ -49,18 +56,19 @@ func lessCandidate(a, b *Node) bool {
 }
 
 // add files an attached node into its out-degree bucket.
-func (li *levelIndex) add(n *Node) {
+func (li *levelIndex) add(s *nodeStore, n *Node) {
 	deg := n.OutDeg
 	for len(li.heads) <= deg {
-		li.heads = append(li.heads, nil)
+		li.heads = append(li.heads, -1)
 		li.freeByDeg = append(li.freeByDeg, 0)
 	}
-	n.idxPrev = nil
-	n.idxNext = li.heads[deg]
-	if n.idxNext != nil {
-		n.idxNext.idxPrev = n
+	slot := n.slot - 1
+	s.prev[slot] = -1
+	s.next[slot] = li.heads[deg]
+	if head := li.heads[deg]; head != -1 {
+		s.prev[head] = slot
 	}
-	li.heads[deg] = n
+	li.heads[deg] = slot
 	li.count++
 	if n.FreeSlots() > 0 {
 		li.free++
@@ -69,18 +77,18 @@ func (li *levelIndex) add(n *Node) {
 }
 
 // remove unfiles a node. The caller must not have changed the node's child
-// count since the last add/slotFreed/slotTaken, so the free counters stay
-// in step.
-func (li *levelIndex) remove(n *Node) {
-	if n.idxPrev != nil {
-		n.idxPrev.idxNext = n.idxNext
+// count since the last add/adjustFree, so the free counters stay in step.
+func (li *levelIndex) remove(s *nodeStore, n *Node) {
+	slot := n.slot - 1
+	if p := s.prev[slot]; p != -1 {
+		s.next[p] = s.next[slot]
 	} else {
-		li.heads[n.OutDeg] = n.idxNext
+		li.heads[n.OutDeg] = s.next[slot]
 	}
-	if n.idxNext != nil {
-		n.idxNext.idxPrev = n.idxPrev
+	if nx := s.next[slot]; nx != -1 {
+		s.prev[nx] = s.prev[slot]
 	}
-	n.idxPrev, n.idxNext = nil, nil
+	s.prev[slot], s.next[slot] = -1, -1
 	li.count--
 	if n.FreeSlots() > 0 {
 		li.free--
@@ -98,25 +106,26 @@ func (li *levelIndex) adjustFree(deg, delta int) {
 // weakest returns the level's global candidate minimum under lessCandidate
 // when a joiner with the given degree and capacity beats it, nil otherwise.
 // The minimum lives in the lowest non-empty bucket; buckets beyond deg can
-// never be beaten, so the scan is bounded and only one bucket is visited.
-func (li *levelIndex) weakest(deg int, cap float64) *Node {
+// never be beaten, so the scan is bounded, only one bucket is visited, and
+// the walk stays inside the store's dense arrays.
+func (li *levelIndex) weakest(s *nodeStore, deg int, cap float64) *Node {
 	max := deg
 	if max > len(li.heads)-1 {
 		max = len(li.heads) - 1
 	}
 	for d := 0; d <= max; d++ {
 		head := li.heads[d]
-		if head == nil {
+		if head == -1 {
 			continue
 		}
 		best := head
-		for n := head.idxNext; n != nil; n = n.idxNext {
-			if lessCandidate(n, best) {
-				best = n
+		for slot := s.next[head]; slot != -1; slot = s.next[slot] {
+			if s.lessSlot(slot, best) {
+				best = slot
 			}
 		}
-		if d < deg || best.OutCap < cap {
-			return best
+		if d < deg || s.cap[best] < cap {
+			return s.nodes[best]
 		}
 		return nil // equal degree, no weaker capacity: nothing beatable here
 	}
@@ -127,21 +136,24 @@ func (li *levelIndex) weakest(deg int, cap float64) *Node {
 // lessCandidate — the parent Algorithm 1's virtual empty slots would elect —
 // or nil when the level has no free slot. Only the lowest bucket with
 // supply is scanned.
-func (li *levelIndex) bestFree() *Node {
+func (li *levelIndex) bestFree(s *nodeStore) *Node {
 	for d := 0; d < len(li.freeByDeg); d++ {
 		if li.freeByDeg[d] == 0 {
 			continue
 		}
-		var best *Node
-		for n := li.heads[d]; n != nil; n = n.idxNext {
-			if n.FreeSlots() == 0 {
+		best := int32(-1)
+		for slot := li.heads[d]; slot != -1; slot = s.next[slot] {
+			if s.freeSlotsAt(slot) == 0 {
 				continue
 			}
-			if best == nil || lessCandidate(n, best) {
-				best = n
+			if best == -1 || s.lessSlot(slot, best) {
+				best = slot
 			}
 		}
-		return best
+		if best == -1 {
+			return nil
+		}
+		return s.nodes[best]
 	}
 	return nil
 }

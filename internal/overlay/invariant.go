@@ -15,7 +15,12 @@ package overlay
 //     degree census equals a recount of attached nodes;
 //   - level index: every attached node is filed exactly once, at its true
 //     depth, in the bucket of its out-degree, and every per-level count
-//     (nodes, free slots, free-by-degree) equals a recount.
+//     (nodes, free slots, free-by-degree) equals a recount;
+//   - slab/SoA bookkeeping: every tracked node is bound to a slot whose
+//     registry entry points back at it, the dense mirrors (degree,
+//     capacity, effective delay, child count, filed flag) agree with the
+//     struct fields, the free list holds exactly the unbound slots with no
+//     duplicates, and every per-slot array spans the slab.
 
 // validate checks every tree invariant; tests call it after mutations.
 func (t *Tree) validate() error {
@@ -96,13 +101,18 @@ func (t *Tree) validateIndexes(depths map[*Node]int) error {
 			return errCounterDrift("degree census", t.degTotals[d], want)
 		}
 	}
-	// Level index: membership, depth, and per-level counters.
+	// Level index: membership, depth, and per-level counters. The bucket
+	// lists are threaded through the slab's prev/next arrays.
 	filed := make(map[*Node]int, len(depths))
 	for depth, li := range t.levels {
 		count, freeCount := 0, 0
 		for deg, head := range li.heads {
 			bucketFree := 0
-			for n := head; n != nil; n = n.idxNext {
+			for slot := head; slot != -1; slot = t.store.next[slot] {
+				n := t.store.nodes[slot]
+				if n == nil {
+					return errIndexDrift("slab", "unbound slot in bucket")
+				}
 				if _, dup := filed[n]; dup {
 					return errIndexDrift(string(n.Viewer), "filed twice")
 				}
@@ -110,7 +120,7 @@ func (t *Tree) validateIndexes(depths map[*Node]int) error {
 				if n.OutDeg != deg {
 					return errIndexDrift(string(n.Viewer), "wrong degree bucket")
 				}
-				if !n.indexed || n.depth != depth {
+				if !t.store.filed[slot] || int(t.store.depth[slot]) != depth {
 					return errIndexDrift(string(n.Viewer), "stale depth")
 				}
 				count++
@@ -136,6 +146,69 @@ func (t *Tree) validateIndexes(depths map[*Node]int) error {
 	for n, depth := range depths {
 		if filedDepth, ok := filed[n]; !ok || filedDepth != depth {
 			return errIndexDrift(string(n.Viewer), "missing or misfiled")
+		}
+	}
+	return t.validateSlab(depths)
+}
+
+// validateSlab recounts the slab and SoA bookkeeping (slab.go): the free
+// list against the registry, slot bindings, and every dense mirror against
+// the struct field it shadows.
+func (t *Tree) validateSlab(depths map[*Node]int) error {
+	s := t.store
+	total := len(s.nodes)
+	if len(s.blocks)*slabBlockSize != total {
+		return errCounterDrift("slab capacity", len(s.blocks)*slabBlockSize, total)
+	}
+	for _, l := range []int{len(s.deg), len(s.cap), len(s.eff), len(s.kids),
+		len(s.depth), len(s.filed), len(s.prev), len(s.next)} {
+		if l != total {
+			return errCounterDrift("slab array span", l, total)
+		}
+	}
+	onFree := make(map[int32]bool, len(s.freeList))
+	for _, slot := range s.freeList {
+		if slot < 0 || int(slot) >= total {
+			return errIndexDrift("slab", "free slot out of range")
+		}
+		if onFree[slot] {
+			return errIndexDrift("slab", "slot freed twice")
+		}
+		onFree[slot] = true
+		if s.nodes[slot] != nil {
+			return errIndexDrift(string(s.nodes[slot].Viewer), "bound slot on free list")
+		}
+	}
+	for slot, n := range s.nodes {
+		if n == nil {
+			if !onFree[int32(slot)] {
+				return errIndexDrift("slab", "unbound slot missing from free list")
+			}
+			continue
+		}
+		if n.slot != int32(slot)+1 {
+			return errIndexDrift(string(n.Viewer), "slot binding mismatch")
+		}
+	}
+	for _, n := range t.nodes {
+		if n.slot == 0 {
+			return errIndexDrift(string(n.Viewer), "tracked node unbound")
+		}
+		slot := n.slot - 1
+		if s.nodes[slot] != n {
+			return errIndexDrift(string(n.Viewer), "registry points elsewhere")
+		}
+		if s.deg[slot] != int32(n.OutDeg) || s.cap[slot] != n.OutCap {
+			return errIndexDrift(string(n.Viewer), "degree/capacity mirror drift")
+		}
+		if s.kids[slot] != int32(len(n.Children)) {
+			return errIndexDrift(string(n.Viewer), "child-count mirror drift")
+		}
+		if s.eff[slot] != n.EffE2E {
+			return errIndexDrift(string(n.Viewer), "effective-delay mirror drift")
+		}
+		if _, attached := depths[n]; s.filed[slot] != attached {
+			return errIndexDrift(string(n.Viewer), "filed flag drift")
 		}
 	}
 	return nil

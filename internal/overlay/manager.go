@@ -58,6 +58,16 @@ type Manager struct {
 		view  model.View
 		req   model.ViewRequest
 	}
+	// viewIntern dedupes composed requests behind the memo: distinct but
+	// equal views (same sites, same orientations) share one ViewRequest
+	// allocation, keyed by a canonical byte fingerprint (intern.go). The
+	// session and cutoff are immutable per manager, so an equal view
+	// always composes identically; interned requests are shared read-only
+	// exactly like a Group's Request already is.
+	viewIntern map[string]model.ViewRequest
+	// fpSites/fpBuf are the reusable fingerprint scratch.
+	fpSites []model.SiteID
+	fpBuf   []byte
 	// resubscribeBudget caps subscription-chain propagation per public
 	// operation as a defensive bound; the overlay property makes chains
 	// acyclic, so the cap should never bind in practice.
@@ -86,8 +96,9 @@ func NewManager(session *model.Session, dist *cdn.CDN, prop PropFunc, params Par
 		prop:       prop,
 		params:     params,
 		groups:     make(map[model.ViewKey]*Group),
-		viewers:    make(map[model.ViewerID]*Viewer),
+		viewers:    make(map[model.ViewerID]*Viewer, viewerMapSeed),
 		pendingSet: make(map[model.ViewerID]bool),
+		viewIntern: make(map[string]model.ViewRequest, 16),
 	}, nil
 }
 
@@ -133,12 +144,23 @@ func (m *Manager) Join(info ViewerInfo, view model.View) (*JoinResult, error) {
 }
 
 // composeView translates a view into a stream request through the one-entry
-// memo.
+// memo and, behind it, the shard-wide intern table: the memo keeps the
+// flash-crowd fast path (a run of identical views) allocation-free, and the
+// intern table makes every recurring view share one composed request even
+// when the crowd alternates between views.
 func (m *Manager) composeView(view model.View) model.ViewRequest {
 	if m.composeMemo.valid && view.Equal(m.composeMemo.view) {
 		return m.composeMemo.req
 	}
-	req := model.ComposeView(m.session, view, m.params.CutoffDF)
+	fp := m.viewFingerprint(view)
+	req, interned := m.viewIntern[string(fp)]
+	if !interned {
+		req = model.ComposeView(m.session, view, m.params.CutoffDF)
+		if len(m.viewIntern) >= viewInternMax {
+			clear(m.viewIntern)
+		}
+		m.viewIntern[string(fp)] = req
+	}
 	m.composeMemo.valid = true
 	// Snapshot the view: memoizing the caller's map by reference would
 	// make an in-place orientation mutation compare the map against
@@ -184,7 +206,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		id := rs.Stream.ID
 		bw := rs.Stream.BitrateMbps
 		tree := m.treeFor(group, rs.Stream)
-		node := &Node{Viewer: info.ID, OutDeg: out.Degree[id], OutCap: info.OutboundMbps}
+		node := tree.NewNode(info.ID, out.Degree[id], info.OutboundMbps)
 		var placed bool
 		var displaced *Node
 		if m.fifoAttachment {
@@ -205,6 +227,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 				} else {
 					dropCause[id] = ReasonCDNEgress
 				}
+				tree.Recycle(node)
 				continue
 			}
 			tree.AttachToCDN(node)
@@ -436,6 +459,9 @@ func (m *Manager) dropStream(v *Viewer, id model.StreamID, recover bool) {
 		// surface it loudly in tests via validate, ignore here.
 		_ = m.cdn.Release(id, tree.Stream.BitrateMbps)
 	}
+	// The node is fully disconnected and every reference is gone: its
+	// slab slot goes back on the free list before victim recovery runs.
+	tree.Recycle(node)
 	for _, victim := range victims {
 		if recover {
 			m.recoverVictim(tree, victim)
@@ -469,11 +495,12 @@ func (m *Manager) recoverVictim(tree *Tree, victim *Node) {
 func (m *Manager) cascadeDrop(tree *Tree, victim *Node) {
 	// The victim reaches here only after both recovery paths failed:
 	// degree push-down found no position and the CDN had no egress left.
-	m.logDrop(victim.Viewer, tree.Stream.ID, ReasonCDNEgress)
+	vid := victim.Viewer
+	m.logDrop(vid, tree.Stream.ID, ReasonCDNEgress)
 	group := m.groupOfTree(tree)
 	children := tree.Orphan(victim)
 	if group != nil {
-		if vv, ok := group.Members[victim.Viewer]; ok {
+		if vv, ok := group.Members[vid]; ok {
 			delete(vv.Nodes, tree.Stream.ID)
 			vv.InUsedMbps -= tree.Stream.BitrateMbps
 			if vv.InUsedMbps < 0 {
@@ -481,6 +508,9 @@ func (m *Manager) cascadeDrop(tree *Tree, victim *Node) {
 			}
 		}
 	}
+	// Dropped for good: recycle before recursing so a deep cascade frees
+	// slots as it unwinds.
+	tree.Recycle(victim)
 	for _, c := range children {
 		m.recoverVictim(tree, c)
 	}

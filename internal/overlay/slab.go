@@ -1,0 +1,220 @@
+package overlay
+
+import "time"
+
+// The node slab: per-tree arena allocation for overlay nodes plus the SoA
+// (struct-of-arrays) mirrors of the admission-hot fields.
+//
+// At production scale the overlay's binding constraint is per-viewer memory
+// and GC pressure, not cycles: a million live nodes allocated one-by-one are
+// a million GC-scanned objects scattered across the heap, and every
+// findPosition bucket walk chases pointers through them. The store fixes
+// both ends:
+//
+//   - nodes are carved out of fixed-size blocks ([][]Node) with a LIFO
+//     free-slot stack, so churn recycles slots instead of hitting the
+//     allocator, and node storage is cache-contiguous;
+//   - the fields the admission path reads per candidate — out-degree, out
+//     capacity, effective delay, child count, depth, and the level-index
+//     bucket links — are mirrored into dense arrays indexed by slot, so
+//     bucket scans touch consecutive memory and never dereference a Node
+//     until the answer is found.
+//
+// Every tracked node is bound to a slot. Production nodes are slab-born
+// (Tree.NewNode); tests that build &Node{} by hand are adopted at trackNode
+// time — they get a slot and SoA entries but keep their own backing struct.
+// A slot is returned only by an explicit Tree.Recycle once the manager has
+// permanently removed the node; Detach/Orphan leave the binding in place
+// because detached victims are still live (recovery reads them, tests
+// inspect them).
+
+const (
+	slabBlockShift = 8
+	slabBlockSize  = 1 << slabBlockShift // nodes per block
+	slabBlockMask  = slabBlockSize - 1
+)
+
+// nodeStore is the slab allocator and SoA index backing of one tree. All
+// per-slot arrays are indexed by slot (0-based); Node.slot stores slot+1 so
+// the zero value means "unbound".
+type nodeStore struct {
+	// blocks hold the struct backing of slab-born nodes; the node of slot
+	// s lives at blocks[s>>slabBlockShift][s&slabBlockMask].
+	blocks [][]Node
+	// nodes maps each bound slot to its node — the slab struct itself, or
+	// a foreign (test-built) struct adopted into the slot. nil = free.
+	nodes []*Node
+	// freeList is the LIFO stack of unbound slots.
+	freeList []int32
+
+	// SoA mirrors of the admission-hot node fields, maintained by the
+	// tree's attach/detach/refresh primitives.
+	deg   []int32         // OutDeg
+	cap   []float64       // OutCap
+	eff   []time.Duration // EffE2E
+	kids  []int32         // len(Children)
+	depth []int32         // level-index depth (valid while filed)
+	filed []bool          // currently in the level index
+	// prev/next are the intrusive bucket links of the level index
+	// (index.go), -1-terminated. Living here instead of on the Node keeps
+	// bucket walks inside dense memory.
+	prev, next []int32
+}
+
+func newNodeStore() *nodeStore { return &nodeStore{} }
+
+// grow appends one block and extends every per-slot array in step.
+func (s *nodeStore) grow() {
+	base := int32(len(s.nodes))
+	s.blocks = append(s.blocks, make([]Node, slabBlockSize))
+	s.nodes = append(s.nodes, make([]*Node, slabBlockSize)...)
+	s.deg = append(s.deg, make([]int32, slabBlockSize)...)
+	s.cap = append(s.cap, make([]float64, slabBlockSize)...)
+	s.eff = append(s.eff, make([]time.Duration, slabBlockSize)...)
+	s.kids = append(s.kids, make([]int32, slabBlockSize)...)
+	s.depth = append(s.depth, make([]int32, slabBlockSize)...)
+	s.filed = append(s.filed, make([]bool, slabBlockSize)...)
+	s.prev = append(s.prev, make([]int32, slabBlockSize)...)
+	s.next = append(s.next, make([]int32, slabBlockSize)...)
+	// LIFO: push in reverse so low slots are handed out first.
+	for i := int32(slabBlockSize) - 1; i >= 0; i-- {
+		s.freeList = append(s.freeList, base+i)
+	}
+}
+
+// popSlot takes a free slot, growing the slab if none is left.
+func (s *nodeStore) popSlot() int32 {
+	if len(s.freeList) == 0 {
+		s.grow()
+	}
+	slot := s.freeList[len(s.freeList)-1]
+	s.freeList = s.freeList[:len(s.freeList)-1]
+	return slot
+}
+
+// alloc returns a zeroed slab-backed node bound to a fresh slot. The caller
+// fills Viewer/OutDeg/OutCap and then syncs the deg/cap mirrors.
+func (s *nodeStore) alloc() *Node {
+	slot := s.popSlot()
+	n := &s.blocks[slot>>slabBlockShift][slot&slabBlockMask]
+	n.slot = slot + 1
+	s.nodes[slot] = n
+	s.prev[slot], s.next[slot] = -1, -1
+	return n
+}
+
+// adopt binds a node constructed outside the slab to a slot, seeding the SoA
+// mirrors from the struct. Already-bound nodes are left alone.
+func (s *nodeStore) adopt(n *Node) {
+	if n.slot != 0 {
+		return
+	}
+	slot := s.popSlot()
+	n.slot = slot + 1
+	s.nodes[slot] = n
+	s.deg[slot] = int32(n.OutDeg)
+	s.cap[slot] = n.OutCap
+	s.eff[slot] = n.EffE2E
+	s.kids[slot] = int32(len(n.Children))
+	s.depth[slot] = 0
+	s.filed[slot] = false
+	s.prev[slot], s.next[slot] = -1, -1
+}
+
+// owns reports whether the node's struct is the slab block entry of the slot.
+func (s *nodeStore) owns(n *Node, slot int32) bool {
+	return n == &s.blocks[slot>>slabBlockShift][slot&slabBlockMask]
+}
+
+// release unbinds a node and pushes its slot back on the free stack.
+// Slab-backed structs are zeroed so the next tenant starts clean and the
+// previous tenant's pointers stop pinning memory; foreign structs only lose
+// their slot binding.
+func (s *nodeStore) release(n *Node) {
+	if n.slot == 0 {
+		return
+	}
+	slot := n.slot - 1
+	s.nodes[slot] = nil
+	s.deg[slot], s.cap[slot] = 0, 0
+	s.eff[slot], s.kids[slot], s.depth[slot] = 0, 0, 0
+	s.filed[slot] = false
+	s.prev[slot], s.next[slot] = -1, -1
+	if s.owns(n, slot) {
+		*n = Node{} // clears n.slot too
+	} else {
+		n.slot = 0
+	}
+	s.freeList = append(s.freeList, slot)
+}
+
+// lessSlot is lessCandidate restricted to one out-degree bucket (members
+// share OutDeg by construction): ascending out capacity, then descending
+// effective delay, then viewer ID. The first two compares stay inside the
+// dense arrays; the Node is dereferenced only on a full tie.
+func (s *nodeStore) lessSlot(a, b int32) bool {
+	if s.cap[a] != s.cap[b] {
+		return s.cap[a] < s.cap[b]
+	}
+	if s.eff[a] != s.eff[b] {
+		return s.eff[a] > s.eff[b]
+	}
+	return s.nodes[a].Viewer < s.nodes[b].Viewer
+}
+
+// freeSlotsAt returns the unused out-degree of the node at slot.
+func (s *nodeStore) freeSlotsAt(slot int32) int32 {
+	free := s.deg[slot] - s.kids[slot]
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// NewNode allocates a node from the tree's slab. This is the production
+// construction path: the node is cache-contiguous with its tree-mates and
+// its slot is recycled on Recycle instead of waiting for the GC.
+func (t *Tree) NewNode(viewer viewerID, outDeg int, outCap float64) *Node {
+	n := t.store.alloc()
+	n.Viewer = viewer
+	n.OutDeg = outDeg
+	n.OutCap = outCap
+	slot := n.slot - 1
+	t.store.deg[slot] = int32(outDeg)
+	t.store.cap[slot] = outCap
+	return n
+}
+
+// Recycle returns a node's slot to the tree's slab. Callers invoke it only
+// once the node has permanently left the tree (dropped stream, failed
+// placement, cascade drop) and no reference to it survives; a node still
+// tracked by the tree is left alone, which also makes double-recycling a
+// no-op.
+func (t *Tree) Recycle(n *Node) {
+	if n.slot == 0 {
+		return
+	}
+	if cur, ok := t.nodes[n.Viewer]; ok && cur == n {
+		return
+	}
+	t.store.release(n)
+}
+
+// depthOf returns the level-index depth of a filed node (0 = CDN child).
+func (t *Tree) depthOf(n *Node) int { return int(t.store.depth[n.slot-1]) }
+
+// SlabStats reports the slab's occupancy for footprint accounting: bound
+// slots, free-list length, and total slot capacity.
+type SlabStats struct {
+	Live, Free, Cap int
+}
+
+// SlabStats returns the tree's slab occupancy.
+func (t *Tree) SlabStats() SlabStats {
+	s := t.store
+	return SlabStats{
+		Live: len(s.nodes) - len(s.freeList),
+		Free: len(s.freeList),
+		Cap:  len(s.nodes),
+	}
+}

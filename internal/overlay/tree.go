@@ -34,6 +34,10 @@ type Tree struct {
 	// empty after the tree shrinks.
 	levels []*levelIndex
 
+	// store is the node slab and the SoA backing of the admission-hot
+	// fields (slab.go). Every tracked node is bound to a store slot.
+	store *nodeStore
+
 	// changed is the reusable scratch behind refreshDelays; its returned
 	// slices are valid until the next delay refresh.
 	changed []*Node
@@ -57,6 +61,7 @@ func newTree(id streamID, bitrate, frameRate float64, prop PropFunc, params Para
 		nodes:  make(map[viewerID]*Node),
 		prop:   prop,
 		params: params,
+		store:  newNodeStore(),
 	}
 }
 
@@ -103,8 +108,8 @@ func (t *Tree) HasSupplyFor(outDeg int, outCap float64) bool {
 			if outDeg >= len(li.heads) {
 				continue
 			}
-			for n := li.heads[outDeg]; n != nil; n = n.idxNext {
-				if n.OutCap < outCap {
+			for slot := li.heads[outDeg]; slot != -1; slot = t.store.next[slot] {
+				if t.store.cap[slot] < outCap {
 					return true
 				}
 			}
@@ -184,12 +189,12 @@ func (t *Tree) findPosition(u *Node) (victim, parent *Node) {
 			break // levels are contiguous: an empty one ends the tree
 		}
 		if canDisplace {
-			if z := li.weakest(u.OutDeg, u.OutCap); z != nil {
+			if z := li.weakest(t.store, u.OutDeg, u.OutCap); z != nil {
 				return z, nil
 			}
 		}
 		if li.free > 0 {
-			if p := li.bestFree(); p != nil {
+			if p := li.bestFree(t.store); p != nil {
 				return nil, p
 			}
 		}
@@ -251,15 +256,16 @@ func sortCandidates(level []*Node) {
 // attachUnder puts u into one of parent's free child slots.
 func (t *Tree) attachUnder(parent, u *Node) {
 	t.trackNode(u)
+	depth := t.depthOf(parent)
 	t.linkChild(parent, u)
-	t.indexSubtree(u, parent.depth+1)
+	t.indexSubtree(u, depth+1)
 	t.refreshDelays(u)
 }
 
 // displace puts u in z's position: z and its subtree move one level down as
 // u's child.
 func (t *Tree) displace(z, u *Node) {
-	depth := z.depth
+	depth := t.depthOf(z)
 	t.unindexSubtree(z)
 	u.Parent = z.Parent
 	if z.Parent == nil {
@@ -322,6 +328,7 @@ func (t *Tree) Detach(u *Node) []*Node {
 	t.untrackNode(u)
 	victims := u.Children
 	u.Children = nil
+	t.store.kids[u.slot-1] = 0
 	for _, v := range victims {
 		v.Parent = nil
 	}
@@ -335,6 +342,9 @@ func (t *Tree) Detach(u *Node) []*Node {
 func (t *Tree) Orphan(victim *Node) []*Node {
 	children := victim.Children
 	victim.Children = nil
+	if victim.slot != 0 {
+		t.store.kids[victim.slot-1] = 0
+	}
 	if _, tracked := t.nodes[victim.Viewer]; tracked {
 		t.free += len(children) // the victim's slots all came free…
 	}
@@ -345,12 +355,14 @@ func (t *Tree) Orphan(victim *Node) []*Node {
 	return children
 }
 
-// trackNode enters a node into the viewer map and the free-slot counter.
+// trackNode enters a node into the viewer map and the free-slot counter,
+// binding it to a slab slot if it was built outside the slab (tests).
 // Re-tracking a victim that never left the map is a no-op.
 func (t *Tree) trackNode(n *Node) {
 	if _, ok := t.nodes[n.Viewer]; ok {
 		return
 	}
+	t.store.adopt(n)
 	t.nodes[n.Viewer] = n
 	t.free += n.FreeSlots()
 }
@@ -370,8 +382,10 @@ func (t *Tree) linkChild(p, u *Node) {
 	p.Children = append(p.Children, u)
 	u.Parent = p
 	t.free--
-	if p.indexed && p.FreeSlots() == 0 {
-		t.levels[p.depth].adjustFree(p.OutDeg, -1)
+	ps := p.slot - 1
+	t.store.kids[ps]++
+	if t.store.filed[ps] && p.FreeSlots() == 0 {
+		t.levels[t.store.depth[ps]].adjustFree(p.OutDeg, -1)
 	}
 }
 
@@ -392,8 +406,10 @@ func (t *Tree) unlinkChild(u *Node) {
 	}
 	u.Parent = nil
 	t.free++
-	if p.indexed && p.FreeSlots() == 1 {
-		t.levels[p.depth].adjustFree(p.OutDeg, +1)
+	ps := p.slot - 1
+	t.store.kids[ps]--
+	if t.store.filed[ps] && p.FreeSlots() == 1 {
+		t.levels[t.store.depth[ps]].adjustFree(p.OutDeg, +1)
 	}
 }
 
@@ -422,9 +438,10 @@ func (t *Tree) levelFor(depth int) *levelIndex {
 // indexSubtree files n and its subtree into the level index from the given
 // depth and updates the degree census.
 func (t *Tree) indexSubtree(n *Node, depth int) {
-	n.depth = depth
-	n.indexed = true
-	t.levelFor(depth).add(n)
+	slot := n.slot - 1
+	t.store.depth[slot] = int32(depth)
+	t.store.filed[slot] = true
+	t.levelFor(depth).add(t.store, n)
 	for len(t.degTotals) <= n.OutDeg {
 		t.degTotals = append(t.degTotals, 0)
 	}
@@ -437,8 +454,9 @@ func (t *Tree) indexSubtree(n *Node, depth int) {
 // unindexSubtree removes n and its subtree from the level index and the
 // degree census.
 func (t *Tree) unindexSubtree(n *Node) {
-	t.levels[n.depth].remove(n)
-	n.indexed = false
+	slot := n.slot - 1
+	t.levels[t.store.depth[slot]].remove(t.store, n)
+	t.store.filed[slot] = false
 	t.degTotals[n.OutDeg]--
 	for _, c := range n.Children {
 		t.unindexSubtree(c)
@@ -479,6 +497,9 @@ func (t *Tree) refreshNode(n *Node) {
 		time.Duration((1-t.params.offsetFrac())*float64(h.Tau()))
 	if n.EffE2E < pos {
 		n.EffE2E = pos
+	}
+	if n.slot != 0 {
+		t.store.eff[n.slot-1] = n.EffE2E
 	}
 	if n.MinE2E != oldMin || n.Layer != oldLayer || n.EffE2E != oldEff {
 		t.changed = append(t.changed, n)

@@ -85,14 +85,14 @@ type Node struct {
 	// inherit their MinE2E from this value (Layer Property 1).
 	EffE2E time.Duration
 
-	// Admission-index bookkeeping (index.go), maintained by the owning
-	// tree: the node's depth among attached nodes (0 = CDN child), its
-	// intrusive links in the per-level out-degree bucket, and whether it
-	// is currently filed. A node belongs to exactly one tree, so the
-	// links live on the node and bucket membership never allocates.
-	depth            int
-	idxPrev, idxNext *Node
-	indexed          bool
+	// slot is the node's 1-based binding into the owning tree's slab
+	// (slab.go); 0 means unbound. The admission-index bookkeeping that
+	// used to live here — depth, bucket links, filed flag — sits in the
+	// store's SoA arrays at slot-1, together with dense mirrors of the
+	// hot fields above, so findPosition walks contiguous memory. A node
+	// belongs to exactly one tree, so one slot suffices and bucket
+	// membership still never allocates.
+	slot int32
 }
 
 // FreeSlots returns the node's unused out-degree.

@@ -28,7 +28,7 @@ type JoinOutcome struct {
 // admission fast path.
 type preparedJoin struct {
 	lsc  *LSC
-	st   *viewerState
+	st   viewerState
 	view model.View
 }
 
@@ -47,7 +47,7 @@ func (c *Controller) prepare(req JoinRequest) (preparedJoin, error) {
 		return preparedJoin{}, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
 	}
 	lsc := c.lscFor(nodeIdx)
-	st := &viewerState{
+	st := viewerState{
 		nodeIdx: nodeIdx,
 		info:    overlay.ViewerInfo{ID: id, InboundMbps: req.InboundMbps, OutboundMbps: req.OutboundMbps},
 	}

@@ -38,13 +38,20 @@ type LSC struct {
 	shard overlay.Shard
 
 	vmu     sync.RWMutex
-	viewers map[model.ViewerID]*viewerState
+	viewers map[model.ViewerID]viewerState
 }
 
+// viewerState is stored by value: the record is two words of payload, so
+// keeping it inline in the registry map saves one heap object (and one GC
+// pointer to chase) per viewer — at admission scale, one allocation per join.
 type viewerState struct {
 	nodeIdx int
 	info    overlay.ViewerInfo
 }
+
+// viewerRegistrySeed pre-sizes each shard's registry past the early growth
+// rehashes; admission-scale shards hold tens of thousands of viewers.
+const viewerRegistrySeed = 1024
 
 func newLSC(region trace.Region, nodeIdx int, cfg *Config, bus *eventBus) *LSC {
 	return &LSC{
@@ -52,7 +59,7 @@ func newLSC(region trace.Region, nodeIdx int, cfg *Config, bus *eventBus) *LSC {
 		NodeIdx: nodeIdx,
 		cfg:     cfg,
 		bus:     bus,
-		viewers: make(map[model.ViewerID]*viewerState),
+		viewers: make(map[model.ViewerID]viewerState, viewerRegistrySeed),
 	}
 }
 
@@ -106,7 +113,7 @@ func (l *LSC) propFunc() overlay.PropFunc {
 
 // register inserts a viewer into the shard registry before its overlay
 // insertion so propagation-delay lookups always hit.
-func (l *LSC) register(st *viewerState) {
+func (l *LSC) register(st viewerState) {
 	l.vmu.Lock()
 	l.viewers[st.info.ID] = st
 	l.vmu.Unlock()
@@ -120,7 +127,7 @@ func (l *LSC) unregister(id model.ViewerID) {
 }
 
 // state returns the registry record of a viewer owned by this shard.
-func (l *LSC) state(id model.ViewerID) (*viewerState, bool) {
+func (l *LSC) state(id model.ViewerID) (viewerState, bool) {
 	l.vmu.RLock()
 	st, ok := l.viewers[id]
 	l.vmu.RUnlock()
@@ -130,7 +137,7 @@ func (l *LSC) state(id model.ViewerID) (*viewerState, bool) {
 // join runs the overlay admission for an already-registered viewer and
 // returns the subscription round trip to the farthest parent, measured while
 // the shard lock still pins the resulting topology.
-func (l *LSC) join(st *viewerState, view model.View) (*overlay.JoinResult, time.Duration, error) {
+func (l *LSC) join(st viewerState, view model.View) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	res, err := l.shard.Join(st.info, view)
@@ -191,7 +198,7 @@ func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay
 // lookups hit. On success the arrival event is sequenced on this shard's
 // ring; a rejection emits EventJoinRejected here and leaves the record
 // question to keepIfRejected (see overlay.Manager.AdmitMigrant).
-func (l *LSC) admitMigrant(vst *viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool) (*overlay.JoinResult, time.Duration, error) {
+func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	res, err := l.shard.AdmitMigrant(st, keepIfRejected)
@@ -211,7 +218,7 @@ func (l *LSC) admitMigrant(vst *viewerState, st overlay.MigrationState, from tra
 // the destination refused it, keeping the record even when the re-admission
 // is itself rejected — the viewer stays routed here as a rejected viewer.
 // cause carries the destination's rejection reason onto the restore event.
-func (l *LSC) restoreMigrant(vst *viewerState, st overlay.MigrationState, to trace.Region, reason RejectReason) (*overlay.JoinResult, error) {
+func (l *LSC) restoreMigrant(vst viewerState, st overlay.MigrationState, to trace.Region, reason RejectReason) (*overlay.JoinResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	res, err := l.shard.AdmitMigrant(st, true)
@@ -256,7 +263,7 @@ func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResul
 // farthest parent of an admission result. Callers must hold mu so the node
 // parents cannot move while they are read; parents are always viewers of the
 // same shard.
-func (l *LSC) worstParentRTTLocked(st *viewerState, res *overlay.JoinResult) time.Duration {
+func (l *LSC) worstParentRTTLocked(st viewerState, res *overlay.JoinResult) time.Duration {
 	if res == nil || !res.Admitted {
 		return 0
 	}

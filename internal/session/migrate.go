@@ -132,7 +132,7 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 	}
 
 	// Phase 2: re-admission on the destination with the preserved request.
-	vst := &viewerState{nodeIdx: dstNode, info: st.Info}
+	vst := viewerState{nodeIdx: dstNode, info: st.Info}
 	dst.register(vst)
 	res, worst, err := dst.admitMigrant(vst, st, src.Region, req.Reason, false)
 	if err != nil {
@@ -179,7 +179,7 @@ func (c *Controller) settleRejected(src, dst *LSC, st overlay.MigrationState, sr
 	if rej != nil {
 		reason = rej.Reason
 	}
-	vst := &viewerState{nodeIdx: srcNode, info: st.Info}
+	vst := viewerState{nodeIdx: srcNode, info: st.Info}
 	src.register(vst)
 	res, err := src.restoreMigrant(vst, st, dst.Region, reason)
 	if err != nil {

@@ -57,10 +57,20 @@ func DefaultLatencyConfig(nodes int, seed int64) LatencyConfig {
 
 // LatencyMatrix is a symmetric all-pairs one-way propagation-delay matrix
 // with region labels per node. It implements the paper's d_prop.
+//
+// Two storage modes share the type. The dense mode
+// (GenerateLatencyMatrix) materializes the flattened upper-triangular
+// matrix — O(n²) memory, fine up to a few thousand endpoints and byte-stable
+// across calls. The hashed mode (GenerateHashedLatencyMatrix) stores only
+// the region labels and derives every pair delay on demand from
+// (seed, i, j), so a million-endpoint substrate costs O(n) memory instead
+// of terabytes; it is equally deterministic, just a different (per-pair
+// independent) draw than the dense generator's sequential stream.
 type LatencyMatrix struct {
 	cfg     LatencyConfig
 	regions []Region
-	// delays is stored as a flattened upper-triangular matrix.
+	// delays is the dense mode's flattened upper-triangular matrix; nil in
+	// hashed mode.
 	delays []time.Duration
 }
 
@@ -96,6 +106,64 @@ func GenerateLatencyMatrix(cfg LatencyConfig) (*LatencyMatrix, error) {
 	return &LatencyMatrix{cfg: cfg, regions: regions, delays: delays}, nil
 }
 
+// GenerateHashedLatencyMatrix builds the O(n)-memory variant of the
+// substrate: region labels are assigned exactly like the dense generator's,
+// but pair delays are computed on demand by hashing (seed, i, j) into the
+// same lognormal family instead of being materialized. This is the only
+// mode that scales to the paper's audience sizes — a dense 100k-node matrix
+// is ~40 GB of delays before a single viewer joins.
+func GenerateHashedLatencyMatrix(cfg LatencyConfig) (*LatencyMatrix, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("latency matrix: nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Regions <= 0 {
+		return nil, fmt.Errorf("latency matrix: regions must be positive, got %d", cfg.Regions)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	regions := make([]Region, cfg.Nodes)
+	for i := range regions {
+		regions[i] = Region(rng.Intn(cfg.Regions))
+	}
+	return &LatencyMatrix{cfg: cfg, regions: regions}, nil
+}
+
+// hashedDelay derives the pair delay of the hashed mode: two splitmix64
+// streams keyed by (seed, i, j) feed a Box–Muller transform, producing the
+// same lognormal family as lognormalDelay with per-pair independence.
+func (m *LatencyMatrix) hashedDelay(i, j int) time.Duration {
+	if i > j {
+		i, j = j, i
+	}
+	mean := m.cfg.InterMean
+	if m.regions[i] == m.regions[j] {
+		mean = m.cfg.IntraMean
+	}
+	key := uint64(m.cfg.Seed)*0x9E3779B97F4A7C15 ^ uint64(i)<<32 ^ uint64(j)
+	u1 := unitFloat(splitmix64(key))
+	u2 := unitFloat(splitmix64(key ^ 0xD1B54A32D192ED03))
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	mu := math.Log(float64(mean)) - m.cfg.Sigma*m.cfg.Sigma/2
+	d := time.Duration(math.Exp(mu + m.cfg.Sigma*z))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer; good enough to
+// decorrelate adjacent (i, j) keys.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash to the open interval (0, 1).
+func unitFloat(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
 // lognormalDelay draws a delay with the given mean and lognormal sigma.
 func lognormalDelay(rng *rand.Rand, mean time.Duration, sigma float64) time.Duration {
 	// For a lognormal with parameters (mu, sigma), mean = exp(mu+sigma²/2).
@@ -122,6 +190,13 @@ func (m *LatencyMatrix) Nodes() int { return m.cfg.Nodes }
 // It panics on out-of-range indices: indices come from internal placement
 // logic, so a bad index is a programming error, not an input error.
 func (m *LatencyMatrix) Delay(i, j int) time.Duration {
+	if m.delays == nil {
+		if i == j {
+			_ = m.regions[i] // preserve the out-of-range panic
+			return 0
+		}
+		return m.hashedDelay(i, j)
+	}
 	return m.delays[triIndex(m.cfg.Nodes, i, j)]
 }
 

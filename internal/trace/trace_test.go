@@ -203,3 +203,65 @@ func TestTEEVESizesBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHashedLatencyMatrixProperties(t *testing.T) {
+	cfg := DefaultLatencyConfig(200, 11)
+	m, err := GenerateHashedLatencyMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateHashedLatencyMatrix(LatencyConfig{Nodes: 0, Regions: 1}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	// Region assignment must match the dense generator's byte for byte, so
+	// session sharding is identical across the two substrate modes.
+	dense, err := GenerateLatencyMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if m.RegionOf(i) != dense.RegionOf(i) {
+			t.Fatalf("region of %d = %d, dense says %d", i, m.RegionOf(i), dense.RegionOf(i))
+		}
+	}
+	// Symmetric, zero diagonal, positive, deterministic.
+	other, _ := GenerateHashedLatencyMatrix(cfg)
+	var intra, inter []time.Duration
+	for i := 0; i < cfg.Nodes; i++ {
+		if d := m.Delay(i, i); d != 0 {
+			t.Fatalf("self delay %d = %v", i, d)
+		}
+		for j := i + 1; j < cfg.Nodes; j++ {
+			d := m.Delay(i, j)
+			if d <= 0 {
+				t.Fatalf("non-positive delay (%d,%d)", i, j)
+			}
+			if d != m.Delay(j, i) {
+				t.Fatalf("asymmetric delay (%d,%d)", i, j)
+			}
+			if d != other.Delay(i, j) {
+				t.Fatalf("nondeterministic delay (%d,%d)", i, j)
+			}
+			if m.RegionOf(i) == m.RegionOf(j) {
+				intra = append(intra, d)
+			} else {
+				inter = append(inter, d)
+			}
+		}
+	}
+	// The lognormal family must keep its calibration: intra-region pairs
+	// center near IntraMean, inter-region near InterMean.
+	mean := func(ds []time.Duration) time.Duration {
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		return sum / time.Duration(len(ds))
+	}
+	if got := mean(intra); got < cfg.IntraMean/2 || got > cfg.IntraMean*2 {
+		t.Errorf("intra mean = %v, want near %v", got, cfg.IntraMean)
+	}
+	if got := mean(inter); got < cfg.InterMean/2 || got > cfg.InterMean*2 {
+		t.Errorf("inter mean = %v, want near %v", got, cfg.InterMean)
+	}
+}
