@@ -10,7 +10,7 @@ SHELL := bash
 # (BENCH_control_plane.json) tracks. BenchmarkBatchPrepare lives in
 # internal/session (it drives the unexported prepare phase directly), so the
 # bench targets cover that package alongside the root.
-HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare|BenchmarkFootprint/100k$$
+HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare|BenchmarkFootprint/100k$$|BenchmarkRecovery
 BENCH_PKGS = . ./internal/session
 
 # bench-smoke fails when a guarded benchmark's joins/s falls more than
@@ -25,7 +25,7 @@ MAX_REGRESS = 0.25
 MEMGUARD_BENCH = BenchmarkJoin$$|BenchmarkFootprint/100k$$
 MAX_MEM_GROWTH = 0.25
 
-.PHONY: build test test-race bench bench-json bench-smoke soak soak-smoke e2e-smoke vet lint
+.PHONY: build test test-race bench bench-json bench-smoke chaos-smoke soak soak-smoke e2e-smoke vet lint
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,14 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json \
 			-baseline BENCH_control_plane.json -guard '$(GUARD_BENCH)' -max-regress $(MAX_REGRESS) \
 			-memguard '$(MEMGUARD_BENCH)' -max-mem-growth $(MAX_MEM_GROWTH)
+
+# chaos-smoke replays the outage catalog scenario — two snapshot/kill/recover
+# cycles of the hot shard under region-concentrated churn — on both executors
+# under the race detector, failing unless every shard recovers, the online
+# validator comes back clean, and the event-stream admission count equals the
+# runner's across the kill/recover boundary.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmokeOutage|TestKillRecoverMidChurnRace' -v ./internal/workload ./internal/session
 
 # The soak tier (build tag `soak`): days of diurnal model time in which the
 # audience fully turns over every cycle, heap snapshotted at day boundaries,

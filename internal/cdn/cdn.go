@@ -70,8 +70,10 @@ func toMbps(units int64) float64 { return float64(units) / unitsPerMbps }
 // Δ-bounded egress is never oversubscribed even transiently.
 type CDN struct {
 	cfg Config
-	// capOut/capIn are the configured bounds in counter units (0 = unbounded).
-	capOut int64
+	// capOut/capIn are the configured bounds in counter units (0 =
+	// unbounded). capOut is atomic because fault injection rescales it at
+	// runtime (CDNCollapse) while admissions keep reading it lock-free.
+	capOut atomic.Int64
 	capIn  int64
 
 	// outTotal is the egress currently reserved or allocated; peakOut is
@@ -91,20 +93,31 @@ type CDN struct {
 
 // New constructs a CDN with the given resource bounds.
 func New(cfg Config) *CDN {
-	return &CDN{
+	c := &CDN{
 		cfg:          cfg,
-		capOut:       toUnits(cfg.OutboundCapacityMbps),
 		capIn:        toUnits(cfg.InboundCapacityMbps),
 		outPerStream: make(map[model.StreamID]int64),
 		uploaded:     make(map[model.StreamID]int64),
 	}
+	c.capOut.Store(toUnits(cfg.OutboundCapacityMbps))
+	return c
 }
+
+// OutboundCapacityMbps returns the current (possibly rescaled) egress bound;
+// 0 means unbounded.
+func (c *CDN) OutboundCapacityMbps() float64 { return toMbps(c.capOut.Load()) }
+
+// SetOutboundCapacityMbps rescales the egress bound at runtime (fault
+// injection: CDN collapse and restore). Existing allocations are untouched —
+// shrinking below current usage only starves new reservations until usage
+// drains under the new cap. 0 makes the CDN unbounded.
+func (c *CDN) SetOutboundCapacityMbps(mbps float64) { c.capOut.Store(toUnits(mbps)) }
 
 // Delta returns Δ, the producer-to-first-child constant delay.
 func (c *CDN) Delta() time.Duration { return c.cfg.Delta }
 
 // Bounded reports whether the session's CDN egress is capacity-limited.
-func (c *CDN) Bounded() bool { return c.capOut > 0 }
+func (c *CDN) Bounded() bool { return c.capOut.Load() > 0 }
 
 // RemainingMbps returns the unallocated egress capacity. Unbounded CDNs
 // report +Inf-like behaviour via a very large number; callers should check
@@ -113,7 +126,7 @@ func (c *CDN) RemainingMbps() float64 {
 	if !c.Bounded() {
 		return 1e18
 	}
-	return toMbps(c.capOut - c.outTotal.Load())
+	return toMbps(c.capOut.Load() - c.outTotal.Load())
 }
 
 // PeakMbps returns the egress high-water mark without taking any lock, so
@@ -124,7 +137,8 @@ func (c *CDN) PeakMbps() float64 { return toMbps(c.peakOut.Load()) }
 // point-in-time hint: under concurrent admission only a Reserve actually
 // holds the capacity.
 func (c *CDN) CanServe(bwMbps float64) bool {
-	return !c.Bounded() || c.outTotal.Load()+toUnits(bwMbps) <= c.capOut
+	cap := c.capOut.Load()
+	return cap <= 0 || c.outTotal.Load()+toUnits(bwMbps) <= cap
 }
 
 // Reservation is egress capacity held out of the shared budget but not yet
@@ -162,7 +176,7 @@ func (c *CDN) Reserve(bwMbps float64) (*Reservation, error) {
 func (c *CDN) reserveUnits(units int64) bool {
 	for {
 		cur := c.outTotal.Load()
-		if c.capOut > 0 && cur+units > c.capOut {
+		if cap := c.capOut.Load(); cap > 0 && cur+units > cap {
 			return false
 		}
 		if c.outTotal.CompareAndSwap(cur, cur+units) {

@@ -100,6 +100,9 @@ func RunScenario(setup Setup, name string, o ScenarioOptions) (ScenarioResult, e
 		workload.WithSeed(setup.Seed),
 		workload.WithInbound(setup.InboundMbps),
 		workload.WithValidation(!o.Wallclock || o.Validate),
+		// The controller is the canonical injector, so fault-bearing
+		// scenarios (outage, cdn-collapse) run out of the box.
+		workload.WithInjector(ctrl),
 	}
 	for _, s := range o.Sinks {
 		opts = append(opts, workload.WithSink(s))

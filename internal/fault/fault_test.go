@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"telecast/internal/trace"
+)
+
+func TestPlanValidate(t *testing.T) {
+	r := trace.Region(2)
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{Name: "empty"}, true},
+		{"ordered", Plan{Faults: []Fault{
+			{At: 0, Kind: Snapshot, Region: r},
+			{At: time.Second, Kind: RegionOutage, Region: r},
+			{At: 2 * time.Second, Kind: RegionRecover, Region: r},
+		}}, true},
+		{"out of order", Plan{Faults: []Fault{
+			{At: time.Second, Kind: Snapshot, Region: r},
+			{At: 0, Kind: RegionOutage, Region: r},
+		}}, false},
+		{"zero factor", Plan{Faults: []Fault{
+			{At: 0, Kind: CDNCollapse, Factor: 0},
+		}}, false},
+		{"double kill", Plan{Faults: []Fault{
+			{At: 0, Kind: RegionOutage, Region: r},
+			{At: time.Second, Kind: RegionOutage, Region: r},
+		}}, false},
+		{"recover while up", Plan{Faults: []Fault{
+			{At: 0, Kind: RegionRecover, Region: r},
+		}}, false},
+		{"left dead", Plan{Faults: []Fault{
+			{At: 0, Kind: RegionOutage, Region: r},
+		}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid plan accepted", tc.name)
+		}
+	}
+}
+
+// TestOutageCycleShape pins the generator's timeline: each cycle snapshots
+// half the down window before the kill, and the plan passes its own
+// validation (kill/recover alternation, ordering).
+func TestOutageCycleShape(t *testing.T) {
+	r := trace.Region(3)
+	p := OutageCycle(r, 10*time.Second, 2*time.Second, 12*time.Second, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{At: 9 * time.Second, Kind: Snapshot, Region: r},
+		{At: 10 * time.Second, Kind: RegionOutage, Region: r},
+		{At: 12 * time.Second, Kind: RegionRecover, Region: r},
+		{At: 21 * time.Second, Kind: Snapshot, Region: r},
+		{At: 22 * time.Second, Kind: RegionOutage, Region: r},
+		{At: 24 * time.Second, Kind: RegionRecover, Region: r},
+	}
+	if len(p.Faults) != len(want) {
+		t.Fatalf("faults = %d, want %d", len(p.Faults), len(want))
+	}
+	for i, f := range p.Faults {
+		if f != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+	// An early first kill clamps the snapshot to the plan start.
+	early := OutageCycle(r, time.Second, 4*time.Second, 10*time.Second, 1)
+	if early.Faults[0].At != 0 {
+		t.Errorf("early snapshot at %v, want clamped to 0", early.Faults[0].At)
+	}
+}
+
+func TestPulseGenerators(t *testing.T) {
+	p := CDNCollapsePulse(5*time.Second, 15*time.Second, 0.4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults[0].Factor != 0.4 || p.Faults[1].Factor != 1 {
+		t.Errorf("collapse factors %v, %v; want 0.4 then 1", p.Faults[0].Factor, p.Faults[1].Factor)
+	}
+	d := DelayStorm(time.Second, 3*time.Second, 2.5)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := ProducerChurnBurst(time.Second, 2*time.Second, 3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Faults) != 3 || c.Faults[2].At != 5*time.Second {
+		t.Errorf("churn burst shape wrong: %+v", c.Faults)
+	}
+}

@@ -46,6 +46,9 @@ type Shard interface {
 	DrainDrops() []DropRecord
 	// DumpTrees renders the shard's dissemination trees for inspection.
 	DumpTrees() string
+	// ExportState captures the shard's full logical state for snapshot-based
+	// recovery; restore it with RestoreManager.
+	ExportState() *ShardState
 }
 
 // Manager is the canonical Shard implementation.

@@ -1,0 +1,389 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"telecast/internal/cdn"
+	"telecast/internal/model"
+)
+
+// Shard state export/restore: the serialization half of fault recovery.
+//
+// ShardState is a self-contained, slab-free description of one Manager: the
+// admission counters, every group's view and per-stream tree topology, and
+// every viewer record (admitted and rejected). It deliberately serializes
+// *logical* state only — viewer IDs, parent edges in preorder, assigned
+// κ-layers — never slot handles, SoA mirrors, level-index buckets, memo or
+// intern caches: those are rebuilt from scratch by RestoreManager through the
+// same primitives the live admission path uses, so a restored shard's nodes
+// are slab-born in fresh blocks. All slices are emitted in a canonical order
+// (groups by key, trees by stream, viewers by ID, orientations by site), so
+// Encode is deterministic and Export → Restore → Export is byte-identical —
+// the property the golden round-trip test pins.
+
+// OrientationState is one site's view direction, flattened for serialization.
+type OrientationState struct {
+	Site model.SiteID `json:"site"`
+	X    float64      `json:"x"`
+	Y    float64      `json:"y"`
+	Z    float64      `json:"z"`
+}
+
+// NodeState is one overlay-tree node. Parent is the viewer ID of the node's
+// parent in the same tree; empty means the node is a CDN root. Nodes appear
+// in preorder (roots in attachment order, children in child-list order), so a
+// parent always precedes its children and replaying attachments in slice
+// order reproduces the exact Children/roots ordering.
+type NodeState struct {
+	Viewer model.ViewerID `json:"viewer"`
+	Parent model.ViewerID `json:"parent,omitempty"`
+	OutDeg int            `json:"outDeg"`
+	OutCap float64        `json:"outCap"`
+	Layer  int            `json:"layer"`
+}
+
+// TreeState is one stream's distribution tree.
+type TreeState struct {
+	Stream string      `json:"stream"` // model.StreamID.String(), parseable
+	Nodes  []NodeState `json:"nodes"`
+}
+
+// GroupState is one view-equivalence group: the shared view request (as raw
+// orientations — the ranked ViewRequest is recomposed deterministically on
+// restore) and the group's trees. Memberless groups (every member rejected or
+// departed mid-epoch) restore too; membership itself is derived from the
+// viewer records.
+type GroupState struct {
+	Key   string             `json:"key"`
+	View  []OrientationState `json:"view"`
+	Trees []TreeState        `json:"trees"`
+}
+
+// StreamMbpsState is a per-stream float entry (OutAlloc).
+type StreamMbpsState struct {
+	Stream string  `json:"stream"`
+	Mbps   float64 `json:"mbps"`
+}
+
+// StreamDegState is a per-stream integer entry (OutDeg).
+type StreamDegState struct {
+	Stream string `json:"stream"`
+	Deg    int    `json:"deg"`
+}
+
+// ViewerState is one viewer record, admitted or rejected. Tree membership is
+// not listed here — it is recovered by looking the viewer up in its group's
+// restored trees.
+type ViewerState struct {
+	ID           model.ViewerID     `json:"id"`
+	InboundMbps  float64            `json:"inboundMbps"`
+	OutboundMbps float64            `json:"outboundMbps"`
+	View         []OrientationState `json:"view"`
+	GroupKey     string             `json:"groupKey"`
+	InUsedMbps   float64            `json:"inUsedMbps"`
+	Rejected     bool               `json:"rejected,omitempty"`
+	OutAlloc     []StreamMbpsState  `json:"outAlloc,omitempty"`
+	OutDeg       []StreamDegState   `json:"outDeg,omitempty"`
+}
+
+// ShardState is the full serializable state of one overlay shard.
+type ShardState struct {
+	StreamsRequested int           `json:"streamsRequested"`
+	StreamsAccepted  int           `json:"streamsAccepted"`
+	ViewersAdmitted  int           `json:"viewersAdmitted"`
+	ViewersRejected  int           `json:"viewersRejected"`
+	Groups           []GroupState  `json:"groups"`
+	Viewers          []ViewerState `json:"viewers"`
+}
+
+// Encode serializes the state as canonical JSON. Field order is fixed by the
+// struct definitions and slice order by ExportState, so equal states encode
+// to equal bytes.
+func (s *ShardState) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeShardState parses bytes produced by Encode.
+func DecodeShardState(data []byte) (*ShardState, error) {
+	var s ShardState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("overlay: decode shard state: %w", err)
+	}
+	return &s, nil
+}
+
+func orientationStates(v model.View) []OrientationState {
+	out := make([]OrientationState, 0, len(v.Orientations))
+	for site, dir := range v.Orientations {
+		out = append(out, OrientationState{Site: site, X: dir.X, Y: dir.Y, Z: dir.Z})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// ModelView recomposes the viewer's serialized orientation set into a
+// model.View, for callers rebuilding admission requests from a snapshot.
+func (vs *ViewerState) ModelView() model.View {
+	return viewFromStates(vs.View)
+}
+
+func viewFromStates(os []OrientationState) model.View {
+	v := model.View{Orientations: make(map[model.SiteID]model.Vec3, len(os))}
+	for _, o := range os {
+		v.Orientations[o.Site] = model.Vec3{X: o.X, Y: o.Y, Z: o.Z}
+	}
+	return v
+}
+
+func sortedStreamIDs(ids []model.StreamID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+}
+
+// ExportState captures the manager's logical state. The caller must hold the
+// shard's owner lock (or otherwise guarantee quiescence of this shard).
+func (m *Manager) ExportState() *ShardState {
+	st := &ShardState{
+		StreamsRequested: m.streamsRequested,
+		StreamsAccepted:  m.streamsAccepted,
+		ViewersAdmitted:  m.viewersAdmitted,
+		ViewersRejected:  m.viewersRejected,
+	}
+
+	groupKeys := make([]model.ViewKey, 0, len(m.groups))
+	for k := range m.groups {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool { return groupKeys[i] < groupKeys[j] })
+	for _, k := range groupKeys {
+		g := m.groups[k]
+		gs := GroupState{Key: string(k), View: orientationStates(g.Request.View)}
+		streamIDs := make([]model.StreamID, 0, len(g.Trees))
+		for id := range g.Trees {
+			streamIDs = append(streamIDs, id)
+		}
+		sortedStreamIDs(streamIDs)
+		for _, id := range streamIDs {
+			t := g.Trees[id]
+			ts := TreeState{Stream: id.String(), Nodes: make([]NodeState, 0, len(t.nodes))}
+			var dfs func(parent model.ViewerID, n *Node)
+			dfs = func(parent model.ViewerID, n *Node) {
+				ts.Nodes = append(ts.Nodes, NodeState{
+					Viewer: n.Viewer,
+					Parent: parent,
+					OutDeg: n.OutDeg,
+					OutCap: n.OutCap,
+					Layer:  n.Layer,
+				})
+				for _, c := range n.Children {
+					dfs(n.Viewer, c)
+				}
+			}
+			for _, r := range t.roots {
+				dfs("", r)
+			}
+			gs.Trees = append(gs.Trees, ts)
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+
+	viewerIDs := m.SortedViewerIDs()
+	for _, id := range viewerIDs {
+		v := m.viewers[id]
+		vs := ViewerState{
+			ID:           v.Info.ID,
+			InboundMbps:  v.Info.InboundMbps,
+			OutboundMbps: v.Info.OutboundMbps,
+			View:         orientationStates(v.Request.View),
+			GroupKey:     string(v.Group.Key),
+			InUsedMbps:   v.InUsedMbps,
+			Rejected:     v.Rejected,
+		}
+		if len(v.OutAlloc) > 0 {
+			ids := make([]model.StreamID, 0, len(v.OutAlloc))
+			for sid := range v.OutAlloc {
+				ids = append(ids, sid)
+			}
+			sortedStreamIDs(ids)
+			for _, sid := range ids {
+				vs.OutAlloc = append(vs.OutAlloc, StreamMbpsState{Stream: sid.String(), Mbps: v.OutAlloc[sid]})
+			}
+		}
+		if len(v.OutDeg) > 0 {
+			ids := make([]model.StreamID, 0, len(v.OutDeg))
+			for sid := range v.OutDeg {
+				ids = append(ids, sid)
+			}
+			sortedStreamIDs(ids)
+			for _, sid := range ids {
+				vs.OutDeg = append(vs.OutDeg, StreamDegState{Stream: sid.String(), Deg: v.OutDeg[sid]})
+			}
+		}
+		st.Viewers = append(st.Viewers, vs)
+	}
+	return st
+}
+
+// RestoreManager rebuilds a manager from an exported state on fresh slabs.
+// Tree topology is replayed through the same attachment primitives the
+// admission path uses (NewNode, AttachToCDN, attachUnder), so slot handles,
+// SoA mirrors, and level indexes are rebuilt from scratch; κ-layers are then
+// pinned from the export and the delay chain recomputed root-down, which
+// reproduces the exported MinE2E/EffE2E exactly because refreshNode never
+// lowers a layer that still satisfies its d_max bound.
+//
+// CDN egress is re-reserved on the shared substrate for every restored root.
+// This is strict: if the CDN cannot cover the snapshot's implied egress (a
+// collapse shrank it since the snapshot), every reservation made so far is
+// released and an error returned with the substrate unchanged — the caller
+// falls back to replay-style re-admission, which degrades gracefully instead
+// of over-committing.
+func RestoreManager(session *model.Session, dist *cdn.CDN, prop PropFunc, params Params, st *ShardState) (*Manager, error) {
+	m, err := NewManager(session, dist, prop, params)
+	if err != nil {
+		return nil, err
+	}
+	m.streamsRequested = st.StreamsRequested
+	m.streamsAccepted = st.StreamsAccepted
+	m.viewersAdmitted = st.ViewersAdmitted
+	m.viewersRejected = st.ViewersRejected
+	type grant struct {
+		id   model.StreamID
+		mbps float64
+	}
+	var granted []grant
+	fail := func(err error) (*Manager, error) {
+		for _, g := range granted {
+			_ = dist.Release(g.id, g.mbps)
+		}
+		return nil, err
+	}
+
+	for gi := range st.Groups {
+		gs := &st.Groups[gi]
+		view := viewFromStates(gs.View)
+		req := m.composeView(view)
+		if string(req.Key()) != gs.Key {
+			return fail(fmt.Errorf("overlay restore: group key %q recomposes to %q", gs.Key, req.Key()))
+		}
+		g := m.groupFor(req)
+		for ti := range gs.Trees {
+			ts := &gs.Trees[ti]
+			sid, err := model.ParseStreamID(ts.Stream)
+			if err != nil {
+				return fail(fmt.Errorf("overlay restore: group %q: %w", gs.Key, err))
+			}
+			s, ok := session.Stream(sid)
+			if !ok {
+				return fail(fmt.Errorf("overlay restore: group %q: unknown stream %v", gs.Key, sid))
+			}
+			t := m.treeFor(g, s)
+			byViewer := make(map[model.ViewerID]*Node, len(ts.Nodes))
+			for ni := range ts.Nodes {
+				ns := &ts.Nodes[ni]
+				n := t.NewNode(ns.Viewer, ns.OutDeg, ns.OutCap)
+				if ns.Parent == "" {
+					if err := dist.Allocate(sid, s.BitrateMbps); err != nil {
+						t.store.release(n)
+						return fail(fmt.Errorf("overlay restore: stream %v root %s: %w", sid, ns.Viewer, err))
+					}
+					granted = append(granted, grant{id: sid, mbps: s.BitrateMbps})
+					t.AttachToCDN(n)
+				} else {
+					p := byViewer[ns.Parent]
+					if p == nil {
+						t.store.release(n)
+						return fail(fmt.Errorf("overlay restore: stream %v: node %s precedes parent %s", sid, ns.Viewer, ns.Parent))
+					}
+					if p.FreeSlots() <= 0 {
+						t.store.release(n)
+						return fail(fmt.Errorf("overlay restore: stream %v: parent %s over out-degree", sid, ns.Parent))
+					}
+					t.attachUnder(p, n)
+				}
+				byViewer[ns.Viewer] = n
+			}
+			// Pin exported κ-layers top-down, then recompute the delay chain
+			// once per root: parents refresh before children, so MinE2E sees
+			// the parent's final EffE2E and the exported equilibrium holds.
+			for ni := range ts.Nodes {
+				byViewer[ts.Nodes[ni].Viewer].Layer = ts.Nodes[ni].Layer
+			}
+			for _, r := range t.roots {
+				t.refreshDelays(r)
+			}
+		}
+	}
+
+	for vi := range st.Viewers {
+		vs := &st.Viewers[vi]
+		view := viewFromStates(vs.View)
+		req := m.composeView(view)
+		if string(req.Key()) != vs.GroupKey {
+			return fail(fmt.Errorf("overlay restore: viewer %s group key %q recomposes to %q", vs.ID, vs.GroupKey, req.Key()))
+		}
+		g := m.groups[req.Key()]
+		if g == nil {
+			// A rejected record can outlive its group; restore it with a
+			// detached group object (not registered in m.groups), matching
+			// the live structure after the last member departs.
+			g = &Group{
+				Key:     req.Key(),
+				Request: req,
+				Trees:   make(map[model.StreamID]*Tree),
+				Members: make(map[model.ViewerID]*Viewer),
+			}
+			for site := range req.SitesCovered() {
+				g.Sites = append(g.Sites, site)
+			}
+		}
+		v := &Viewer{
+			Info:       ViewerInfo{ID: vs.ID, InboundMbps: vs.InboundMbps, OutboundMbps: vs.OutboundMbps},
+			Request:    req,
+			Group:      g,
+			InUsedMbps: vs.InUsedMbps,
+			Rejected:   vs.Rejected,
+		}
+		if !vs.Rejected {
+			v.Nodes = make(map[model.StreamID]*Node)
+		}
+		for _, a := range vs.OutAlloc {
+			sid, err := model.ParseStreamID(a.Stream)
+			if err != nil {
+				return fail(fmt.Errorf("overlay restore: viewer %s: %w", vs.ID, err))
+			}
+			if v.OutAlloc == nil {
+				v.OutAlloc = make(map[model.StreamID]float64, len(vs.OutAlloc))
+			}
+			v.OutAlloc[sid] = a.Mbps
+		}
+		for _, d := range vs.OutDeg {
+			sid, err := model.ParseStreamID(d.Stream)
+			if err != nil {
+				return fail(fmt.Errorf("overlay restore: viewer %s: %w", vs.ID, err))
+			}
+			if v.OutDeg == nil {
+				v.OutDeg = make(map[model.StreamID]int, len(vs.OutDeg))
+			}
+			v.OutDeg[sid] = d.Deg
+		}
+		for sid, t := range g.Trees {
+			if n, ok := t.Node(vs.ID); ok {
+				if v.Nodes == nil {
+					v.Nodes = make(map[model.StreamID]*Node)
+				}
+				v.Nodes[sid] = n
+			}
+		}
+		if !vs.Rejected {
+			g.Members[vs.ID] = v
+		}
+		m.viewers[vs.ID] = v
+	}
+
+	if err := m.Validate(); err != nil {
+		return fail(fmt.Errorf("overlay restore: rebuilt shard fails validation: %w", err))
+	}
+	return m, nil
+}

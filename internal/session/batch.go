@@ -2,6 +2,7 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -239,11 +240,18 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 					continue
 				}
 				nodeIdx, err := lsc.leave(id)
-				c.dropRoute(id)
 				if err != nil {
+					if errors.Is(err, ErrShardDown) {
+						// Keep the viewer routed so recovery rebuilds it
+						// and the departure can be retried afterwards.
+						c.bindRoute(id, lsc)
+					} else {
+						c.dropRoute(id)
+					}
 					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
 					continue
 				}
+				c.dropRoute(id)
 				c.nodes.release(nodeIdx)
 			}
 		}(lsc, idxs)

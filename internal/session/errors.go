@@ -26,10 +26,17 @@ var (
 	// handoff of the same viewer (Leave, ChangeView, a rival Migrate);
 	// retry once the handoff has rebound or dropped the route.
 	ErrMigrating = errors.New("session: viewer migration in progress")
-	// ErrMigrationInFlight is returned by Validate while any cross-region
-	// handoff is mid-flight: the session is not quiescent and the checker
-	// would report phantom accounting violations.
+	// ErrMigrationInFlight was returned by Validate while a cross-region
+	// handoff was mid-flight. The epoch-based online validator now
+	// skips-and-retries instead of erroring; the sentinel remains for
+	// callers that still match it.
 	ErrMigrationInFlight = errors.New("session: migration in flight")
+	// ErrShardDown is returned for every operation routed to a killed LSC
+	// shard (fault injection: RegionOutage) until its recovery completes.
+	// The viewer's route and registry intent are preserved: a failed leave
+	// keeps the viewer routed, a failed join is fully unwound, and an
+	// in-flight migration settles totally on the surviving side.
+	ErrShardDown = errors.New("session: shard down")
 	// ErrUnknownRegion is returned by Migrate for destination regions the
 	// latency substrate does not define.
 	ErrUnknownRegion = errors.New("session: unknown region")

@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,9 @@ type LSC struct {
 
 	cfg *Config
 	bus *eventBus
+	// scale points at the controller's delay-scale word (DelayShift fault);
+	// nil or zero bits mean the unscaled landscape.
+	scale *atomic.Uint64
 
 	// mon is this shard's local read path into the producer monitor,
 	// installed by AttachMonitor.
@@ -36,6 +40,23 @@ type LSC struct {
 
 	mu    sync.Mutex
 	shard overlay.Shard
+	// rec, when armed, is the shard's recovery journal: a snapshot of the
+	// overlay state plus every admission-relevant transition since, appended
+	// under mu in shard order. Guarded by mu.
+	rec *shardRecorder
+
+	// down marks a killed shard: every operation fails with ErrShardDown
+	// until RecoverRegion completes. Set and cleared under mu; read lock-free
+	// at operation entry (the authoritative re-check happens under mu).
+	down atomic.Bool
+	// epoch counts this shard's mutations; bumped under mu after every call
+	// into the overlay. The online validator snapshots the epoch vector,
+	// validates, and retries if any epoch moved — the scheme that replaced
+	// the quiescence assumption.
+	epoch atomic.Uint64
+	// drops accumulates the overlay's adaptation-drop log length — the
+	// counter /metricz and SampleStats surface.
+	drops atomic.Uint64
 
 	vmu     sync.RWMutex
 	viewers map[model.ViewerID]viewerState
@@ -68,10 +89,14 @@ func newLSC(region trace.Region, nodeIdx int, cfg *Config, bus *eventBus) *LSC {
 // operations, which is the per-region ordering Subscribe guarantees.
 func (l *LSC) emit(ev Event) { l.bus.publish(l.Region, ev) }
 
-// emitDropsLocked drains the overlay's drop log and publishes one
-// EventStreamDropped per record. Callers must hold mu.
+// emitDropsLocked drains the overlay's drop log, counts it, and publishes
+// one EventStreamDropped per record. Callers must hold mu.
 func (l *LSC) emitDropsLocked() {
-	for _, d := range l.shard.DrainDrops() {
+	recs := l.shard.DrainDrops()
+	if len(recs) > 0 {
+		l.drops.Add(uint64(len(recs)))
+	}
+	for _, d := range recs {
 		l.emit(Event{
 			Kind:   EventStreamDropped,
 			Viewer: d.Viewer,
@@ -79,6 +104,11 @@ func (l *LSC) emitDropsLocked() {
 			Reason: d.Reason,
 		})
 	}
+}
+
+// downErr is the typed refusal of a killed shard.
+func (l *LSC) downErr() error {
+	return fmt.Errorf("lsc region %d: %w", l.Region, ErrShardDown)
 }
 
 // emitJoinLocked publishes the admission outcome of a join or view-change
@@ -107,7 +137,15 @@ func (l *LSC) propFunc() overlay.PropFunc {
 				"session: propagation lookup for unregistered viewer (%s ok=%t, %s ok=%t) in LSC region %d: registration-order bug",
 				a, okA, b, okB, l.Region))
 		}
-		return l.cfg.Latency.Delay(va.nodeIdx, vb.nodeIdx)
+		d := l.cfg.Latency.Delay(va.nodeIdx, vb.nodeIdx)
+		if l.scale != nil {
+			if bits := l.scale.Load(); bits != 0 {
+				if s := math.Float64frombits(bits); s != 1 {
+					d = time.Duration(float64(d) * s)
+				}
+			}
+		}
+		return d
 	}
 }
 
@@ -140,10 +178,20 @@ func (l *LSC) state(id model.ViewerID) (viewerState, bool) {
 func (l *LSC) join(st viewerState, view model.View) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return nil, 0, l.downErr()
+	}
+	// Re-assert the registration: prepare already inserted it, but a
+	// kill/recover cycle between prepare and admission wipes the registry and
+	// rebuilds only snapshot- or journal-known viewers — this in-flight one is
+	// neither. The overwrite is idempotent on the normal path.
+	l.register(st)
 	res, err := l.shard.Join(st.info, view)
+	l.epoch.Add(1)
 	if err != nil {
 		return nil, 0, err
 	}
+	l.journalLocked(journalEntry{op: opJoin, id: st.info.ID, nodeIdx: st.nodeIdx, info: st.info, view: view.Clone()})
 	l.emitJoinLocked(EventJoinAccepted, st.info.ID, res)
 	return res, l.worstParentRTTLocked(st, res), nil
 }
@@ -154,9 +202,15 @@ func (l *LSC) join(st viewerState, view model.View) (*overlay.JoinResult, time.D
 func (l *LSC) leave(id model.ViewerID) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return 0, l.downErr()
+	}
 	if err := l.shard.Leave(id); err != nil {
+		l.epoch.Add(1)
 		return 0, err
 	}
+	l.epoch.Add(1)
+	l.journalLocked(journalEntry{op: opLeave, id: id})
 	l.emit(Event{Kind: EventDeparted, Viewer: id})
 	l.emitDropsLocked()
 	l.vmu.Lock()
@@ -177,10 +231,15 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay.MigrationState, int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return overlay.MigrationState{}, 0, l.downErr()
+	}
 	st, err := l.shard.Extract(id)
+	l.epoch.Add(1)
 	if err != nil {
 		return overlay.MigrationState{}, 0, err
 	}
+	l.journalLocked(journalEntry{op: opMigrantOut, id: id})
 	l.emit(Event{Kind: EventMigratedOut, Viewer: id, From: l.Region, To: to, Cause: cause})
 	l.emitDropsLocked()
 	l.vmu.Lock()
@@ -201,9 +260,22 @@ func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay
 func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return nil, 0, l.downErr()
+	}
+	// Same registration re-assert as join: heals a kill/recover cycle that
+	// raced between the caller's register and this admission.
+	l.register(vst)
 	res, err := l.shard.AdmitMigrant(st, keepIfRejected)
+	l.epoch.Add(1)
 	if err != nil {
 		return nil, 0, err
+	}
+	if res.Admitted || keepIfRejected {
+		// Journal only outcomes that left a record behind; replay re-admits
+		// with keep=true so a replay-time rejection still leaves the viewer
+		// routed as a rejected record.
+		l.journalLocked(journalEntry{op: opMigrantIn, id: st.Info.ID, nodeIdx: vst.nodeIdx, info: st.Info, req: st.Request})
 	}
 	if res.Admitted {
 		l.emit(Event{Kind: EventMigratedIn, Viewer: st.Info.ID, From: from, To: l.Region, Cause: cause, Streams: len(res.Accepted)})
@@ -221,10 +293,16 @@ func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trac
 func (l *LSC) restoreMigrant(vst viewerState, st overlay.MigrationState, to trace.Region, reason RejectReason) (*overlay.JoinResult, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return nil, l.downErr()
+	}
+	l.register(vst)
 	res, err := l.shard.AdmitMigrant(st, true)
+	l.epoch.Add(1)
 	if err != nil {
 		return nil, err
 	}
+	l.journalLocked(journalEntry{op: opMigrantIn, id: st.Info.ID, nodeIdx: vst.nodeIdx, info: st.Info, req: st.Request})
 	l.emit(Event{Kind: EventMigrationRestored, Viewer: st.Info.ID, From: l.Region, To: to, Reason: reason})
 	l.emitDropsLocked()
 	return res, nil
@@ -243,16 +321,26 @@ func (l *LSC) noteMigrationDeparture(id model.ViewerID) {
 // changeView re-admits a viewer with a new view and returns the new
 // topology, the farthest-parent round trip, and the viewer's node index.
 func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResult, time.Duration, int, error) {
+	l.mu.Lock()
+	if l.down.Load() {
+		l.mu.Unlock()
+		return nil, 0, 0, l.downErr()
+	}
+	// The registry lookup must come after the down check: a killed shard's
+	// registry is empty, and a routed viewer probing it would read as unknown
+	// instead of getting the typed ErrShardDown refusal.
 	st, ok := l.state(id)
 	if !ok {
+		l.mu.Unlock()
 		return nil, 0, 0, ErrUnknownViewer
 	}
-	l.mu.Lock()
 	res, err := l.shard.ChangeView(id, view)
+	l.epoch.Add(1)
 	if err != nil {
 		l.mu.Unlock()
 		return nil, 0, 0, err
 	}
+	l.journalLocked(journalEntry{op: opChangeView, id: id, view: view.Clone()})
 	l.emitJoinLocked(EventViewChanged, id, res)
 	worst := l.worstParentRTTLocked(st, res)
 	l.mu.Unlock()
@@ -331,11 +419,16 @@ func (l *LSC) QuickSnapshot() overlay.Snapshot {
 	return l.shard.QuickSnapshot()
 }
 
-// RefreshAll runs the periodic delay-layer adaptation on this shard.
+// RefreshAll runs the periodic delay-layer adaptation on this shard. A
+// killed shard has nothing to adapt and reports zero changes.
 func (l *LSC) RefreshAll() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.down.Load() {
+		return 0
+	}
 	changed := l.shard.RefreshAll()
+	l.epoch.Add(1)
 	l.emitDropsLocked()
 	return changed
 }

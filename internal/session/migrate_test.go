@@ -372,13 +372,26 @@ func tolerate(t *testing.T, err error, op string) {
 	t.Errorf("%s: %v", op, err)
 }
 
-func TestValidateFailsFastMidHandoff(t *testing.T) {
+// The online validator treats a mid-flight handoff as a non-quiescent
+// window: the attempt is skipped (nil verdict after bounded retries), never
+// raised as a phantom violation. The old fail-fast ErrMigrationInFlight
+// behavior is gone.
+func TestValidateSkipsMidHandoff(t *testing.T) {
 	c := migrateController(t, 128, 6000)
 	c.migrations.Add(1)
-	if err := c.Validate(); !errors.Is(err, ErrMigrationInFlight) {
-		t.Fatalf("want ErrMigrationInFlight, got %v", err)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("mid-handoff validate should skip, got %v", err)
 	}
 	c.migrations.Add(-1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("quiescent validate: %v", err)
+	}
+	// Same skip for a recovery in flight.
+	c.recovering.Add(1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("mid-recovery validate should skip, got %v", err)
+	}
+	c.recovering.Add(-1)
 	if err := c.Validate(); err != nil {
 		t.Fatalf("quiescent validate: %v", err)
 	}

@@ -103,9 +103,19 @@ type Controller struct {
 	// hash so batch routing never funnels through one lock (routes.go).
 	routes routeTable
 
-	// migrations counts in-flight cross-region handoffs; Validate fails
-	// fast on a non-zero count instead of reporting phantom violations.
+	// migrations counts in-flight cross-region handoffs; recovering counts
+	// in-flight shard rebuilds. The online validator treats either being
+	// non-zero like an epoch change: skip this attempt and retry.
 	migrations atomic.Int64
+	recovering atomic.Int64
+
+	// params is the overlay parameter block shared by every shard, kept for
+	// rebuilding a killed shard's manager during recovery.
+	params overlay.Params
+
+	// delayScale holds math.Float64bits of the propagation-delay multiplier
+	// (fault injection: DelayShift). Zero means unset, i.e. scale 1.
+	delayScale atomic.Uint64
 
 	monitor atomic.Pointer[Monitor]
 
@@ -341,11 +351,12 @@ func NewControllerFromConfig(cfg Config) (*Controller, error) {
 	}
 	c.nodes.init(1+cfg.Latency.NumRegions(), cfg.Latency.Nodes())
 	c.nodes.initRegions(cfg.Latency)
-	params := overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
+	c.params = overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {
 		region := trace.Region(r)
 		lsc := newLSC(region, 1+r, &c.cfg, c.bus)
-		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, lsc.propFunc(), params)
+		lsc.scale = &c.delayScale
+		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, lsc.propFunc(), c.params)
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
 		}
@@ -383,9 +394,16 @@ func (c *Controller) lscFor(nodeIdx int) *LSC {
 	return c.lscs[c.cfg.Latency.RegionOf(nodeIdx)]
 }
 
-// delay is shorthand for the one-way propagation delay between matrix nodes.
+// delay is shorthand for the one-way propagation delay between matrix nodes,
+// scaled by the injected delay-shift factor when one is active.
 func (c *Controller) delay(a, b int) time.Duration {
-	return c.cfg.Latency.Delay(a, b)
+	d := c.cfg.Latency.Delay(a, b)
+	if bits := c.delayScale.Load(); bits != 0 {
+		if s := math.Float64frombits(bits); s != 1 {
+			d = time.Duration(float64(d) * s)
+		}
+	}
+	return d
 }
 
 // claimID reserves a viewer ID in the routing table, failing on duplicates.

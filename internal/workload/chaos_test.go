@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/trace"
+)
+
+// TestChaosSmokeOutage is the chaos-smoke gate: the outage catalog scenario —
+// two snapshot/kill/recover cycles of the hot shard under region-concentrated
+// churn — must end with every shard recovered, the epoch-based online
+// validator clean, and the event-stream admission count equal to the
+// runner's. CI runs it under -race (make chaos-smoke).
+func TestChaosSmokeOutage(t *testing.T) {
+	for _, executor := range []string{"sim", "wallclock"} {
+		t.Run(executor, func(t *testing.T) {
+			sc, err := FromCatalog("outage", Knobs{
+				Seed:       23,
+				Audience:   150,
+				Duration:   30 * time.Second,
+				ViewAngles: []float64{0, 1.5707963267948966, 3.141592653589793},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := Collect(sc, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joins, faults := 0, 0
+			for _, ev := range events {
+				switch ev.Kind {
+				case EventJoin:
+					joins++
+				case EventFault:
+					faults++
+				}
+			}
+			if faults != 6 {
+				t.Fatalf("outage scenario carries %d fault events, want 6", faults)
+			}
+			producers, err := model.NewSession(
+				model.NewRingSite("A", 8, 2.0, 10),
+				model.NewRingSite("B", 8, 2.0, 10),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat, err := trace.GenerateLatencyMatrix(trace.DefaultLatencyConfig(joins+16, 23))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl, err := session.NewController(producers, lat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner := NewSimRunner()
+			if executor == "wallclock" {
+				runner = NewParallelRunner()
+			}
+			tracker := TrackAcceptance(ctrl)
+			res, err := runner.Run(context.Background(), ctrl, producers,
+				Schedule("outage", events),
+				WithSeed(23),
+				WithInbound(20),
+				WithValidation(true),
+				WithInjector(ctrl),
+			)
+			totals := tracker.Stop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FaultsInjected != faults {
+				t.Errorf("injected %d faults, want %d", res.FaultsInjected, faults)
+			}
+			for r := 0; r < trace.DefaultRegions; r++ {
+				if ctrl.ShardDown(trace.Region(r)) {
+					t.Errorf("region %d left down", r)
+				}
+			}
+			if err := ctrl.Validate(); err != nil {
+				t.Errorf("invariants after run: %v", err)
+			}
+			// Counter equality across the kill/recover boundary: replayed
+			// re-admissions happen below the event layer and evacuations are
+			// tallied apart, so the stream's admission total must equal the
+			// runner's join count exactly.
+			if totals.EventsDropped != 0 {
+				t.Fatalf("event stream dropped %d events", totals.EventsDropped)
+			}
+			if totals.Accepted != res.Joins {
+				t.Errorf("event stream counted %d admissions, runner says %d", totals.Accepted, res.Joins)
+			}
+			if res.Joins == 0 || res.Leaves == 0 {
+				t.Errorf("degenerate run: joins=%d leaves=%d", res.Joins, res.Leaves)
+			}
+		})
+	}
+}

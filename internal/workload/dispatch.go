@@ -64,6 +64,9 @@ type Counters struct {
 	StreamsRequested, StreamsAccepted   int
 	LiveStreams, ViaCDN, ViaP2P, Groups int
 	CDNOutMbps, CDNPeakMbps, CDNInMbps  float64
+	// AdaptationDrops is the cumulative count of stream subscriptions
+	// dropped by the delay-layer adaptation across every shard.
+	AdaptationDrops uint64
 }
 
 // AcceptanceRatio returns ρ = accepted/requested streams (1 before any
@@ -265,5 +268,6 @@ func localCounters(ctrl *session.Controller) Counters {
 		CDNOutMbps:       st.Overlay.CDNUsage.OutTotalMbps,
 		CDNPeakMbps:      st.Overlay.CDNUsage.PeakOutMbps,
 		CDNInMbps:        st.Overlay.CDNUsage.InTotalMbps,
+		AdaptationDrops:  st.AdaptationDrops,
 	}
 }

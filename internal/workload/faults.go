@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"telecast/internal/fault"
+)
+
+// FaultEvents adapts a fault plan into a Scenario of EventFault entries, so
+// fault timelines compose with viewer scenarios through the ordinary
+// Merge/Shift/Limit combinators: Merge(churn, FaultEvents(plan)) interleaves
+// kills and recoveries with the churn that stresses them.
+func FaultEvents(p fault.Plan) (Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &faultScenario{plan: p}, nil
+}
+
+type faultScenario struct {
+	plan fault.Plan
+	i    int
+}
+
+func (s *faultScenario) Name() string { return s.plan.Name }
+
+func (s *faultScenario) Next(*rand.Rand) (Event, bool) {
+	if s.i >= len(s.plan.Faults) {
+		return Event{}, false
+	}
+	f := s.plan.Faults[s.i]
+	s.i++
+	return Event{At: f.At, Kind: EventFault, Fault: f}, true
+}
+
+// Rename wraps a scenario under a new name — catalog entries built from
+// Merge keep their catalog name instead of the merged composite one.
+func Rename(name string, sc Scenario) Scenario {
+	return renamed{name: name, Scenario: sc}
+}
+
+type renamed struct {
+	Scenario
+	name string
+}
+
+func (r renamed) Name() string { return r.name }
+
+// injectFault fires one fault event through the run's injector. Runners
+// share it so both executors enforce the same contract: a fault event on a
+// run without an injector is a configuration error, and any injection
+// failure aborts the run (a fault that did not happen invalidates the
+// experiment, unlike an admission rejection).
+func injectFault(ctx context.Context, o *Options, ev Event) error {
+	if o.Injector == nil {
+		return fmt.Errorf("workload: fault event at %v but no injector configured (WithInjector)", ev.At)
+	}
+	if err := o.Injector.Inject(ctx, ev.Fault); err != nil {
+		return fmt.Errorf("workload: inject %s at %v: %w", ev.Fault.Kind, ev.At, err)
+	}
+	return nil
+}

@@ -104,6 +104,27 @@ func runParallel(ctx context.Context, cp ControlPlane, local *session.Controller
 				sc.Name(), ev.Kind, ev.At, lastAt)
 		}
 		lastAt = ev.At
+		if ev.Kind == EventFault {
+			// Faults are pipeline barriers: every earlier event settles
+			// before the fault fires, so a kill lands on a quiescent shard
+			// and the next bin observes the post-fault control plane.
+			if err := ex.dispatch(bin); err != nil {
+				return Result{}, err
+			}
+			bin = nil
+			if err := ex.drain(); err != nil {
+				return Result{}, err
+			}
+			// Sample points before the fault see the pre-fault plane.
+			if err := sampleUpTo(ev.At, false); err != nil {
+				return Result{}, err
+			}
+			if err := injectFault(ctx, &o, ev); err != nil {
+				return Result{}, err
+			}
+			t.res.FaultsInjected++
+			continue
+		}
 		if len(bin) == 0 {
 			binStart = ev.At
 		} else if ev.At >= binStart+o.BatchWindow {
@@ -352,6 +373,17 @@ func (ex *parallelExec) apply(kind EventKind, outs []Outcome) error {
 	ex.tmu.Lock()
 	defer ex.tmu.Unlock()
 	for _, out := range outs {
+		// ErrShardDown is a fault outcome on every kind: the operation was
+		// refused by a killed shard with the session state left total (joins
+		// unwound, leaves still routed, migrations settled on the surviving
+		// side) — counted, never fatal.
+		if errors.Is(out.Err, session.ErrShardDown) {
+			ex.t.res.ShardDown++
+			if kind == EventMigrate {
+				ex.t.migrate(out.ID, out)
+			}
+			continue
+		}
 		switch kind {
 		case EventJoin:
 			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {

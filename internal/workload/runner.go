@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"telecast/internal/fault"
 	"telecast/internal/model"
 	"telecast/internal/session"
 	"telecast/internal/sim"
@@ -32,6 +33,10 @@ type Options struct {
 	// MaxInFlight bounds one fan-out: larger batches are dispatched in
 	// windows of this many in-flight requests.
 	MaxInFlight int
+	// Injector executes EventFault entries (usually the run's own
+	// *session.Controller). A scenario emitting fault events without an
+	// injector fails the run.
+	Injector fault.Injector
 }
 
 // Option customizes a run.
@@ -90,6 +95,11 @@ func WithBatchWindow(d time.Duration) Option { return func(o *Options) { o.Batch
 // fan-out (default 512).
 func WithMaxInFlight(n int) Option { return func(o *Options) { o.MaxInFlight = n } }
 
+// WithInjector wires the fault-injection seam: EventFault entries execute
+// against inj at their scheduled time (the wall-clock executor drains the
+// pipeline first, so a kill lands on a settled control plane).
+func WithInjector(inj fault.Injector) Option { return func(o *Options) { o.Injector = inj } }
+
 // Result summarizes an executed scenario.
 type Result struct {
 	// Scenario names what ran.
@@ -108,6 +118,10 @@ type Result struct {
 	// destination; MigrationsBounced those the destination refused (viewer
 	// restored on its source shard or departed under policy).
 	Migrations, MigrationsBounced int
+	// FaultsInjected counts executed EventFault entries; ShardDown counts
+	// operations refused with ErrShardDown while their region was killed
+	// (workload outcomes under fault injection, not run errors).
+	FaultsInjected, ShardDown int
 	// PeakViewers is the maximum concurrently admitted audience.
 	PeakViewers int
 	// Regions counts the distinct LSC shards that processed joins.
@@ -298,6 +312,12 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 					View:         view,
 					Region:       ev.Region,
 				})
+				if errors.Is(err, session.ErrShardDown) {
+					// The join was fully unwound on the killed shard — a
+					// fault outcome, not a run error or a rejection.
+					t.res.ShardDown++
+					return
+				}
 				if err != nil && !errors.Is(err, session.ErrRejected) {
 					fail(fmt.Errorf("join %s at %v: %w", ev.Viewer, ev.At, err))
 					return
@@ -312,6 +332,11 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 					return
 				}
 				if err := ctrl.Leave(ctx, ev.Viewer); err != nil {
+					if errors.Is(err, session.ErrShardDown) {
+						// The viewer stays routed for recovery to rebuild.
+						t.res.ShardDown++
+						return
+					}
 					fail(fmt.Errorf("leave %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
@@ -322,6 +347,10 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 				}
 				view := model.NewUniformView(producers, ev.ViewAngle)
 				out, err := ctrl.ChangeView(ctx, ev.Viewer, view)
+				if errors.Is(err, session.ErrShardDown) {
+					t.res.ShardDown++
+					return
+				}
 				if err != nil && !errors.Is(err, session.ErrRejected) {
 					fail(fmt.Errorf("view change %s at %v: %w", ev.Viewer, ev.At, err))
 					return
@@ -340,11 +369,21 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 				// the migration with the session untouched — both are
 				// workload outcomes, not run errors.
 				out, err := ctrl.Migrate(ctx, ev.Viewer, session.MigrateRequest{To: to, Reason: "mobility"})
-				if err != nil && !errors.Is(err, session.ErrRejected) && !errors.Is(err, session.ErrMatrixExhausted) {
+				if errors.Is(err, session.ErrShardDown) {
+					// Source or destination shard killed mid-handoff: the
+					// migration settled totally on the surviving side.
+					t.res.ShardDown++
+				} else if err != nil && !errors.Is(err, session.ErrRejected) && !errors.Is(err, session.ErrMatrixExhausted) {
 					fail(fmt.Errorf("migrate %s at %v: %w", ev.Viewer, ev.At, err))
 					return
 				}
 				t.migrate(ev.Viewer, migrationOutcome(ev.Viewer, out, err))
+			case EventFault:
+				if err := injectFault(ctx, &o, ev); err != nil {
+					fail(err)
+					return
+				}
+				t.res.FaultsInjected++
 			}
 		})
 		if err != nil {

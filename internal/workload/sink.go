@@ -198,6 +198,10 @@ type AcceptanceTotals struct {
 	// source (the destination's refusal also counts one Rejected).
 	MigratedIn         int
 	MigrationsRestored int
+	// Evacuations counts recovery-driven handoff landings (cause
+	// "evacuation"), kept apart from MigratedIn so workload-driven
+	// migration cross-checks stay exact under fault injection.
+	Evacuations int
 	// StreamDrops counts per-stream adaptation drops.
 	StreamDrops int
 	// EventsDropped is the stream's loss counter: non-zero means the totals
@@ -235,7 +239,11 @@ func TrackAcceptance(ctrl *session.Controller) *AcceptanceTracker {
 			case session.EventViewChanged:
 				totals.ViewChanges++
 			case session.EventMigratedIn:
-				totals.MigratedIn++
+				if ev.Cause == "evacuation" {
+					totals.Evacuations++
+				} else {
+					totals.MigratedIn++
+				}
 			case session.EventMigrationRestored:
 				totals.MigrationsRestored++
 			case session.EventStreamDropped:

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"telecast/internal/fault"
 	"telecast/internal/model"
 	"telecast/internal/session"
 )
@@ -41,6 +42,11 @@ const (
 	// EventMigrate re-homes a viewer to the region of the event's Region
 	// hint via the control plane's shard-to-shard handoff.
 	EventMigrate
+	// EventFault injects the event's Fault into the control plane (kill,
+	// recover, snapshot, CDN collapse, delay shift, producer churn). The
+	// wall-clock executor treats fault events as pipeline barriers: every
+	// earlier bin settles before the fault fires.
+	EventFault
 )
 
 // String names the kind for logs.
@@ -54,6 +60,8 @@ func (k EventKind) String() string {
 		return "view-change"
 	case EventMigrate:
 		return "migrate"
+	case EventFault:
+		return "fault"
 	default:
 		return "event(?)"
 	}
@@ -72,6 +80,10 @@ type Event struct {
 	// scenarios) or names a migration's destination; the zero value keeps
 	// the default placement (and makes a migrate event a no-op).
 	Region session.RegionHint
+	// Fault applies to EventFault entries: the fault to inject at At. The
+	// zero value on every other kind (and ignored by the schedule
+	// formatter, so the golden scenarios are unaffected).
+	Fault fault.Fault
 }
 
 // Config parameterizes the legacy flash-crowd + Poisson-churn schedule. New
