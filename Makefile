@@ -10,7 +10,7 @@ SHELL := bash
 # (BENCH_control_plane.json) tracks. BenchmarkBatchPrepare lives in
 # internal/session (it drives the unexported prepare phase directly), so the
 # bench targets cover that package alongside the root.
-HOT_BENCH = BenchmarkJoin$$|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare|BenchmarkFootprint/100k$$|BenchmarkRecovery
+HOT_BENCH = BenchmarkJoin/|BenchmarkViewChange$$|BenchmarkConcurrentJoin|BenchmarkChurn$$|BenchmarkWorkloadParallel$$|BenchmarkMigration$$|BenchmarkBatchPrepare|BenchmarkFootprint/100k$$|BenchmarkRecovery
 BENCH_PKGS = . ./internal/session
 
 # bench-smoke fails when a guarded benchmark's joins/s falls more than
@@ -22,10 +22,19 @@ MAX_REGRESS = 0.25
 # steady-state footprint benchmark. Unlike joins/s, B/op and allocs/op are
 # near-deterministic even at -benchtime=5x, so the same 25% bar catches far
 # smaller real regressions (one new alloc on the join path is +4%).
-MEMGUARD_BENCH = BenchmarkJoin$$|BenchmarkFootprint/100k$$
+MEMGUARD_BENCH = BenchmarkJoin/telemetry=off$$|BenchmarkFootprint/100k$$
 MAX_MEM_GROWTH = 0.25
 
-.PHONY: build test test-race bench bench-json bench-smoke chaos-smoke soak soak-smoke e2e-smoke vet lint
+# The telemetry tax guard: the armed join path must stay within this
+# fraction of the disarmed one, both measured in the same process so the
+# comparison is immune to machine drift. The pair runs at a fixed iteration
+# count (identical work per variant) repeated -count times; benchjson keeps
+# each variant's best run, because a 5% bar needs joins/s out of scheduler
+# noise and a single sample of each swings ±10% on a shared box.
+TEL_DELTA_PAIR = BenchmarkJoin/telemetry=on:BenchmarkJoin/telemetry=off
+MAX_TEL_DELTA = 0.05
+
+.PHONY: build test test-race bench bench-json bench-smoke chaos-smoke soak soak-smoke e2e-smoke obs-smoke vet lint
 
 build:
 	$(GO) build ./...
@@ -42,7 +51,7 @@ test: vet
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu ./internal/httpapi
+	$(GO) test -race ./internal/session ./internal/cdn ./internal/overlay ./internal/workload ./internal/emu ./internal/httpapi ./internal/telemetry
 
 # e2e-smoke starts `telecast-node serve` on loopback (race-instrumented),
 # replays a catalog scenario against it over the wire, and fails unless the
@@ -50,6 +59,13 @@ test-race:
 # SIGTERM drain exits cleanly.
 e2e-smoke:
 	./scripts/e2e_smoke.sh
+
+# obs-smoke starts `telecast-node serve` with telemetry armed (race-
+# instrumented), scrapes /metrics mid-churn while a replay runs, and fails
+# unless the scraped telemetry deltas reconcile with the /metricz totals
+# (replay -obs-verify) and /debug/slowops answers with captured entries.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS)
@@ -71,6 +87,9 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson -out BENCH_smoke.json \
 			-baseline BENCH_control_plane.json -guard '$(GUARD_BENCH)' -max-regress $(MAX_REGRESS) \
 			-memguard '$(MEMGUARD_BENCH)' -max-mem-growth $(MAX_MEM_GROWTH)
+	$(GO) test -bench='BenchmarkJoin/' -benchtime=2000x -count=5 -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -out /dev/null \
+			-deltaguard '$(TEL_DELTA_PAIR)' -max-delta $(MAX_TEL_DELTA)
 
 # chaos-smoke replays the outage catalog scenario — two snapshot/kill/recover
 # cycles of the hot shard under region-concentrated churn — on both executors

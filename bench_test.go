@@ -14,6 +14,7 @@ import (
 
 	"telecast"
 	"telecast/internal/experiments"
+	"telecast/internal/telemetry"
 	"telecast/internal/workload"
 )
 
@@ -178,7 +179,16 @@ func BenchmarkAblationGrouping(b *testing.B) {
 // the system size — and therefore the cost of the op being measured — does
 // not depend on b.N. The joins/s metric is the headline the perf
 // trajectory (BENCH_control_plane.json) tracks.
+//
+// The telemetry=off/on variants pin the observability tax: with the
+// collector disarmed every hook is one atomic load, and the armed variant
+// must stay within the bench guard's delta of the disarmed one.
 func BenchmarkJoin(b *testing.B) {
+	b.Run("telemetry=off", func(b *testing.B) { benchJoin(b, false) })
+	b.Run("telemetry=on", func(b *testing.B) { benchJoin(b, true) })
+}
+
+func benchJoin(b *testing.B, telemetryOn bool) {
 	producers, err := telecast.NewSession(
 		telecast.NewRingSite("A", 8, 2.0, 10),
 		telecast.NewRingSite("B", 8, 2.0, 10),
@@ -192,7 +202,8 @@ func BenchmarkJoin(b *testing.B) {
 		b.Fatal(err)
 	}
 	ctrl, err := telecast.NewController(producers, lat,
-		telecast.WithCDN(unboundedCDN())) // unbounded: measure algorithm cost
+		telecast.WithCDN(unboundedCDN()), // unbounded: measure algorithm cost
+		telecast.WithTelemetry(telemetryOn))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -216,6 +227,13 @@ func BenchmarkJoin(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "joins/s")
+	if telemetryOn {
+		// Sanity: the armed collector actually recorded the run.
+		snap := ctrl.Telemetry().Snapshot()
+		if got := snap.Ops[telemetry.OpJoin].Total().Count; got == 0 {
+			b.Fatal("telemetry=on recorded no joins")
+		}
+	}
 }
 
 // unboundedCDN is the paper's CDN with the egress cap removed.

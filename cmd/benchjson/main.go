@@ -55,6 +55,8 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed fractional joins/s regression vs the baseline")
 	memGuard := flag.String("memguard", "", "regexp of benchmark names whose B/op and allocs/op the guard checks")
 	maxMemGrowth := flag.Float64("max-mem-growth", 0.25, "maximum allowed fractional B/op or allocs/op growth vs the baseline")
+	deltaGuard := flag.String("deltaguard", "", "comma-separated candidate:reference benchmark pairs whose joins/s must stay within -max-delta of each other in this run")
+	maxDelta := flag.Float64("max-delta", 0.05, "maximum allowed fractional joins/s shortfall of a -deltaguard candidate vs its reference")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin), *suite)
@@ -93,6 +95,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *deltaGuard != "" {
+		if err := guardDelta(report, *deltaGuard, *maxDelta); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// guardDelta enforces paired-variant bounds inside one run — no baseline
+// file involved, so the check is immune to machine-to-machine drift. Each
+// pair reads "candidate:reference" (full sub-benchmark names, which may
+// themselves contain '=' or '/'), and the candidate's joins/s must not fall
+// more than the allowed fraction below the reference's. This is how the
+// bench smoke pins the telemetry-on overhead of the join path.
+func guardDelta(report *Report, spec string, maxDelta float64) error {
+	// Repeated lines from -count>1 keep the best run per name, so each side
+	// of a pair is compared at its own noise floor (best-of-N vs best-of-N).
+	// A single sample of each variant swings past any tight bar on a busy
+	// box; the best of several is what the code can actually do.
+	byName := make(map[string]float64, len(report.Benchmarks))
+	for _, b := range report.Benchmarks {
+		if v, ok := b.Metrics[guardedMetric]; ok {
+			name := stripCPUSuffix(b.Name)
+			if v > byName[name] {
+				byName[name] = v
+			}
+		}
+	}
+	var failures []string
+	for _, pair := range strings.Split(spec, ",") {
+		cand, ref, ok := strings.Cut(pair, ":")
+		if !ok {
+			return fmt.Errorf("bad -deltaguard pair %q (want candidate:reference)", pair)
+		}
+		cv, okC := byName[cand]
+		rv, okR := byName[ref]
+		if !okC || !okR {
+			return fmt.Errorf("deltaguard pair %q: missing %s metric for %q and/or %q in this run",
+				pair, guardedMetric, cand, ref)
+		}
+		floor := rv * (1 - maxDelta)
+		if cv < floor {
+			failures = append(failures, fmt.Sprintf("%s: %.0f %s vs %s %.0f (floor %.0f)",
+				cand, cv, guardedMetric, ref, rv, floor))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: deltaguard: %s %.0f %s vs %s %.0f ok (%+.1f%%)\n",
+				cand, cv, guardedMetric, ref, rv, (cv/rv-1)*100)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("paired delta beyond %.0f%%:\n  %s",
+			maxDelta*100, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // guardedMetric is the throughput metric the regression guard compares.

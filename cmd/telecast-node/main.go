@@ -27,6 +27,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,6 +41,7 @@ import (
 	"telecast/internal/httpapi/client"
 	"telecast/internal/model"
 	"telecast/internal/session"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 	"telecast/internal/workload"
 )
@@ -84,6 +86,9 @@ func runServe(args []string) error {
 	streams := fs.Int("streams", 8, "camera streams per site")
 	cutoff := fs.Float64("cutoff", 0.5, "differentiation-function cutoff")
 	maxParallel := fs.Int("max-parallel", 0, "view-change worker pool bound (0 = default)")
+	telemetryOn := fs.Bool("telemetry", true, "arm the telemetry layer: /metrics histograms, outcome counters, slow-op flight recorder")
+	slowOp := fs.Duration("slow-op", 0, "flight-recorder capture threshold (0 = default; negative records every traced op)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,21 +110,37 @@ func runServe(args []string) error {
 	cdnCfg.OutboundCapacityMbps = *cdnMbps
 	ctrl, err := session.NewController(producers, lat,
 		session.WithCutoffDF(*cutoff),
-		session.WithCDN(cdnCfg))
+		session.WithCDN(cdnCfg),
+		session.WithTelemetry(*telemetryOn),
+		session.WithSlowOpThreshold(*slowOp))
 	if err != nil {
 		return err
 	}
 
 	api := httpapi.NewServer(ctrl, producers, *maxParallel)
-	hs := &http.Server{Addr: *addr, Handler: api.Handler()}
+	handler := api.Handler()
+	if *pprofOn {
+		// The profiling surface rides the same listener as the control
+		// plane; anything that is not /debug/pprof/ falls through to the
+		// API mux unchanged.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("telecast-node serve: control plane on http://%s (%d regions, CDN %g Mbps)",
-			*addr, trace.DefaultRegions, *cdnMbps)
+		log.Printf("telecast-node serve: control plane on http://%s (%d regions, CDN %g Mbps, telemetry %v)",
+			*addr, trace.DefaultRegions, *cdnMbps, *telemetryOn)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -157,6 +178,7 @@ func runReplay(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 512, "executor in-flight request bound")
 	samples := fs.String("samples", "", "write the per-second time series to this file (.json for JSON Lines, CSV otherwise)")
 	verify := fs.Bool("verify", false, "fail unless client-side counters match the server's /metricz totals")
+	obsVerify := fs.Bool("obs-verify", false, "fail unless scraped /metrics telemetry series reconcile with the /metricz totals (requires serve -telemetry)")
 	waitReady := fs.Duration("wait-ready", 10*time.Second, "how long to wait for the server's /healthz")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -207,6 +229,12 @@ func runReplay(args []string) error {
 	if err != nil {
 		return fmt.Errorf("metricz before run: %w", err)
 	}
+	var textBefore string
+	if *obsVerify {
+		if textBefore, err = cl.MetricsText(ctx); err != nil {
+			return fmt.Errorf("metrics scrape before run: %w", err)
+		}
+	}
 	res, err := workload.RunRemote(ctx, cl, sc, opts...)
 	if err != nil {
 		return fmt.Errorf("replay %s: %w", *scenario, err)
@@ -216,22 +244,94 @@ func runReplay(args []string) error {
 		return fmt.Errorf("metricz after run: %w", err)
 	}
 
+	// The server reduces its latency histograms since process start; against
+	// a fresh serve (the smoke's shape) the table is exactly this run.
+	// Run-windowed quantiles would need raw buckets, which the JSON surface
+	// deliberately does not carry — the Prometheus scrape does.
+	res.Latency = after.Latency
+
 	fmt.Printf("replay %q over %s\n", *scenario, base)
-	fmt.Printf("  joins %d (rejected %d), leaves %d, view changes %d (%d rejected), migrations %d (%d bounced)\n",
-		res.Joins, res.Rejected, res.Leaves, res.ViewChanges, res.ViewChangesRejected,
-		res.Migrations, res.MigrationsBounced)
-	fmt.Printf("  peak audience %d across %d regions; elapsed %v; achieved %.0f joins/s\n",
-		res.PeakViewers, res.Regions, res.Elapsed.Round(time.Millisecond), res.JoinsPerSec)
-	fmt.Printf("  acceptance: final %.3f, minimum %.3f\n", res.FinalAcceptance, res.MinAcceptance)
+	workload.WriteSummary(os.Stdout, res)
 	if *samples != "" {
-		fmt.Printf("  samples written to %s\n", *samples)
+		fmt.Printf("samples written to %s\n", *samples)
 	}
 
 	if *verify {
 		if err := verifyTotals(res, delta(before.Totals, after.Totals)); err != nil {
 			return err
 		}
-		fmt.Println("  verify: client counters match server /metricz totals")
+		fmt.Println("verify: client counters match server /metricz totals")
+	}
+	if *obsVerify {
+		textAfter, err := cl.MetricsText(ctx)
+		if err != nil {
+			return fmt.Errorf("metrics scrape after run: %w", err)
+		}
+		if err := verifyObs(textBefore, textAfter, delta(before.Totals, after.Totals)); err != nil {
+			return err
+		}
+		so, err := cl.SlowOps(ctx)
+		if err != nil {
+			return fmt.Errorf("slowops: %w", err)
+		}
+		fmt.Printf("obs-verify: /metrics deltas reconcile with /metricz totals; flight recorder holds %d of %d slow ops (threshold %v)\n",
+			len(so.SlowOps), so.Seen, time.Duration(so.ThresholdNs))
+	}
+	return nil
+}
+
+// verifyObs reconciles the Prometheus scrape against the JSON totals: the
+// telemetry collector counts operations inside the controller while the
+// httpapi layer tallies wire outcomes, so — with this replay as the only
+// traffic — every cell delta must match, and each op's histogram count must
+// equal its outcome total (one Finish records exactly one of each).
+func verifyObs(textBefore, textAfter string, tot httpapi.Totals) error {
+	sb, err := telemetry.ParseText(textBefore)
+	if err != nil {
+		return fmt.Errorf("obs-verify: parse before scrape: %w", err)
+	}
+	sa, err := telemetry.ParseText(textAfter)
+	if err != nil {
+		return fmt.Errorf("obs-verify: parse after scrape: %w", err)
+	}
+	if sa["telecast_telemetry_enabled"] != 1 {
+		return fmt.Errorf("obs-verify: server telemetry is disabled; start serve with -telemetry")
+	}
+	cell := func(op, outcome string) float64 {
+		k := fmt.Sprintf("telecast_ops_total{op=%q,outcome=%q}", op, outcome)
+		return sa[k] - sb[k]
+	}
+	checks := []struct {
+		name    string
+		scraped float64
+		server  uint64
+	}{
+		{"join/ok vs joins accepted", cell("join", "ok"), tot.JoinsAccepted},
+		{"join/rejected vs joins rejected", cell("join", "rejected"), tot.JoinsRejected},
+		{"leave/ok vs leaves", cell("leave", "ok"), tot.Leaves},
+		{"view_change/ok vs view changes admitted", cell("view_change", "ok"), tot.ViewChanges - tot.ViewChangesRejected},
+		{"view_change/rejected vs view changes rejected", cell("view_change", "rejected"), tot.ViewChangesRejected},
+		{"migrate/ok vs migrations landed", cell("migrate", "ok"), tot.MigrationsLanded},
+		{"migrate/rejected vs migrations bounced", cell("migrate", "rejected"), tot.MigrationsBounced},
+	}
+	var bad []string
+	for _, c := range checks {
+		if c.scraped != float64(c.server) {
+			bad = append(bad, fmt.Sprintf("%s: scraped %g vs server %d", c.name, c.scraped, c.server))
+		}
+	}
+	sum := func(s map[string]float64, prefix string) float64 { return telemetry.SumSeries(s, prefix) }
+	for _, op := range []string{"join", "leave", "view_change", "migrate"} {
+		histPfx := fmt.Sprintf("telecast_op_duration_seconds_count{op=%q", op)
+		outPfx := fmt.Sprintf("telecast_ops_total{op=%q", op)
+		hist := sum(sa, histPfx) - sum(sb, histPfx)
+		out := sum(sa, outPfx) - sum(sb, outPfx)
+		if hist != out {
+			bad = append(bad, fmt.Sprintf("%s: histogram count %g vs outcome total %g", op, hist, out))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("obs-verify failed: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -325,12 +325,13 @@ func runConcurrent(setup experiments.Setup) error {
 		return err
 	}
 	w := newTab()
-	fmt.Fprintln(w, "regions\tviewers\tadmitted\trejected\telapsed\tjoins/s")
+	fmt.Fprintln(w, "regions\tviewers\tadmitted\trejected\telapsed\tjoins/s\tjoin p99")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%.0f\n", r.Regions, r.Viewers, r.Admitted, r.Rejected, r.Elapsed.Round(time.Millisecond), r.JoinsPerSec)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%.0f\t%v\n", r.Regions, r.Viewers, r.Admitted, r.Rejected,
+			r.Elapsed.Round(time.Millisecond), r.JoinsPerSec, r.JoinP99.Round(time.Microsecond))
 	}
 	w.Flush()
-	fmt.Println("(admitted/rejected tallied from the Controller.Subscribe event stream)")
+	fmt.Println("(admitted/rejected from the telemetry outcome counters, cross-checked against the Controller.Subscribe event stream)")
 	base := rows[0].JoinsPerSec
 	if base > 0 {
 		fmt.Printf("speedup vs 1 region: ")
@@ -383,6 +384,7 @@ func runScenario(setup experiments.Setup, name, samplesPath string, simMode bool
 	w.Flush()
 	fmt.Printf("acceptance: final %.3f, minimum %.3f; event stream: %d accepted / %d rejected (dropped %d)\n",
 		res.FinalAcceptance, res.MinAcceptance, res.StreamAccepted, res.StreamRejected, res.EventsDropped)
+	workload.WriteLatency(os.Stdout, res.Latency)
 	if samplesPath != "" {
 		fmt.Printf("samples written to %s\n", samplesPath)
 	}
@@ -415,16 +417,14 @@ func runFaults(setup experiments.Setup) error {
 	if err != nil {
 		return err
 	}
-	w := newTab()
-	fmt.Fprintln(w, "scenario\texecutor\tevents\tfaults\tshard-down\tjoins\trejected\tevacuated\tpeak\tacceptance\telapsed")
+	// Final counters go through the same formatter as `telecast-node replay`,
+	// so a chaos run and a wire replay read line-for-line identically.
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\n",
-			r.Scenario, r.Executor, r.Events, r.FaultsInjected, r.ShardDown,
-			r.Joins, r.Rejected, r.Evacuations, r.PeakViewers, r.FinalAcceptance,
-			r.Elapsed.Round(time.Millisecond))
+		fmt.Printf("\n--- %s on %s executor (%d events, %d evacuations) ---\n",
+			r.Scenario, r.Executor, r.Events, r.Evacuations)
+		workload.WriteSummary(os.Stdout, r.Result)
 	}
-	w.Flush()
-	fmt.Println("every run ended with all shards recovered, the online validator clean, and event-stream admissions matching the runner's count")
+	fmt.Println("\nevery run ended with all shards recovered, the online validator clean, and event-stream admissions matching the runner's count")
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"telecast/internal/model"
 	"telecast/internal/session"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 	"telecast/internal/workload"
 )
@@ -20,13 +21,16 @@ import (
 type ConcurrentJoinRow struct {
 	Regions int
 	Viewers int
-	// Admitted and Rejected are counted from the control plane's event
-	// stream — the observation path an operator would use — and
-	// cross-checked against the per-request outcomes.
+	// Admitted and Rejected come from the telemetry collector's outcome
+	// counters — the same cells a /metrics scrape exposes — and are
+	// cross-checked against the control plane's event stream.
 	Admitted    int
 	Rejected    int
 	Elapsed     time.Duration
 	JoinsPerSec float64
+	// JoinP99 is the approximate 99th-percentile wall-clock join latency
+	// from the telemetry histograms for this run.
+	JoinP99 time.Duration
 }
 
 // RunConcurrentJoin measures batched join throughput as the region (shard)
@@ -35,9 +39,9 @@ type ConcurrentJoinRow struct {
 // propagation — rather than admission-control rejections. With a sharded
 // control plane, throughput should rise with the region count.
 //
-// Admission outcomes are tallied from Controller.Subscribe rather than by
-// polling stats, and verified against the JoinBatch outcomes, so the run
-// doubles as an end-to-end check that the event stream loses nothing.
+// Admission outcomes are read from the telemetry collector and verified
+// against a Controller.Subscribe tally, so the run doubles as an end-to-end
+// check that neither observation path loses an operation.
 func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, error) {
 	ctx := context.Background()
 	rows := make([]ConcurrentJoinRow, 0, len(regionCounts))
@@ -77,23 +81,30 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 		start := time.Now()
 		outs := ctrl.JoinBatch(ctx, reqs)
 		elapsed := time.Since(start)
-		admitted := 0
 		for _, out := range outs {
 			if out.Err != nil && !errors.Is(out.Err, session.ErrRejected) {
 				return nil, fmt.Errorf("concurrent join (%d regions): %w", regions, out.Err)
 			}
-			if out.Outcome != nil && out.Outcome.Result.Admitted {
-				admitted++
-			}
 		}
+		// The collector is this run's system of record: one outcome cell per
+		// admitted/rejected join, exactly what an operator's scrape would see.
+		snap := ctrl.Telemetry().Snapshot()
+		joins := snap.Ops[telemetry.OpJoin]
+		admitted := int(joins.Outcomes[telemetry.OutcomeOK])
+		rejected := int(joins.Outcomes[telemetry.OutcomeRejected])
+		joinHist := joins.Total()
 		totals := tracker.Stop()
 		if totals.EventsDropped > 0 {
 			return nil, fmt.Errorf("concurrent join (%d regions): event stream dropped %d events",
 				regions, totals.EventsDropped)
 		}
 		if totals.Accepted != admitted {
-			return nil, fmt.Errorf("concurrent join (%d regions): event stream counted %d admissions, outcomes say %d",
+			return nil, fmt.Errorf("concurrent join (%d regions): event stream counted %d admissions, telemetry says %d",
 				regions, totals.Accepted, admitted)
+		}
+		if totals.Rejected != rejected {
+			return nil, fmt.Errorf("concurrent join (%d regions): event stream counted %d rejections, telemetry says %d",
+				regions, totals.Rejected, rejected)
 		}
 		if err := ctrl.Validate(); err != nil {
 			return nil, fmt.Errorf("concurrent join (%d regions): invariants: %w", regions, err)
@@ -105,10 +116,11 @@ func RunConcurrentJoin(setup Setup, regionCounts []int) ([]ConcurrentJoinRow, er
 		rows = append(rows, ConcurrentJoinRow{
 			Regions:     regions,
 			Viewers:     len(reqs),
-			Admitted:    totals.Accepted,
-			Rejected:    totals.Rejected,
+			Admitted:    admitted,
+			Rejected:    rejected,
 			Elapsed:     elapsed,
 			JoinsPerSec: rate,
+			JoinP99:     joinHist.Quantile(0.99),
 		})
 	}
 	return rows, nil

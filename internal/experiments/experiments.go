@@ -138,9 +138,13 @@ func (s Setup) controllerWith(lat *trace.LatencyMatrix, cdnCapMbps float64) (*se
 	}
 	cdnCfg := cdn.DefaultConfig()
 	cdnCfg.OutboundCapacityMbps = cdnCapMbps
+	// Telemetry is armed for every experiment controller: the scenario
+	// runners reduce the collector window into their exit latency tables,
+	// and the concurrent-join measurement counts outcomes from it.
 	return session.NewController(producers, lat,
 		session.WithCutoffDF(s.CutoffDF),
-		session.WithCDN(cdnCfg))
+		session.WithCDN(cdnCfg),
+		session.WithTelemetry(true))
 }
 
 // populate joins n viewers with outbound capacities drawn from the spec and

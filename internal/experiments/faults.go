@@ -27,6 +27,10 @@ type FaultRow struct {
 	PeakViewers     int
 	FinalAcceptance float64
 	Elapsed         time.Duration
+	// Result is the runner's full tally, so callers can feed the shared
+	// workload.WriteSummary formatter (counters plus the telemetry-derived
+	// latency table).
+	Result workload.Result
 }
 
 // RunFaults drives the kill/recover chaos scenarios through both runners:
@@ -140,5 +144,6 @@ func runFaultScenario(setup Setup, name string, wallclock bool) (FaultRow, error
 		PeakViewers:     res.PeakViewers,
 		FinalAcceptance: res.FinalAcceptance,
 		Elapsed:         res.Elapsed,
+		Result:          res,
 	}, nil
 }

@@ -49,6 +49,9 @@ type ScenarioResult struct {
 	// Controller.Subscribe stream reported for the same run.
 	StreamAccepted, StreamRejected int
 	EventsDropped                  uint64
+	// Latency is the per-op wall-clock latency table reduced from the
+	// controller's telemetry collector over this run.
+	Latency []workload.OpLatency
 }
 
 // RunScenario instantiates a catalog scenario by name, sizes a controller
@@ -143,5 +146,6 @@ func RunScenario(setup Setup, name string, o ScenarioOptions) (ScenarioResult, e
 		StreamAccepted:    totals.Accepted,
 		StreamRejected:    totals.Rejected,
 		EventsDropped:     totals.EventsDropped,
+		Latency:           res.Latency,
 	}, nil
 }

@@ -156,6 +156,36 @@ func (c *Client) Metrics(ctx context.Context) (httpapi.Metrics, error) {
 	return m, err
 }
 
+// MetricsText fetches the raw Prometheus text exposition from /metrics —
+// the scrape surface, returned unparsed so callers can hand it to
+// telemetry.ParseText (the obs-verify equality check) or a file.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+httpapi.PathMetrics, nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %s: %w", httpapi.PathMetrics, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %s: %w", httpapi.PathMetrics, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: %s: unexpected status %d", httpapi.PathMetrics, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: read %s: %w", httpapi.PathMetrics, err)
+	}
+	return string(body), nil
+}
+
+// SlowOps fetches the flight-recorder dump from /debug/slowops.
+func (c *Client) SlowOps(ctx context.Context) (httpapi.SlowOpsResponse, error) {
+	var resp httpapi.SlowOpsResponse
+	err := c.get(ctx, httpapi.PathSlowOps, &resp)
+	return resp, err
+}
+
 // Health fetches /healthz; a draining server answers with an error.
 func (c *Client) Health(ctx context.Context) (httpapi.Health, error) {
 	var h httpapi.Health

@@ -1,0 +1,175 @@
+package httpapi_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"telecast/internal/httpapi/client"
+	"telecast/internal/model"
+	"telecast/internal/session"
+	"telecast/internal/telemetry"
+	"telecast/internal/workload"
+)
+
+// driveOps pushes n joins, one view change, and one leave through the wire —
+// enough traffic to populate every observability surface.
+func driveOps(t *testing.T, cl *client.Client, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("obs-%02d", i)
+		out, err := cl.Do(ctx, workload.Request{
+			Kind: workload.EventJoin, ID: model.ViewerID(id), InboundMbps: 12,
+		})
+		if err != nil || out.Err != nil {
+			t.Fatalf("join %s: %v / %v", id, err, out.Err)
+		}
+	}
+	if out, err := cl.Do(ctx, workload.Request{
+		Kind: workload.EventViewChange, ID: "obs-00", ViewAngle: 1.5,
+	}); err != nil || out.Err != nil {
+		t.Fatalf("view change: %v / %v", err, out.Err)
+	}
+	if out, err := cl.Do(ctx, workload.Request{
+		Kind: workload.EventLeave, ID: "obs-01",
+	}); err != nil || out.Err != nil {
+		t.Fatalf("leave: %v / %v", err, out.Err)
+	}
+}
+
+// TestMetricsScrape drives real traffic and checks the Prometheus surface
+// end to end: the scrape parses, the outcome cells count what the client
+// did, and each op's histogram count equals its outcome total — the same
+// equality the obs-smoke asserts over a full replay.
+func TestMetricsScrape(t *testing.T) {
+	ts, _, _ := newTestServer(t, 64, session.WithTelemetry(true))
+	cl := client.New(ts.URL)
+	driveOps(t, cl, 5)
+
+	text, err := cl.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := telemetry.ParseText(text)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if series["telecast_telemetry_enabled"] != 1 {
+		t.Fatalf("telecast_telemetry_enabled = %g, want 1", series["telecast_telemetry_enabled"])
+	}
+	cells := map[string]float64{
+		`telecast_ops_total{op="join",outcome="ok"}`:        5,
+		`telecast_ops_total{op="view_change",outcome="ok"}`: 1,
+		`telecast_ops_total{op="leave",outcome="ok"}`:       1,
+	}
+	for k, want := range cells {
+		if got := series[k]; got != want {
+			t.Errorf("%s = %g, want %g", k, got, want)
+		}
+	}
+	for _, op := range []string{"join", "view_change", "leave"} {
+		hist := telemetry.SumSeries(series, fmt.Sprintf("telecast_op_duration_seconds_count{op=%q", op))
+		outs := telemetry.SumSeries(series, fmt.Sprintf("telecast_ops_total{op=%q", op))
+		if hist != outs {
+			t.Errorf("%s: histogram count %g != outcome total %g", op, hist, outs)
+		}
+	}
+}
+
+// TestMetricsLatencySurface checks the JSON mirror: /metricz carries the
+// reduced per-op latency table when telemetry is armed.
+func TestMetricsLatencySurface(t *testing.T) {
+	ts, _, _ := newTestServer(t, 64, session.WithTelemetry(true))
+	cl := client.New(ts.URL)
+	driveOps(t, cl, 3)
+
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := make(map[string]workload.OpLatency, len(m.Latency))
+	for _, row := range m.Latency {
+		byOp[row.Op] = row
+	}
+	join, ok := byOp["join"]
+	if !ok {
+		t.Fatalf("latency table missing join row: %+v", m.Latency)
+	}
+	if join.Count != 3 || join.Max <= 0 || join.P99 <= 0 {
+		t.Fatalf("join latency row implausible: %+v", join)
+	}
+}
+
+// TestMetricsDisabledServer pins the always-on surface contract: with
+// telemetry off the scrape still answers 200 and parses, with the enabled
+// gauge saying why everything else is empty.
+func TestMetricsDisabledServer(t *testing.T) {
+	ts, _, _ := newTestServer(t, 64)
+	cl := client.New(ts.URL)
+	driveOps(t, cl, 2)
+
+	text, err := cl.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := telemetry.ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["telecast_telemetry_enabled"] != 0 {
+		t.Fatalf("telecast_telemetry_enabled = %g, want 0", series["telecast_telemetry_enabled"])
+	}
+	if n := telemetry.SumSeries(series, "telecast_ops_total"); n != 0 {
+		t.Fatalf("disabled collector counted %g ops", n)
+	}
+
+	so, err := cl.SlowOps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Enabled || so.Seen != 0 || len(so.SlowOps) != 0 {
+		t.Fatalf("disabled flight recorder not empty: %+v", so)
+	}
+}
+
+// TestSlowOpsEndpoint arms the recorder with a negative threshold (capture
+// everything) and checks the wire dump carries attributed entries.
+func TestSlowOpsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, 64,
+		session.WithTelemetry(true), session.WithSlowOpThreshold(-1))
+	cl := client.New(ts.URL)
+	driveOps(t, cl, 4)
+
+	so, err := cl.SlowOps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !so.Enabled {
+		t.Fatal("recorder reports disabled")
+	}
+	// The session layer clamps a negative bar to 0 — every op's total is
+	// ≥ 0, so a zero threshold is the capture-all setting on the wire.
+	if so.ThresholdNs != 0 {
+		t.Fatalf("threshold %d, want 0 (capture-all)", so.ThresholdNs)
+	}
+	// The server routes even single joins through the batch pipeline, so
+	// the capture-all recorder holds batch_prepare/batch_admit entries on
+	// top of the 4 joins + 1 view change + 1 leave the client issued.
+	if int(so.Seen) != len(so.SlowOps) {
+		t.Fatalf("ring holds %d entries but recorder saw %d", len(so.SlowOps), so.Seen)
+	}
+	kinds := make(map[string]int)
+	for _, e := range so.SlowOps {
+		kinds[e.Op]++
+		if e.TotalNs <= 0 {
+			t.Fatalf("entry %+v has no duration", e)
+		}
+		if e.Viewer == "" {
+			t.Fatalf("entry %+v has no viewer", e)
+		}
+	}
+	if kinds["join"] != 4 || kinds["view_change"] != 1 || kinds["leave"] != 1 {
+		t.Fatalf("unexpected op mix: %v", kinds)
+	}
+}

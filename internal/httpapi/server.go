@@ -12,6 +12,7 @@ import (
 
 	"telecast/internal/model"
 	"telecast/internal/session"
+	"telecast/internal/telemetry"
 	"telecast/internal/workload"
 )
 
@@ -57,6 +58,8 @@ func NewServer(ctrl *session.Controller, producers *model.Session, maxParallel i
 	s.mux.HandleFunc("GET "+PathEvents, s.handleEvents)
 	s.mux.HandleFunc("GET "+PathHealthz, s.handleHealthz)
 	s.mux.HandleFunc("GET "+PathMetricz, s.handleMetricz)
+	s.mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
+	s.mux.HandleFunc("GET "+PathSlowOps, s.handleSlowOps)
 	return s
 }
 
@@ -75,6 +78,10 @@ func (s *Server) Drain() {
 // Metrics snapshots the /metricz body.
 func (s *Server) Metrics() Metrics {
 	counters, _ := s.plane.Counters(context.Background())
+	var latency []workload.OpLatency
+	if tel := s.ctrl.Telemetry(); tel != nil && tel.Enabled() {
+		latency = workload.LatencyFromTelemetry(telemetry.Snapshot{}, tel.Snapshot())
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	heap := HeapStats{
@@ -90,6 +97,7 @@ func (s *Server) Metrics() Metrics {
 	return Metrics{
 		Overlay: counters,
 		Heap:    heap,
+		Latency: latency,
 		Totals: Totals{
 			JoinsAccepted:       s.totals.joinsAccepted.Load(),
 			JoinsRejected:       s.totals.joinsRejected.Load(),
@@ -169,7 +177,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = rq
 	}
+	// The in-flight gauge tracks request depth across concurrently executing
+	// handlers — the server-side analogue of the pipeline's window depth.
+	tel := s.ctrl.Telemetry()
+	tel.AddInFlight(int64(len(reqs)))
 	outs, err := s.plane.Exec(r.Context(), reqs)
+	tel.AddInFlight(-int64(len(reqs)))
 	if err != nil {
 		writeError(w, EncodeError(err))
 		return
@@ -197,7 +210,10 @@ func (s *Server) single(kind workload.EventKind) http.HandlerFunc {
 			badRequest(w, err)
 			return
 		}
+		tel := s.ctrl.Telemetry()
+		tel.AddInFlight(1)
 		outs, err := s.plane.Exec(r.Context(), []workload.Request{rq})
+		tel.AddInFlight(-1)
 		if err != nil {
 			writeError(w, EncodeError(err))
 			return
@@ -222,6 +238,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleMetrics renders the telemetry collector in Prometheus text format.
+// The surface exists even while telemetry is disabled — the
+// telecast_telemetry_enabled gauge says so, and every counter reads zero —
+// so scrapers never see a 404 flap when the gate flips.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WritePrometheus(w, s.ctrl.Telemetry().Snapshot())
+}
+
+// handleSlowOps dumps the flight recorder: the slowest-recent-operations
+// ring with per-phase breakdowns, oldest first.
+func (s *Server) handleSlowOps(w http.ResponseWriter, _ *http.Request) {
+	snap := s.ctrl.Telemetry().Snapshot()
+	resp := SlowOpsResponse{
+		Enabled:     snap.Enabled,
+		ThresholdNs: int64(snap.SlowThreshold),
+		Seen:        snap.SlowOpsSeen,
+		SlowOps:     make([]WireSlowOp, len(snap.SlowOps)),
+	}
+	for i, e := range snap.SlowOps {
+		resp.SlowOps[i] = ToWireSlowOp(e)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEvents streams the controller's event feed: NDJSON by default,

@@ -12,9 +12,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"telecast/internal/model"
 	"telecast/internal/session"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 	"telecast/internal/workload"
 )
@@ -32,6 +34,10 @@ const (
 	PathEvents  = "/v1/events"
 	PathHealthz = "/healthz"
 	PathMetricz = "/metricz"
+	// PathMetrics is the Prometheus text exposition of the controller's
+	// telemetry collector; PathSlowOps dumps the slow-op flight recorder.
+	PathMetrics = "/metrics"
+	PathSlowOps = "/debug/slowops"
 )
 
 // WireRequest is one control-plane operation on the wire — the JSON form of
@@ -320,11 +326,59 @@ type HeapStats struct {
 
 // Metrics is the /metricz body: the cheap overlay counter snapshot (the
 // SampleStats path — no sorted CDFs on the request path) plus the server's
-// outcome totals and the process heap health.
+// outcome totals and the process heap health. Latency is the since-start
+// per-op table reduced from the telemetry histograms, present only while
+// telemetry is enabled — it is what lets a remote replay print the same
+// exit table a local run computes from its own collector.
 type Metrics struct {
-	Overlay workload.Counters `json:"overlay"`
-	Totals  Totals            `json:"totals"`
-	Heap    HeapStats         `json:"heap"`
+	Overlay workload.Counters    `json:"overlay"`
+	Totals  Totals               `json:"totals"`
+	Heap    HeapStats            `json:"heap"`
+	Latency []workload.OpLatency `json:"latency,omitempty"`
+}
+
+// WireSlowOp is one flight-recorder entry on the wire. Durations are
+// nanoseconds; Phases lists only segments that accumulated time.
+type WireSlowOp struct {
+	Seq      uint64           `json:"seq"`
+	Op       string           `json:"op"`
+	Viewer   string           `json:"viewer,omitempty"`
+	Region   int              `json:"region"`
+	Outcome  string           `json:"outcome"`
+	TotalNs  int64            `json:"total_ns"`
+	PhasesNs map[string]int64 `json:"phases_ns,omitempty"`
+	At       time.Time        `json:"at"`
+}
+
+// SlowOpsResponse is the /debug/slowops body: the ring's current contents,
+// oldest first, plus the capture bar and the all-time capture count.
+type SlowOpsResponse struct {
+	Enabled     bool         `json:"enabled"`
+	ThresholdNs int64        `json:"threshold_ns"`
+	Seen        uint64       `json:"seen"`
+	SlowOps     []WireSlowOp `json:"slow_ops"`
+}
+
+// ToWireSlowOp converts a flight-recorder entry to its wire form.
+func ToWireSlowOp(e telemetry.SlowOp) WireSlowOp {
+	w := WireSlowOp{
+		Seq:     e.Seq,
+		Op:      e.Op.String(),
+		Viewer:  e.Viewer,
+		Region:  e.Region,
+		Outcome: e.Outcome.String(),
+		TotalNs: int64(e.Total),
+		At:      e.At,
+	}
+	for p, d := range e.Phases {
+		if d > 0 {
+			if w.PhasesNs == nil {
+				w.PhasesNs = make(map[string]int64, len(e.Phases))
+			}
+			w.PhasesNs[telemetry.Phase(p).String()] = int64(d)
+		}
+	}
+	return w
 }
 
 // Health is the /healthz body.

@@ -25,6 +25,28 @@ func (c *CDF) Add(x float64) {
 // AddDuration appends a duration sample in seconds.
 func (c *CDF) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
 
+// AddBuckets ingests a bucketed histogram snapshot: counts[i] samples at
+// the bucket's upper bound uppers[i]. This is the documented seam between
+// the lock-free telemetry histograms and the experiment-side statistics:
+// feed it telemetry.BucketUppers() and a snapshot's Buckets slice and the
+// resulting CDF quantiles agree with the live exposition's bucket math
+// (both report the holding bucket's upper bound). Ingestion commutes with
+// snapshot merging — AddBuckets(a+b) and AddBuckets(a); AddBuckets(b)
+// build the same distribution — because the bucket grids are identical.
+// metrics stays import-free of telemetry; only the raw bounds and counts
+// cross the seam.
+func (c *CDF) AddBuckets(uppers []float64, counts []uint64) error {
+	if len(uppers) != len(counts) {
+		return fmt.Errorf("metrics: AddBuckets: %d bounds vs %d counts", len(uppers), len(counts))
+	}
+	for i, n := range counts {
+		for ; n > 0; n-- {
+			c.Add(uppers[i])
+		}
+	}
+	return nil
+}
+
 // Len returns the sample count.
 func (c *CDF) Len() int { return len(c.samples) }
 
@@ -133,6 +155,19 @@ func NewIntHistogram() *IntHistogram {
 func (h *IntHistogram) Add(v int) {
 	h.counts[v]++
 	h.total++
+}
+
+// AddCount counts n observations of value v at once — the bucket-ingest
+// side of the telemetry seam (one call per non-empty snapshot bucket,
+// with v an index or quantized bound chosen by the caller). Ingesting
+// merged snapshots or merging after ingestion yields identical
+// histograms.
+func (h *IntHistogram) AddCount(v, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
 }
 
 // Total returns the observation count.

@@ -1,0 +1,86 @@
+package metrics_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"telecast/internal/metrics"
+	"telecast/internal/telemetry"
+)
+
+// TestCDFBucketIngestMergeAssociative pins the telemetry→metrics seam:
+// merging telemetry snapshots before ingestion and ingesting the parts
+// separately build the same CDF, in any grouping — so experiment reports
+// and live exposition agree on bucket math no matter which layer merges.
+func TestCDFBucketIngestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	uppers := telemetry.BucketUppers()
+	parts := make([]telemetry.HistSnapshot, 3)
+	for p := range parts {
+		var h telemetry.Histogram
+		for i := 0; i < 400; i++ {
+			h.Record(time.Duration(rng.Intn(2_000_000_000)))
+		}
+		parts[p] = h.Snapshot()
+	}
+
+	// (a+b)+c merged first, then ingested once.
+	merged := parts[0]
+	merged.Merge(parts[1])
+	merged.Merge(parts[2])
+	var viaMerge metrics.CDF
+	if err := viaMerge.AddBuckets(uppers, merged.Buckets[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingested part by part, grouped the other way: a, then (b+c).
+	var viaParts metrics.CDF
+	bc := parts[1]
+	bc.Merge(parts[2])
+	if err := viaParts.AddBuckets(uppers, parts[0].Buckets[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaParts.AddBuckets(uppers, bc.Buckets[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	if viaMerge.Len() != viaParts.Len() {
+		t.Fatalf("sample counts differ: %d vs %d", viaMerge.Len(), viaParts.Len())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a, b := viaMerge.Quantile(q), viaParts.Quantile(q); a != b {
+			t.Errorf("q=%v: %v vs %v", q, a, b)
+		}
+	}
+	// And the CDF's quantile agrees with the snapshot's own bucket math:
+	// both report the holding bucket's upper bound (the snapshot clamps
+	// to the observed max, which the bucket grid can't exceed... only at
+	// the top bucket, below every quantile here).
+	for _, q := range []float64{0.5, 0.9} {
+		fromCDF := time.Duration(viaMerge.Quantile(q) * float64(time.Second))
+		fromSnap := merged.Quantile(q)
+		if fromSnap == merged.Max {
+			continue // snapshot clamped to the exact max; CDF reports the bound
+		}
+		if diff := fromCDF - fromSnap; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("q=%v: CDF %v vs snapshot %v", q, fromCDF, fromSnap)
+		}
+	}
+}
+
+// TestIntHistogramAddCount pins that bulk ingestion equals repeated Add.
+func TestIntHistogramAddCount(t *testing.T) {
+	a := metrics.NewIntHistogram()
+	b := metrics.NewIntHistogram()
+	for i := 0; i < 7; i++ {
+		a.Add(3)
+	}
+	a.Add(5)
+	b.AddCount(3, 7)
+	b.AddCount(5, 1)
+	b.AddCount(9, 0) // no-op
+	if a.Total() != b.Total() || a.Count(3) != b.Count(3) || a.Count(5) != b.Count(5) {
+		t.Fatalf("AddCount diverges from Add: %v vs %v", a, b)
+	}
+}

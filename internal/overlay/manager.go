@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"telecast/internal/cdn"
 	"telecast/internal/model"
@@ -127,6 +128,11 @@ type JoinResult struct {
 	Accepted []model.StreamID
 	// Dropped lists requested streams that were not served.
 	Dropped []model.StreamID
+	// CDNReserve is the wall-clock time the admission spent reserving CDN
+	// egress, measured only when Params.TimeReserve is armed (zero
+	// otherwise). The session layer carves it out of the overlay-admit
+	// phase in slow-op traces.
+	CDNReserve time.Duration
 }
 
 // Join admits a viewer requesting the given view, running the full §IV
@@ -174,6 +180,8 @@ func (m *Manager) composeView(view model.View) model.ViewRequest {
 func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResult, error) {
 	m.resubscribeBudget = m.propagationCap()
 	m.streamsRequested += len(req.Streams)
+	timeReserve := m.params.TimeReserve != nil && m.params.TimeReserve.Load()
+	var reserve time.Duration
 
 	group := m.groupFor(req)
 	supply := func(id model.StreamID, bw float64) bool {
@@ -215,7 +223,15 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 			placed, displaced = tree.Insert(node)
 		}
 		if !placed {
-			if err := m.cdn.Allocate(id, bw); err != nil {
+			var reserveStart time.Time
+			if timeReserve {
+				reserveStart = time.Now()
+			}
+			err := m.cdn.Allocate(id, bw)
+			if timeReserve {
+				reserve += time.Since(reserveStart)
+			}
+			if err != nil {
 				// Stream dropped: no P2P position, no CDN budget. Blame
 				// the peer layer when it had members but no slot, the
 				// CDN fallback otherwise.
@@ -249,10 +265,11 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 		m.processPending()
 		m.viewersRejected++
 		res := &JoinResult{
-			Viewer:   v,
-			Admitted: false,
-			Reason:   reason,
-			Dropped:  req.StreamIDs(),
+			Viewer:     v,
+			Admitted:   false,
+			Reason:     reason,
+			Dropped:    req.StreamIDs(),
+			CDNReserve: reserve,
 		}
 		v.Rejected = true
 		m.viewers[info.ID] = v // keep record for distribution metrics
@@ -270,7 +287,7 @@ func (m *Manager) joinRequest(info ViewerInfo, req model.ViewRequest) (*JoinResu
 
 	m.viewersAdmitted++
 	m.streamsAccepted += len(v.Nodes)
-	res := &JoinResult{Viewer: v, Admitted: true, Accepted: v.AcceptedStreams()}
+	res := &JoinResult{Viewer: v, Admitted: true, Accepted: v.AcceptedStreams(), CDNReserve: reserve}
 	for _, rs := range req.Streams {
 		if _, ok := v.Nodes[rs.Stream.ID]; !ok {
 			res.Dropped = append(res.Dropped, rs.Stream.ID)

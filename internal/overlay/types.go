@@ -8,6 +8,7 @@
 package overlay
 
 import (
+	"sync/atomic"
 	"time"
 
 	"telecast/internal/layering"
@@ -38,6 +39,13 @@ type Params struct {
 	// session layer can drain them with DrainDrops and surface them as
 	// events. Off by default: direct Manager users pay nothing.
 	LogDrops bool
+	// TimeReserve, when non-nil and true, makes the admission pipeline
+	// time its CDN egress reserves (the only cross-shard contention on
+	// the hot path) and report the total in JoinResult.CDNReserve. The
+	// session layer points this at the telemetry enable gate, so the
+	// check costs one atomic load when telemetry is off — the same idiom
+	// as the event bus's Subscribe gate.
+	TimeReserve *atomic.Bool
 }
 
 // offsetFrac resolves the configured push-down offset (default 1).

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"telecast/internal/model"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 )
 
@@ -171,12 +172,20 @@ func (c *Controller) prepareBatch(ctx context.Context, reqs []JoinRequest, out [
 // so a cancelled batch can never leak Δ-bounded reservations.
 func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchOutcome {
 	out := make([]BatchOutcome, len(reqs))
+	// The whole-batch traces time the two pipeline stages against each
+	// other (prepare fan-out vs. shard admission); the per-item joins keep
+	// their own OpJoin traces inside.
+	var ptr telemetry.OpTrace
+	c.tel.StartOp(&ptr, telemetry.OpBatchPrepare)
 	perShard := c.prepareBatch(ctx, reqs, out)
+	ptr.Finish(-1, "batch", telemetry.OutcomeOK)
 	var wg sync.WaitGroup
-	for _, group := range perShard {
+	for lsc, group := range perShard {
 		wg.Add(1)
-		go func(group []routedJoin) {
+		go func(lsc *LSC, group []routedJoin) {
 			defer wg.Done()
+			var atr telemetry.OpTrace
+			c.tel.StartOp(&atr, telemetry.OpBatchAdmit)
 			for _, r := range group {
 				if err := ctx.Err(); err != nil {
 					c.abandon(r.p)
@@ -185,7 +194,8 @@ func (c *Controller) JoinBatch(ctx context.Context, reqs []JoinRequest) []BatchO
 				}
 				out[r.idx].Outcome, out[r.idx].Err = c.admit(r.p)
 			}
-		}(group)
+			atr.Finish(int(lsc.Region), "batch", telemetry.OutcomeOK)
+		}(lsc, group)
 	}
 	wg.Wait()
 	return out
@@ -228,6 +238,8 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 			defer wg.Done()
 			for _, i := range idxs {
 				id := out[i].ID
+				var tr telemetry.OpTrace
+				c.tel.StartOp(&tr, telemetry.OpLeave)
 				if err := ctx.Err(); err != nil {
 					// Undo the route claim so the viewer stays leavable. The
 					// rebind happens before the outcome is written: once the
@@ -237,9 +249,10 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 					// rebind on a fully-bound route.
 					c.bindRoute(id, lsc)
 					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
+					tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeError)
 					continue
 				}
-				nodeIdx, err := lsc.leave(id)
+				nodeIdx, err := lsc.leave(id, &tr)
 				if err != nil {
 					if errors.Is(err, ErrShardDown) {
 						// Keep the viewer routed so recovery rebuilds it
@@ -249,10 +262,12 @@ func (c *Controller) DepartBatch(ctx context.Context, ids []model.ViewerID) []Ba
 						c.dropRoute(id)
 					}
 					out[i].Err = fmt.Errorf("session leave %s: %w", id, err)
+					tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeError)
 					continue
 				}
 				c.dropRoute(id)
 				c.nodes.release(nodeIdx)
+				tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeOK)
 			}
 		}(lsc, idxs)
 	}

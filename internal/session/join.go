@@ -10,6 +10,7 @@ import (
 	"telecast/internal/metrics"
 	"telecast/internal/model"
 	"telecast/internal/overlay"
+	"telecast/internal/telemetry"
 )
 
 // JoinOutcome reports an admission attempt together with the protocol
@@ -32,6 +33,11 @@ type preparedJoin struct {
 	lsc  *LSC
 	st   viewerState
 	view model.View
+	// tr spans the whole join — prepare through admit (or abandon) — so the
+	// trace survives the batch pipeline's prepare→admit handoff. Copies are
+	// fine: exactly one of admit or abandon settles a prepared join, and
+	// Finish disarms the copy it runs on.
+	tr telemetry.OpTrace
 }
 
 // prepare runs the GSC half of the join protocol: duplicate check, node
@@ -39,25 +45,32 @@ type preparedJoin struct {
 // shard, and registry insertion. It is cheap and thread-safe; the expensive
 // admission runs on the shard.
 func (c *Controller) prepare(req JoinRequest) (preparedJoin, error) {
+	var p preparedJoin
+	c.tel.StartOp(&p.tr, telemetry.OpJoin)
 	id := req.ID
 	if err := c.claimID(id); err != nil {
+		p.tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return preparedJoin{}, err
 	}
 	nodeIdx, ok := c.nodes.acquireIn(req.Region)
 	if !ok {
 		c.dropRoute(id)
+		p.tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return preparedJoin{}, fmt.Errorf("%w (%d nodes)", ErrMatrixExhausted, c.cfg.Latency.Nodes())
 	}
+	p.tr.Phase(telemetry.PhaseRoute)
 	lsc := c.lscFor(nodeIdx)
 	st := viewerState{
 		nodeIdx: nodeIdx,
 		info:    overlay.ViewerInfo{ID: id, InboundMbps: req.InboundMbps, OutboundMbps: req.OutboundMbps},
 	}
 	lsc.register(st)
+	p.tr.Phase(telemetry.PhasePrepare)
 	// The route stays a claim (nil) until the shard admits the viewer, so
 	// a racing Leave or ChangeView sees ErrUnknownViewer instead of
 	// operating on a half-joined one.
-	return preparedJoin{lsc: lsc, st: st, view: req.View}, nil
+	p.lsc, p.st, p.view = lsc, st, req.View
+	return p, nil
 }
 
 // abandon unwinds a prepared join that will never be admitted (cancelled
@@ -68,6 +81,7 @@ func (c *Controller) abandon(p preparedJoin) {
 	p.lsc.unregister(p.st.info.ID)
 	c.dropRoute(p.st.info.ID)
 	c.nodes.release(p.st.nodeIdx)
+	p.tr.Finish(int(p.lsc.Region), string(p.st.info.ID), telemetry.OutcomeError)
 }
 
 // admit runs the shard half of the join protocol on the prepared viewer's
@@ -76,21 +90,25 @@ func (c *Controller) abandon(p preparedJoin) {
 // *RejectionError carrying the cause.
 func (c *Controller) admit(p preparedJoin) (*JoinOutcome, error) {
 	id := p.st.info.ID
-	res, worst, err := p.lsc.join(p.st, p.view)
+	region := int(p.lsc.Region)
+	res, worst, err := p.lsc.join(p.st, p.view, &p.tr)
 	if err != nil {
 		p.lsc.unregister(id)
 		c.dropRoute(id)
 		c.nodes.release(p.st.nodeIdx)
+		p.tr.Finish(region, string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session join %s: %w", id, err)
 	}
 	c.bindRoute(id, p.lsc)
 	delay := c.joinProtocolDelay(p.st.nodeIdx, p.lsc.NodeIdx, worst)
 	c.recordJoinDelay(delay)
 	c.noteCDNPeak(p.lsc)
-	out := &JoinOutcome{Result: res, Delay: delay, LSCRegion: int(p.lsc.Region)}
+	out := &JoinOutcome{Result: res, Delay: delay, LSCRegion: region}
 	if !res.Admitted {
+		p.tr.Finish(region, string(id), telemetry.OutcomeRejected)
 		return out, &RejectionError{Viewer: id, Reason: res.Reason}
 	}
+	p.tr.Finish(region, string(id), telemetry.OutcomeOK)
 	return out, nil
 }
 
@@ -156,11 +174,15 @@ func (c *Controller) Leave(ctx context.Context, id model.ViewerID) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("session leave %s: %w", id, err)
 	}
+	var tr telemetry.OpTrace
+	c.tel.StartOp(&tr, telemetry.OpLeave)
 	lsc, err := c.takeRoute(id)
 	if err != nil {
+		tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return fmt.Errorf("session leave %s: %w", id, err)
 	}
-	nodeIdx, err := lsc.leave(id)
+	tr.Phase(telemetry.PhaseRoute)
+	nodeIdx, err := lsc.leave(id, &tr)
 	if err != nil {
 		if errors.Is(err, ErrShardDown) {
 			// The shard cannot process the departure; keep the viewer
@@ -169,10 +191,12 @@ func (c *Controller) Leave(ctx context.Context, id model.ViewerID) error {
 		} else {
 			c.dropRoute(id)
 		}
+		tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeError)
 		return fmt.Errorf("session leave %s: %w", id, err)
 	}
 	c.dropRoute(id)
 	c.nodes.release(nodeIdx)
+	tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeOK)
 	return nil
 }
 
@@ -205,8 +229,11 @@ func (c *Controller) ChangeView(ctx context.Context, id model.ViewerID, view mod
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
+	var tr telemetry.OpTrace
+	c.tel.StartOp(&tr, telemetry.OpViewChange)
 	lsc, err := c.lookupRoute(id)
 	if err != nil {
+		tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
 	// Fast path feasibility: the paper streams the new view from the CDN
@@ -225,8 +252,12 @@ func (c *Controller) ChangeView(ctx context.Context, id model.ViewerID, view mod
 		fast = c.cdn.CanServe(fastBW)
 	}
 
-	res, worst, nodeIdx, err := lsc.changeView(id, view)
+	// The fast-path feasibility probe above is GSC-side work, so it lands
+	// in the route segment together with the route lookup.
+	tr.Phase(telemetry.PhaseRoute)
+	res, worst, nodeIdx, err := lsc.changeView(id, view, &tr)
 	if err != nil {
+		tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session view change %s: %w", id, err)
 	}
 
@@ -246,8 +277,10 @@ func (c *Controller) ChangeView(ctx context.Context, id model.ViewerID, view mod
 		FastPathUsed:    fast,
 	}
 	if !res.Admitted {
+		tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeRejected)
 		return out, &RejectionError{Viewer: id, Reason: res.Reason}
 	}
+	tr.Finish(int(lsc.Region), string(id), telemetry.OutcomeOK)
 	return out, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"telecast/internal/model"
 	"telecast/internal/overlay"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 )
 
@@ -30,6 +31,9 @@ type LSC struct {
 
 	cfg *Config
 	bus *eventBus
+	// tel is the controller-wide telemetry collector, shared by every shard;
+	// shard methods advance the caller's OpTrace at phase boundaries.
+	tel *telemetry.Collector
 	// scale points at the controller's delay-scale word (DelayShift fault);
 	// nil or zero bits mean the unscaled landscape.
 	scale *atomic.Uint64
@@ -164,6 +168,15 @@ func (l *LSC) unregister(id model.ViewerID) {
 	l.vmu.Unlock()
 }
 
+// viewerCount returns the number of registered viewers — the occupancy
+// gauge telemetry polls at snapshot time.
+func (l *LSC) viewerCount() int {
+	l.vmu.RLock()
+	n := len(l.viewers)
+	l.vmu.RUnlock()
+	return n
+}
+
 // state returns the registry record of a viewer owned by this shard.
 func (l *LSC) state(id model.ViewerID) (viewerState, bool) {
 	l.vmu.RLock()
@@ -175,7 +188,7 @@ func (l *LSC) state(id model.ViewerID) (viewerState, bool) {
 // join runs the overlay admission for an already-registered viewer and
 // returns the subscription round trip to the farthest parent, measured while
 // the shard lock still pins the resulting topology.
-func (l *LSC) join(st viewerState, view model.View) (*overlay.JoinResult, time.Duration, error) {
+func (l *LSC) join(st viewerState, view model.View, tr *telemetry.OpTrace) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down.Load() {
@@ -188,18 +201,21 @@ func (l *LSC) join(st viewerState, view model.View) (*overlay.JoinResult, time.D
 	l.register(st)
 	res, err := l.shard.Join(st.info, view)
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhaseAdmit)
 	if err != nil {
 		return nil, 0, err
 	}
+	tr.Carve(telemetry.PhaseAdmit, telemetry.PhaseReserve, res.CDNReserve)
 	l.journalLocked(journalEntry{op: opJoin, id: st.info.ID, nodeIdx: st.nodeIdx, info: st.info, view: view.Clone()})
 	l.emitJoinLocked(EventJoinAccepted, st.info.ID, res)
+	tr.Phase(telemetry.PhasePublish)
 	return res, l.worstParentRTTLocked(st, res), nil
 }
 
 // leave removes a viewer from the overlay and the shard registry, returning
 // its latency-matrix node for reuse. The registry removal happens inside the
 // shard critical section so it cannot interleave with another admission.
-func (l *LSC) leave(id model.ViewerID) (int, error) {
+func (l *LSC) leave(id model.ViewerID, tr *telemetry.OpTrace) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down.Load() {
@@ -207,12 +223,15 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 	}
 	if err := l.shard.Leave(id); err != nil {
 		l.epoch.Add(1)
+		tr.Phase(telemetry.PhaseAdmit)
 		return 0, err
 	}
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhaseAdmit)
 	l.journalLocked(journalEntry{op: opLeave, id: id})
 	l.emit(Event{Kind: EventDeparted, Viewer: id})
 	l.emitDropsLocked()
+	tr.Phase(telemetry.PhasePublish)
 	l.vmu.Lock()
 	st, ok := l.viewers[id]
 	delete(l.viewers, id)
@@ -228,7 +247,7 @@ func (l *LSC) leave(id model.ViewerID) (int, error) {
 // this shard's ring, and the registry entry is removed inside the shard
 // critical section so it cannot interleave with another admission. It
 // returns the preserved admission state and the viewer's latency node.
-func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay.MigrationState, int, error) {
+func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string, tr *telemetry.OpTrace) (overlay.MigrationState, int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down.Load() {
@@ -236,6 +255,7 @@ func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay
 	}
 	st, err := l.shard.Extract(id)
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhasePrepare)
 	if err != nil {
 		return overlay.MigrationState{}, 0, err
 	}
@@ -257,7 +277,7 @@ func (l *LSC) extract(id model.ViewerID, to trace.Region, cause string) (overlay
 // lookups hit. On success the arrival event is sequenced on this shard's
 // ring; a rejection emits EventJoinRejected here and leaves the record
 // question to keepIfRejected (see overlay.Manager.AdmitMigrant).
-func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool) (*overlay.JoinResult, time.Duration, error) {
+func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trace.Region, cause string, keepIfRejected bool, tr *telemetry.OpTrace) (*overlay.JoinResult, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down.Load() {
@@ -268,9 +288,11 @@ func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trac
 	l.register(vst)
 	res, err := l.shard.AdmitMigrant(st, keepIfRejected)
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhaseAdmit)
 	if err != nil {
 		return nil, 0, err
 	}
+	tr.Carve(telemetry.PhaseAdmit, telemetry.PhaseReserve, res.CDNReserve)
 	if res.Admitted || keepIfRejected {
 		// Journal only outcomes that left a record behind; replay re-admits
 		// with keep=true so a replay-time rejection still leaves the viewer
@@ -283,6 +305,7 @@ func (l *LSC) admitMigrant(vst viewerState, st overlay.MigrationState, from trac
 		l.emit(Event{Kind: EventJoinRejected, Viewer: st.Info.ID, Reason: res.Reason})
 	}
 	l.emitDropsLocked()
+	tr.Phase(telemetry.PhasePublish)
 	return res, l.worstParentRTTLocked(vst, res), nil
 }
 
@@ -320,7 +343,7 @@ func (l *LSC) noteMigrationDeparture(id model.ViewerID) {
 
 // changeView re-admits a viewer with a new view and returns the new
 // topology, the farthest-parent round trip, and the viewer's node index.
-func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResult, time.Duration, int, error) {
+func (l *LSC) changeView(id model.ViewerID, view model.View, tr *telemetry.OpTrace) (*overlay.JoinResult, time.Duration, int, error) {
 	l.mu.Lock()
 	if l.down.Load() {
 		l.mu.Unlock()
@@ -336,12 +359,15 @@ func (l *LSC) changeView(id model.ViewerID, view model.View) (*overlay.JoinResul
 	}
 	res, err := l.shard.ChangeView(id, view)
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhaseAdmit)
 	if err != nil {
 		l.mu.Unlock()
 		return nil, 0, 0, err
 	}
+	tr.Carve(telemetry.PhaseAdmit, telemetry.PhaseReserve, res.CDNReserve)
 	l.journalLocked(journalEntry{op: opChangeView, id: id, view: view.Clone()})
 	l.emitJoinLocked(EventViewChanged, id, res)
+	tr.Phase(telemetry.PhasePublish)
 	worst := l.worstParentRTTLocked(st, res)
 	l.mu.Unlock()
 	return res, worst, st.nodeIdx, nil

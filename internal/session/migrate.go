@@ -8,6 +8,7 @@ import (
 
 	"telecast/internal/model"
 	"telecast/internal/overlay"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 )
 
@@ -88,12 +89,16 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("session migrate %s: %w", id, err)
 	}
+	var tr telemetry.OpTrace
+	c.tel.StartOp(&tr, telemetry.OpMigrate)
 	dst, ok := c.lscs[req.To]
 	if !ok {
+		tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session migrate %s: %w %d", id, ErrUnknownRegion, req.To)
 	}
 	src, err := c.routes.takeForMigration(id)
 	if err != nil {
+		tr.Finish(-1, string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session migrate %s: %w", id, err)
 	}
 	// The in-flight counter makes Validate fail fast (typed) instead of
@@ -104,6 +109,8 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 	if src == dst {
 		// Already home: nothing moves, the route is rebound as-is.
 		c.routes.bind(id, src)
+		tr.Phase(telemetry.PhaseRoute)
+		tr.Finish(int(src.Region), string(id), telemetry.OutcomeNoop)
 		return &MigrateOutcome{From: src.Region, To: dst.Region}, nil
 	}
 	// The moved viewer needs a placement in its new region before anything
@@ -113,31 +120,36 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 	dstNode, ok := c.nodes.acquireInStrict(req.To)
 	if !ok {
 		c.routes.bind(id, src)
+		tr.Finish(int(src.Region), string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session migrate %s: destination region %d: %w", id, req.To, ErrMatrixExhausted)
 	}
+	tr.Phase(telemetry.PhaseRoute)
 
 	// Phase 1: detach on the source shard. From here the handoff must end
 	// rebound, restored, or departed — never a half-state.
-	st, srcNode, err := src.extract(id, dst.Region, req.Reason)
+	st, srcNode, err := src.extract(id, dst.Region, req.Reason, &tr)
 	if err != nil {
 		c.nodes.release(dstNode)
 		c.routes.bind(id, src)
+		tr.Finish(int(src.Region), string(id), telemetry.OutcomeError)
 		return nil, fmt.Errorf("session migrate %s: %w", id, err)
 	}
 	if err := ctx.Err(); err != nil {
 		// Cancelled between the phases: the viewer is already detached, so
 		// restoring it on the source is the only total option.
 		out := c.settleRejected(src, dst, st, srcNode, dstNode, nil, req)
+		tr.Finish(int(src.Region), string(id), telemetry.OutcomeError)
 		return out, fmt.Errorf("session migrate %s: %w", id, err)
 	}
 
 	// Phase 2: re-admission on the destination with the preserved request.
 	vst := viewerState{nodeIdx: dstNode, info: st.Info}
 	dst.register(vst)
-	res, worst, err := dst.admitMigrant(vst, st, src.Region, req.Reason, false)
+	res, worst, err := dst.admitMigrant(vst, st, src.Region, req.Reason, false, &tr)
 	if err != nil {
 		dst.unregister(id)
 		out := c.settleRejected(src, dst, st, srcNode, dstNode, nil, req)
+		tr.Finish(int(dst.Region), string(id), telemetry.OutcomeError)
 		return out, fmt.Errorf("session migrate %s: %w", id, err)
 	}
 	if res.Admitted {
@@ -146,6 +158,7 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 		delay := c.migrateProtocolDelay(dstNode, src.NodeIdx, dst.NodeIdx, worst)
 		c.recordMigrationDelay(delay)
 		c.noteCDNPeak(dst)
+		tr.Finish(int(dst.Region), string(id), telemetry.OutcomeOK)
 		return &MigrateOutcome{From: src.Region, To: dst.Region, Result: res, Delay: delay}, nil
 	}
 	// Destination refused the migrant; its shard kept no record (the
@@ -153,6 +166,7 @@ func (c *Controller) Migrate(ctx context.Context, id model.ViewerID, req Migrate
 	dst.unregister(id)
 	rej := &RejectionError{Viewer: id, Reason: res.Reason}
 	out := c.settleRejected(src, dst, st, srcNode, dstNode, rej, req)
+	tr.Finish(int(dst.Region), string(id), telemetry.OutcomeRejected)
 	return out, rej
 }
 

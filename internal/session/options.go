@@ -59,6 +59,20 @@ func WithEventBuffer(n int) Option {
 	return func(c *Config) { c.EventBuffer = n }
 }
 
+// WithTelemetry arms the wall-clock observability layer (latency
+// histograms, outcome counters, slow-op flight recorder) at construction.
+// Off by default: every telemetry hook then costs one atomic load.
+func WithTelemetry(enabled bool) Option {
+	return func(c *Config) { c.Telemetry = enabled }
+}
+
+// WithSlowOpThreshold sets the flight recorder's capture bar: operations
+// at or above d are kept in the slow-op ring. Zero keeps the default
+// (25 ms); negative captures every traced operation.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return func(c *Config) { c.SlowOpThreshold = d }
+}
+
 // NewController builds the control plane for a producer session over a
 // latency substrate, with functional options refining the paper's
 // evaluation defaults:

@@ -10,6 +10,7 @@ import (
 	"telecast/internal/fault"
 	"telecast/internal/model"
 	"telecast/internal/overlay"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 )
 
@@ -240,16 +241,24 @@ func (c *Controller) RecoverRegion(ctx context.Context, region trace.Region) (Re
 	}
 	c.recovering.Add(1)
 	defer c.recovering.Add(-1)
+	// One trace per rebuild: snapshot decode and registry install under
+	// prepare, the slab rebuild plus journal replay under admit, the re-arm
+	// and go-live under publish. The evacuation wave runs its own Migrate
+	// traces, so its time stays in the recovery total but unattributed.
+	var tr telemetry.OpTrace
+	c.tel.StartOp(&tr, telemetry.OpRecovery)
 
 	l.mu.Lock()
 	if !l.down.Load() {
 		l.mu.Unlock()
+		tr.Finish(int(region), "", telemetry.OutcomeError)
 		return rep, fmt.Errorf("session recover region %d: shard is not down", region)
 	}
 	rec := l.rec
 	snap, err := decodeShardSnapshot(rec.snap)
 	if err != nil {
 		l.mu.Unlock()
+		tr.Finish(int(region), "", telemetry.OutcomeError)
 		return rep, err
 	}
 	rep.SnapshotViewers = len(snap.Overlay.Viewers)
@@ -272,6 +281,7 @@ func (c *Controller) RecoverRegion(ctx context.Context, region trace.Region) (Re
 	l.vmu.Lock()
 	l.viewers = all
 	l.vmu.Unlock()
+	tr.Phase(telemetry.PhasePrepare)
 
 	// Stage 1: exact rebuild of the snapshot image into fresh slabs. If the
 	// CDN cannot cover the snapshot's implied egress anymore (a collapse
@@ -283,6 +293,7 @@ func (c *Controller) RecoverRegion(ctx context.Context, region trace.Region) (Re
 		mgr, err = c.readmitFromSnapshot(l, &snap.Overlay)
 		if err != nil {
 			l.mu.Unlock()
+			tr.Finish(int(region), "", telemetry.OutcomeError)
 			return rep, fmt.Errorf("session recover region %d: %w", region, err)
 		}
 	}
@@ -325,15 +336,18 @@ func (c *Controller) RecoverRegion(ctx context.Context, region trace.Region) (Re
 	}
 	rep.Viewers = len(l.viewers)
 	l.vmu.Unlock()
+	tr.Phase(telemetry.PhaseAdmit)
 	l.emitDropsLocked()
 
 	// Re-arm at the recovered state and go live.
 	if err := l.snapshotLocked(); err != nil {
 		l.mu.Unlock()
+		tr.Finish(int(region), "", telemetry.OutcomeError)
 		return rep, err
 	}
 	l.down.Store(false)
 	l.epoch.Add(1)
+	tr.Phase(telemetry.PhasePublish)
 
 	// Collect rejected records for evacuation while still under mu.
 	var rejected []model.ViewerID
@@ -372,6 +386,7 @@ func (c *Controller) RecoverRegion(ctx context.Context, region trace.Region) (Re
 			}
 		}
 	}
+	tr.Finish(int(region), "", telemetry.OutcomeOK)
 	return rep, nil
 }
 

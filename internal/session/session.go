@@ -29,6 +29,7 @@ import (
 	"telecast/internal/metrics"
 	"telecast/internal/model"
 	"telecast/internal/overlay"
+	"telecast/internal/telemetry"
 	"telecast/internal/trace"
 )
 
@@ -63,6 +64,14 @@ type Config struct {
 	// EventBuffer sizes the per-shard event rings and subscriber channels
 	// of the Subscribe stream; 0 means 4096.
 	EventBuffer int
+	// Telemetry arms the latency-histogram/flight-recorder layer at
+	// construction. The collector always exists (Controller.Telemetry())
+	// and can be enabled later; when disarmed every hook costs one atomic
+	// load.
+	Telemetry bool
+	// SlowOpThreshold sets the flight recorder's capture bar; 0 keeps the
+	// telemetry default (25 ms). Negative captures every traced op.
+	SlowOpThreshold time.Duration
 }
 
 // defaultEventBuffer is the ring/channel capacity when Config.EventBuffer
@@ -130,6 +139,13 @@ type Controller struct {
 	joinDelays       metrics.CDF
 	viewChangeDelays metrics.CDF
 	migrationDelays  metrics.CDF
+
+	// tel is the wall-clock observability layer: per-(op,region) latency
+	// histograms, outcome counters, gauges, and the slow-op flight
+	// recorder. Always constructed, disabled by default; distinct from
+	// the CDFs above, which record the *simulated protocol* delays of
+	// Fig. 14(c), not controller wall time.
+	tel *telemetry.Collector
 }
 
 // nodeAllocator hands out latency-matrix node indices to joining viewers and
@@ -351,11 +367,23 @@ func NewControllerFromConfig(cfg Config) (*Controller, error) {
 	}
 	c.nodes.init(1+cfg.Latency.NumRegions(), cfg.Latency.Nodes())
 	c.nodes.initRegions(cfg.Latency)
-	c.params = overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true}
+	c.tel = telemetry.New(cfg.Latency.NumRegions(), 0)
+	c.tel.SetOccupancyFunc(c.regionOccupancy)
+	if cfg.SlowOpThreshold != 0 {
+		c.tel.SetSlowOpThreshold(max(cfg.SlowOpThreshold, 0))
+	}
+	if cfg.Telemetry {
+		c.tel.Enable()
+	}
+	c.params = overlay.Params{Hierarchy: h, Proc: cfg.Proc, CutoffDF: cfg.CutoffDF, LogDrops: true,
+		// The overlay carves its CDN reserve time out behind the same
+		// single-atomic-load gate the rest of the telemetry hooks use.
+		TimeReserve: c.tel.EnabledFlag()}
 	for r := 0; r < cfg.Latency.NumRegions(); r++ {
 		region := trace.Region(r)
 		lsc := newLSC(region, 1+r, &c.cfg, c.bus)
 		lsc.scale = &c.delayScale
+		lsc.tel = c.tel
 		mgr, err := overlay.NewManager(cfg.Producers, c.cdn, lsc.propFunc(), c.params)
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
@@ -383,6 +411,22 @@ func (c *Controller) Close() { c.bus.close() }
 
 // CDN exposes the shared distribution substrate.
 func (c *Controller) CDN() *cdn.CDN { return c.cdn }
+
+// Telemetry exposes the wall-clock observability layer: enable it, set
+// the slow-op threshold, and capture snapshots on demand. The collector
+// exists for the controller's whole lifetime.
+func (c *Controller) Telemetry() *telemetry.Collector { return c.tel }
+
+// regionOccupancy is the telemetry occupancy probe: live viewers
+// registered per region shard, read under each shard's registry lock at
+// snapshot time (never on the hot path).
+func (c *Controller) regionOccupancy() []int {
+	out := make([]int, c.cfg.Latency.NumRegions())
+	for r, lsc := range c.lscs {
+		out[int(r)] = lsc.viewerCount()
+	}
+	return out
+}
 
 // LSCs returns the shard controllers, keyed by region. The map is immutable
 // after construction.

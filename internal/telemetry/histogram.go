@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed, power-of-2 size of every latency histogram's
+// bucket array. Buckets are log-spaced with four sub-buckets per octave
+// (two mantissa bits), so a recorded duration lands in a bucket whose
+// upper bound is within 25% of the true value — tight enough for the
+// approximate p50/p90/p99 the exposition reports, coarse enough that the
+// whole array is 2 KiB of atomics.
+const NumBuckets = 256
+
+// Histogram is a lock-free latency histogram: a fixed array of atomic
+// counters indexed by the log-bucket of the recorded duration. Record is
+// wait-free and allocation-free; Snapshot is a plain atomic sweep, so
+// concurrent Record/Snapshot need no coordination (a snapshot taken during
+// a record may miss the in-flight sample — totals are eventually exact).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketIndex maps a duration (in its native nanosecond representation)
+// onto its log bucket: values 0–3 ns get exact buckets 0–3, and from 4 ns
+// up bucket (o-1)*4 + m covers the values of octave o carrying mantissa
+// bits m — contiguous quarter-octave buckets.
+func bucketIndex(d time.Duration) int {
+	v := uint64(d)
+	if d <= 0 {
+		return 0
+	}
+	o := bits.Len64(v) - 1
+	if o < 2 {
+		return int(v)
+	}
+	idx := (o-1)*4 + int((v>>(uint(o)-2))&3)
+	if idx >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest duration mapping onto bucket i — the
+// inclusive upper bound the approximate quantiles and the Prometheus `le`
+// labels report.
+func bucketUpper(i int) time.Duration {
+	if i < 4 {
+		return time.Duration(i)
+	}
+	o := i/4 + 1
+	sub := i % 4
+	return time.Duration((uint64(sub)+5)<<(uint(o)-2) - 1)
+}
+
+// BucketUppers returns the inclusive upper bound of every bucket in
+// seconds — the documented seam for feeding telemetry snapshots into the
+// metrics package's CDF/IntHistogram bucket math (metrics.CDF.AddBuckets).
+func BucketUppers() []float64 {
+	uppers := make([]float64, NumBuckets)
+	for i := range uppers {
+		uppers[i] = bucketUpper(i).Seconds()
+	}
+	return uppers
+}
+
+// Record adds one duration. Wait-free: three atomic adds plus a CAS loop
+// on the running maximum that almost always exits on the first load.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is an immutable copy of a histogram. Snapshots merge
+// associatively (Merge), so per-shard histograms can be combined in any
+// grouping without changing the aggregate quantiles.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	return s
+}
+
+// Merge folds another snapshot into this one. Bucket-wise addition plus a
+// max of maxima, so (a+b)+c == a+(b+c) exactly.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Sub subtracts an earlier snapshot of the same histogram, yielding the
+// distribution of the interval between the two. Max cannot be un-merged,
+// so the later snapshot's Max is kept (an over-estimate for the window).
+func (s *HistSnapshot) Sub(earlier HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] -= earlier.Buckets[i]
+	}
+	s.Count -= earlier.Count
+	s.Sum -= earlier.Sum
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1): the upper
+// bound of the bucket holding the nearest-rank sample, clamped to the
+// observed maximum. Accuracy is bounded by the quarter-octave bucket
+// width: within 25% of the exact value.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > s.Max {
+				return s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the exact mean of the recorded durations (the sum is
+// tracked exactly, not reconstructed from buckets).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic — ops, regions,
+// outcomes, and buckets appear in fixed order — so the format is pinned
+// by a golden file and scrapers can rely on exact series names:
+//
+//	telecast_ops_total{op,outcome}            counter
+//	telecast_op_duration_seconds{op,region}   histogram (log buckets)
+//	telecast_inflight_window_depth            gauge
+//	telecast_region_viewers{region}           gauge
+//	telecast_slow_ops_total                   counter
+//	telecast_slow_op_threshold_seconds        gauge
+//	telecast_telemetry_enabled                gauge
+//
+// Histogram buckets are cumulative with `le` in seconds; zero-delta
+// buckets are elided (the cumulative counts stay correct), and region
+// histograms with no samples are skipped entirely.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	b.Grow(4096)
+
+	b.WriteString("# HELP telecast_telemetry_enabled Whether telemetry recording is armed.\n")
+	b.WriteString("# TYPE telecast_telemetry_enabled gauge\n")
+	fmt.Fprintf(&b, "telecast_telemetry_enabled %d\n", boolGauge(s.Enabled))
+
+	b.WriteString("# HELP telecast_ops_total Control-plane operations by kind and outcome.\n")
+	b.WriteString("# TYPE telecast_ops_total counter\n")
+	for _, op := range s.Ops {
+		for out, n := range op.Outcomes {
+			fmt.Fprintf(&b, "telecast_ops_total{op=%q,outcome=%q} %d\n",
+				op.Op.String(), Outcome(out).String(), n)
+		}
+	}
+
+	b.WriteString("# HELP telecast_op_duration_seconds Wall-clock latency of control-plane operations per region shard (region \"none\" collects operations that failed before routing).\n")
+	b.WriteString("# TYPE telecast_op_duration_seconds histogram\n")
+	for _, op := range s.Ops {
+		for i, h := range op.Regions {
+			if h.Count == 0 {
+				continue
+			}
+			region := "none"
+			if i > 0 {
+				region = strconv.Itoa(i - 1)
+			}
+			var cum uint64
+			for bi, n := range h.Buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				fmt.Fprintf(&b, "telecast_op_duration_seconds_bucket{op=%q,region=%q,le=%q} %d\n",
+					op.Op.String(), region, formatLE(bucketUpper(bi).Seconds()), cum)
+			}
+			fmt.Fprintf(&b, "telecast_op_duration_seconds_bucket{op=%q,region=%q,le=\"+Inf\"} %d\n",
+				op.Op.String(), region, h.Count)
+			fmt.Fprintf(&b, "telecast_op_duration_seconds_sum{op=%q,region=%q} %s\n",
+				op.Op.String(), region, formatLE(h.Sum.Seconds()))
+			fmt.Fprintf(&b, "telecast_op_duration_seconds_count{op=%q,region=%q} %d\n",
+				op.Op.String(), region, h.Count)
+		}
+	}
+
+	b.WriteString("# HELP telecast_inflight_window_depth Operations currently in the pipelined dispatch window.\n")
+	b.WriteString("# TYPE telecast_inflight_window_depth gauge\n")
+	fmt.Fprintf(&b, "telecast_inflight_window_depth %d\n", s.InFlight)
+
+	if len(s.Occupancy) > 0 {
+		b.WriteString("# HELP telecast_region_viewers Live viewers registered per region shard.\n")
+		b.WriteString("# TYPE telecast_region_viewers gauge\n")
+		for r, n := range s.Occupancy {
+			fmt.Fprintf(&b, "telecast_region_viewers{region=\"%d\"} %d\n", r, n)
+		}
+	}
+
+	b.WriteString("# HELP telecast_slow_ops_total Operations captured by the flight recorder (including entries since overwritten).\n")
+	b.WriteString("# TYPE telecast_slow_ops_total counter\n")
+	fmt.Fprintf(&b, "telecast_slow_ops_total %d\n", s.SlowOpsSeen)
+
+	b.WriteString("# HELP telecast_slow_op_threshold_seconds Flight-recorder capture threshold.\n")
+	b.WriteString("# TYPE telecast_slow_op_threshold_seconds gauge\n")
+	fmt.Fprintf(&b, "telecast_slow_op_threshold_seconds %s\n", formatLE(s.SlowThreshold.Seconds()))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// formatLE renders a seconds value with full precision and no exponent
+// surprises ('g' shortest form, deterministic for a given float).
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseText parses Prometheus text exposition into a flat map keyed by
+// the full series identifier as rendered — name plus label block, e.g.
+// `telecast_ops_total{op="join",outcome="ok"}` — mapped to its value.
+// Comments and blank lines are skipped. This is the reconciliation seam
+// the obs-smoke check uses to compare scraped series against /metricz
+// totals; it understands exactly the subset of the format this package
+// emits (no timestamps, no escaping beyond %q).
+func ParseText(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("telemetry: parse line %d: no value in %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", ln+1, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	return out, nil
+}
+
+// SumSeries adds up every parsed series whose identifier starts with
+// prefix — e.g. all `telecast_op_duration_seconds_count{op="join",…}`
+// regions of one op.
+func SumSeries(series map[string]float64, prefix string) float64 {
+	var sum float64
+	for k, v := range series {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenSnapshot builds a deterministic collector state: fixed durations
+// through the traceless Record path (OpTrace totals come from the real
+// clock and would not be reproducible).
+func goldenSnapshot() Snapshot {
+	c := New(2, 4)
+	c.Enable()
+	c.SetSlowOpThreshold(10 * time.Millisecond)
+	c.SetInFlight(3)
+	c.SetOccupancyFunc(func() []int { return []int{120, 77} })
+	c.Record(OpJoin, 0, 800*time.Microsecond, OutcomeOK)
+	c.Record(OpJoin, 0, 950*time.Microsecond, OutcomeOK)
+	c.Record(OpJoin, 1, 3*time.Millisecond, OutcomeRejected)
+	c.Record(OpJoin, -1, 50*time.Microsecond, OutcomeError)
+	c.Record(OpLeave, 1, 200*time.Microsecond, OutcomeOK)
+	c.Record(OpViewChange, 0, 12*time.Millisecond, OutcomeOK)
+	c.Record(OpMigrate, 1, 7*time.Millisecond, OutcomeNoop)
+	c.Record(OpRecovery, 0, 250*time.Millisecond, OutcomeOK)
+	return c.Snapshot()
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// series names, label order, bucket elision, and float rendering are all
+// part of the scrape contract. Regenerate with -update-golden after a
+// deliberate format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition format drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestParseTextRoundTrip pins that the scrape-side parser reads back
+// exactly what WritePrometheus emitted — the seam the obs-smoke equality
+// check stands on.
+func TestParseTextRoundTrip(t *testing.T) {
+	snap := goldenSnapshot()
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		`telecast_ops_total{op="join",outcome="ok"}`:       2,
+		`telecast_ops_total{op="join",outcome="rejected"}`: 1,
+		`telecast_ops_total{op="join",outcome="error"}`:    1,
+		`telecast_ops_total{op="migrate",outcome="noop"}`:  1,
+		`telecast_inflight_window_depth`:                   3,
+		`telecast_region_viewers{region="0"}`:              120,
+		`telecast_region_viewers{region="1"}`:              77,
+		`telecast_telemetry_enabled`:                       1,
+	}
+	for k, want := range checks {
+		if got, ok := series[k]; !ok || got != want {
+			t.Errorf("series %s = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+	// Histogram counts summed across regions must equal the op's outcome
+	// total — the obs-smoke invariant, checked here at the format level.
+	join := SumSeries(series, `telecast_op_duration_seconds_count{op="join",`)
+	if join != 4 {
+		t.Errorf("summed join histogram count = %v, want 4", join)
+	}
+	for _, op := range snap.Ops {
+		prefix := `telecast_op_duration_seconds_count{op="` + op.Op.String() + `",`
+		if got, want := SumSeries(series, prefix), float64(op.OutcomeTotal()); got != want {
+			t.Errorf("op %s: scraped histogram count %v != outcome total %v", op.Op, got, want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultRingSize bounds the flight recorder when the owner doesn't size
+// it explicitly.
+const defaultRingSize = 256
+
+// SlowOp is one flight-recorder entry: an operation whose total duration
+// met the slow-op threshold, with enough context to answer "why was that
+// one slow" after the fact.
+type SlowOp struct {
+	// Seq is a monotonic capture sequence number (1-based); gaps relative
+	// to the ring contents mean older entries were overwritten.
+	Seq     uint64
+	Op      Op
+	Viewer  string
+	Region  int
+	Outcome Outcome
+	Total   time.Duration
+	// Phases is the per-phase breakdown, indexed by Phase; the phases sum
+	// to at most Total (the remainder is unattributed controller work).
+	Phases [NumPhases]time.Duration
+	// At is the wall-clock completion time.
+	At time.Time
+}
+
+// recorder is the fixed-size ring behind the flight recorder. Slow ops
+// are rare by definition (they cleared a threshold the hot path stays
+// under), so a plain mutex is cheaper than making the ring lock-free —
+// the uncontended lock is a few nanoseconds and never taken on the fast
+// path.
+type recorder struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []SlowOp
+	next int
+	full bool
+}
+
+func (r *recorder) init(size int) {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	r.ring = make([]SlowOp, size)
+}
+
+func (r *recorder) add(e SlowOp) {
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	r.ring[r.next] = e
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained entries oldest-first plus the total number
+// of captures ever made.
+func (r *recorder) snapshot() ([]SlowOp, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SlowOp
+	if r.full {
+		out = make([]SlowOp, 0, len(r.ring))
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else if r.next > 0 {
+		out = append(out, r.ring[:r.next]...)
+	}
+	return out, r.seq
+}

@@ -10,6 +10,7 @@ import (
 
 	"telecast/internal/model"
 	"telecast/internal/session"
+	"telecast/internal/telemetry"
 )
 
 // parallelRunner is the wall-clock executor: it streams the scenario in time
@@ -54,7 +55,8 @@ func runParallel(ctx context.Context, cp ControlPlane, local *session.Controller
 	stats := NewStatsSink()
 	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
 	t := newTally(sc.Name())
-	ex := newParallelExec(ctx, cp, o, t)
+	telBefore, tel := telemetryWindow(local)
+	ex := newParallelExec(ctx, cp, o, t, tel)
 
 	start := time.Now()
 	var (
@@ -164,7 +166,11 @@ func runParallel(ctx context.Context, cp ControlPlane, local *session.Controller
 	if secs := t.res.Elapsed.Seconds(); secs > 0 {
 		t.res.JoinsPerSec = float64(t.res.Joins+t.res.Rejected) / secs
 	}
-	return t.finish(stats, sinks)
+	res, err := t.finish(stats, sinks)
+	if err == nil && tel != nil {
+		res.Latency = LatencyFromTelemetry(telBefore, tel.Snapshot())
+	}
+	return res, err
 }
 
 // parallelExec executes bins on behalf of the runner, pipelining bins whose
@@ -179,6 +185,10 @@ type parallelExec struct {
 	// after drain, under the happens-before edge mu provides.)
 	t   *tally
 	tmu sync.Mutex
+
+	// tel mirrors the pipeline's in-flight event count onto the telemetry
+	// window-depth gauge; nil when the run has no local enabled collector.
+	tel *telemetry.Collector
 
 	// mu guards the pipeline state below; cond signals bins settling.
 	mu       sync.Mutex
@@ -195,8 +205,8 @@ type binJob struct {
 	n   int
 }
 
-func newParallelExec(ctx context.Context, cp ControlPlane, o Options, t *tally) *parallelExec {
-	ex := &parallelExec{ctx: ctx, cp: cp, o: o, t: t}
+func newParallelExec(ctx context.Context, cp ControlPlane, o Options, t *tally, tel *telemetry.Collector) *parallelExec {
+	ex := &parallelExec{ctx: ctx, cp: cp, o: o, t: t, tel: tel}
 	ex.cond = sync.NewCond(&ex.mu)
 	return ex
 }
@@ -228,6 +238,7 @@ func (ex *parallelExec) dispatch(bin []Event) error {
 	}
 	ex.inflight = append(ex.inflight, job)
 	ex.events += job.n
+	ex.tel.SetInFlight(int64(ex.events))
 	ex.mu.Unlock()
 	go func() {
 		err := ex.flush(bin)
@@ -239,6 +250,7 @@ func (ex *parallelExec) dispatch(bin []Event) error {
 			}
 		}
 		ex.events -= job.n
+		ex.tel.SetInFlight(int64(ex.events))
 		if err != nil && ex.err == nil {
 			ex.err = err
 		}

@@ -10,6 +10,7 @@ import (
 	"telecast/internal/model"
 	"telecast/internal/session"
 	"telecast/internal/sim"
+	"telecast/internal/telemetry"
 )
 
 // Options collects the runner knobs; build them with the functional options
@@ -134,6 +135,10 @@ type Result struct {
 	JoinsPerSec float64
 	// FinalAcceptance and MinAcceptance summarize ρ over the samples.
 	FinalAcceptance, MinAcceptance float64
+	// Latency is the per-op wall-clock latency table for the run's window,
+	// populated when the executed controller has telemetry enabled (local
+	// runs) or the remote plane exposes its latency surface; nil otherwise.
+	Latency []OpLatency
 }
 
 // Runner executes scenarios against a control plane. Two executors implement
@@ -281,6 +286,7 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 	stats := NewStatsSink()
 	sinks := multiSink(append(append([]Sink{}, o.Sinks...), stats))
 	t := newTally(sc.Name())
+	telBefore, tel := telemetryWindow(ctrl)
 	engine := sim.NewEngine()
 	var execErr error
 	fail := func(err error) {
@@ -416,7 +422,26 @@ func (simRunner) Run(ctx context.Context, ctrl *session.Controller, producers *m
 		return Result{}, execErr
 	}
 	t.res.Elapsed = time.Since(start)
-	return t.finish(stats, sinks)
+	res, err := t.finish(stats, sinks)
+	if err == nil && tel != nil {
+		res.Latency = LatencyFromTelemetry(telBefore, tel.Snapshot())
+	}
+	return res, err
+}
+
+// telemetryWindow opens a latency window over a local controller: when its
+// collector is enabled, the returned snapshot is the window's start and the
+// collector non-nil; otherwise the collector is nil and the runner skips the
+// latency table. ctrl may be nil (remote planes).
+func telemetryWindow(ctrl *session.Controller) (telemetry.Snapshot, *telemetry.Collector) {
+	if ctrl == nil {
+		return telemetry.Snapshot{}, nil
+	}
+	tel := ctrl.Telemetry()
+	if tel == nil || !tel.Enabled() {
+		return telemetry.Snapshot{}, nil
+	}
+	return tel.Snapshot(), tel
 }
 
 // Execute runs a fixed schedule against a controller on the discrete-event

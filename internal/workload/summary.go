@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"telecast/internal/telemetry"
+)
+
+// OpLatency summarizes one operation kind's wall-clock latency over a run —
+// the consumable form of a telemetry histogram delta, compact enough to ship
+// in a /metricz body or print as an exit table.
+type OpLatency struct {
+	// Op is the telemetry operation label ("join", "migrate", …).
+	Op string `json:"op"`
+	// Count is the number of operations recorded.
+	Count uint64 `json:"count"`
+	// P50/P90/P99 are approximate quantiles (log-bucketed, ≤25% error);
+	// Max is exact.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// LatencyFromTelemetry reduces the window between two collector snapshots to
+// per-op latency rows, in telemetry's op order, skipping ops that did not
+// run. before may be the zero Snapshot for a since-start summary.
+func LatencyFromTelemetry(before, after telemetry.Snapshot) []OpLatency {
+	var rows []OpLatency
+	for _, os := range after.Ops {
+		h := os.Total()
+		if int(os.Op) < len(before.Ops) {
+			h.Sub(before.Ops[os.Op].Total())
+		}
+		if h.Count == 0 {
+			continue
+		}
+		rows = append(rows, OpLatency{
+			Op:    os.Op.String(),
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+		})
+	}
+	return rows
+}
+
+// WriteSummary prints a run's final counters as labeled lines in a fixed
+// order — the one formatter behind telecast-sim's and replay's exit output,
+// so the two surfaces stay comparable line-for-line.
+func WriteSummary(w io.Writer, res Result) {
+	fmt.Fprintf(w, "scenario            %s\n", res.Scenario)
+	fmt.Fprintf(w, "joins               %d\n", res.Joins)
+	fmt.Fprintf(w, "joins rejected      %d\n", res.Rejected)
+	fmt.Fprintf(w, "leaves              %d\n", res.Leaves)
+	fmt.Fprintf(w, "view changes        %d (%d rejected)\n", res.ViewChanges, res.ViewChangesRejected)
+	fmt.Fprintf(w, "migrations          %d (%d bounced)\n", res.Migrations, res.MigrationsBounced)
+	if res.FaultsInjected > 0 || res.ShardDown > 0 {
+		fmt.Fprintf(w, "faults injected     %d\n", res.FaultsInjected)
+		fmt.Fprintf(w, "shard-down refusals %d\n", res.ShardDown)
+	}
+	fmt.Fprintf(w, "peak viewers        %d\n", res.PeakViewers)
+	fmt.Fprintf(w, "regions             %d\n", res.Regions)
+	fmt.Fprintf(w, "final acceptance    %.3f (min %.3f)\n", res.FinalAcceptance, res.MinAcceptance)
+	fmt.Fprintf(w, "elapsed             %v\n", res.Elapsed.Round(time.Millisecond))
+	if res.JoinsPerSec > 0 {
+		fmt.Fprintf(w, "joins/s             %.0f\n", res.JoinsPerSec)
+	}
+	WriteLatency(w, res.Latency)
+}
+
+// WriteLatency prints the per-op latency table; a no-op on an empty slice
+// (telemetry disabled or a remote plane without the latency surface).
+func WriteLatency(w io.Writer, rows []OpLatency) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %12s\n", "op latency", "count", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10d %10v %10v %10v %12v\n",
+			r.Op, r.Count, round(r.P50), round(r.P90), round(r.P99), round(r.Max))
+	}
+}
+
+// round trims quantile durations to a readable precision: sub-millisecond
+// values keep microseconds, larger ones keep 10µs steps.
+func round(d time.Duration) time.Duration {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond)
+	}
+	return d.Round(10 * time.Microsecond)
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# obs_smoke: the observability loopback check. Builds telecast-node with the
+# race detector, starts `serve` with telemetry armed and a capture-all
+# slow-op threshold, scrapes /metrics repeatedly while a replay churns the
+# control plane (the mid-churn scrapes must stay 200 and parseable — the
+# lock-free snapshot path under real concurrency), and runs the replay with
+# -obs-verify so it fails unless the scraped telemetry series deltas
+# reconcile with the server's /metricz totals and each op's histogram count
+# equals its outcome total. Finishes by checking /debug/slowops carries
+# captured entries and draining the server with SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${OBS_PORT:-17466}"
+ADDR="127.0.0.1:${PORT}"
+SCENARIO="${OBS_SCENARIO:-regional-hotspot}"
+TMPDIR_BIN="$(mktemp -d)"
+BIN="${TMPDIR_BIN}/telecast-node"
+
+cleanup() {
+  [[ -n "${SCRAPER_PID:-}" ]] && kill "$SCRAPER_PID" 2>/dev/null || true
+  [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMPDIR_BIN"
+}
+trap cleanup EXIT
+
+go build -race -o "$BIN" ./cmd/telecast-node
+
+"$BIN" serve -addr "$ADDR" -max-viewers 1500 -telemetry -slow-op=-1ns &
+SERVER_PID=$!
+
+# Mid-churn scraper: hit /metrics in a loop for the whole replay. Every
+# scrape must answer 200 with a body that carries the enabled gauge; a
+# hung, erroring, or truncated scrape fails the smoke via the marker file.
+SCRAPE_FAIL="${TMPDIR_BIN}/scrape_failed"
+(
+  # Wait for the server to come up before the first scrape.
+  for _ in $(seq 1 100); do
+    curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  while :; do
+    body="$(curl -sf "http://${ADDR}/metrics")" || { touch "$SCRAPE_FAIL"; exit 1; }
+    grep -q '^telecast_telemetry_enabled 1$' <<<"$body" || { touch "$SCRAPE_FAIL"; exit 1; }
+    sleep 0.2
+  done
+) &
+SCRAPER_PID=$!
+
+# replay polls /healthz itself (-wait-ready) before driving load; -obs-verify
+# makes it exit non-zero unless the telemetry/metricz reconciliation holds.
+"$BIN" replay -addr "$ADDR" -scenario "$SCENARIO" -audience 400 -duration 20s -verify -obs-verify
+
+kill "$SCRAPER_PID" 2>/dev/null || true
+wait "$SCRAPER_PID" 2>/dev/null || true
+SCRAPER_PID=""
+[[ -e "$SCRAPE_FAIL" ]] && { echo "obs-smoke: FAIL (mid-churn /metrics scrape broke)"; exit 1; }
+
+# The capture-all recorder must have flight entries after that much churn.
+SLOWOPS="$(curl -sf "http://${ADDR}/debug/slowops")"
+grep -q '"enabled":true' <<<"$SLOWOPS" || { echo "obs-smoke: FAIL (/debug/slowops reports disabled)"; exit 1; }
+grep -q '"seq":' <<<"$SLOWOPS" || { echo "obs-smoke: FAIL (/debug/slowops holds no entries)"; exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "obs-smoke: ok (${SCENARIO} over ${ADDR}, mid-churn scrapes clean, telemetry reconciled, graceful drain clean)"

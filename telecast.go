@@ -241,6 +241,10 @@ var (
 	WithCutoffDF = session.WithCutoffDF
 	// WithEventBuffer sizes the event rings and subscriber channels.
 	WithEventBuffer = session.WithEventBuffer
+	// WithTelemetry arms the latency-histogram/flight-recorder layer.
+	WithTelemetry = session.WithTelemetry
+	// WithSlowOpThreshold sets the flight recorder's capture bar.
+	WithSlowOpThreshold = session.WithSlowOpThreshold
 )
 
 // Substrate constructors.
